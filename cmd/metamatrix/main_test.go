@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunDefaultish(t *testing.T) {
+	// Few trials keep the test fast; witnesses still pin the ✗ cells.
+	if err := run([]string{"-trials", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerboseWithExtensions(t *testing.T) {
+	if err := run([]string{"-trials", "20", "-verbose", "-extensions"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunExhaustive(t *testing.T) {
+	if err := run([]string{"-exhaustive", "-extensions"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command switchbench regenerates the paper's §7 evaluation:
+//
+//	switchbench -experiment figure2     # Figure 2: latency vs. active senders
+//	switchbench -experiment overhead    # switch overhead near the crossover (~31 ms in the paper)
+//	switchbench -experiment hysteresis  # oscillation with and without hysteresis
+//	switchbench -experiment all
+//
+// All experiments run on the deterministic discrete-event simulator, so
+// results are reproducible for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "switchbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("switchbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "figure2 | overhead | hysteresis | p2p | all")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		senders    = fs.Int("senders", 10, "maximum active senders for figure2")
+		measure    = fs.Duration("measure", 10*time.Second, "virtual measurement window per point")
+		warmup     = fs.Duration("warmup", 2*time.Second, "virtual warmup discarded from statistics")
+		msgBytes   = fs.Int("msgbytes", 0, "application payload size (default: calibrated 2240)")
+		hybrid     = fs.Bool("hybrid", true, "include the switching hybrid in figure2")
+		quiet      = fs.Bool("quiet", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rc := harness.DefaultRunConfig()
+	rc.Seed = *seed
+	rc.Measure = *measure
+	rc.Warmup = *warmup
+	if *msgBytes > 0 {
+		rc.MsgBytes = *msgBytes
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
+		}
+	}
+
+	doFigure2 := func() error {
+		fmt.Println("=== E3/E4: Figure 2 ===")
+		cfg := harness.Figure2Config{
+			Run:           rc,
+			MaxSenders:    *senders,
+			IncludeHybrid: *hybrid,
+			Progress:      progress,
+		}
+		res, err := harness.RunFigure2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		return nil
+	}
+	doOverhead := func() error {
+		fmt.Println("=== E5: switching overhead ===")
+		cfg := harness.DefaultOverheadConfig()
+		cfg.Run.Seed = *seed
+		res, err := harness.RunOverhead(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		progress("overhead sweep")
+		rows, err := harness.RunOverheadSweep(cfg, []int{2, 5, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderOverheadSweep(rows))
+		return nil
+	}
+	doHysteresis := func() error {
+		fmt.Println("=== E6: oscillation / hysteresis ===")
+		cfg := harness.DefaultHysteresisConfig()
+		cfg.Run.Seed = *seed
+		rows, err := harness.RunHysteresisComparison(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderHysteresis(rows))
+		return nil
+	}
+	doP2P := func() error {
+		fmt.Println("=== E11: point-to-point specialization ===")
+		cfg := harness.DefaultP2PConfig()
+		cfg.Seed = *seed
+		out, err := harness.P2PTable(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+
+	switch *experiment {
+	case "figure2":
+		return doFigure2()
+	case "overhead":
+		return doOverhead()
+	case "hysteresis":
+		return doHysteresis()
+	case "p2p":
+		return doP2P()
+	case "all":
+		if err := doFigure2(); err != nil {
+			return err
+		}
+		if err := doOverhead(); err != nil {
+			return err
+		}
+		if err := doHysteresis(); err != nil {
+			return err
+		}
+		return doP2P()
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+}

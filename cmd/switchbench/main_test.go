@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+// tiny returns flags for a fast (but real) run.
+func tiny(extra ...string) []string {
+	base := []string{
+		"-measure", "400ms",
+		"-warmup", "200ms",
+		"-quiet",
+	}
+	return append(base, extra...)
+}
+
+func TestFigure2Small(t *testing.T) {
+	if err := run(tiny("-experiment", "figure2", "-senders", "2", "-hybrid=false")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure2WithHybrid(t *testing.T) {
+	if err := run(tiny("-experiment", "figure2", "-senders", "1", "-hybrid")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadExperiment(t *testing.T) {
+	if err := run(tiny("-experiment", "overhead")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHysteresisExperiment(t *testing.T) {
+	if err := run(tiny("-experiment", "hysteresis")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestMsgBytesOverride(t *testing.T) {
+	if err := run(tiny("-experiment", "figure2", "-senders", "1", "-hybrid=false", "-msgbytes", "512")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2PExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "p2p", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runWith executes run() with stdout captured to a temp file and
+// returns (output, error).
+func runWith(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	runErr := run(args, nil, out)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+// writeExample writes the example trace to a file and returns its path.
+func writeExample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := exampleTrace().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExampleFlag(t *testing.T) {
+	out, err := runWith(t, "-example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"kind"`) {
+		t.Errorf("example output = %q", out)
+	}
+}
+
+func TestCheckExampleHolds(t *testing.T) {
+	path := writeExample(t)
+	out, err := runWith(t, "-trace", path)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Errorf("example trace violated something:\n%s", out)
+	}
+	for _, want := range []string{"Reliability", "Total Order", "Virtual Synchrony"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestUntrustedFlagTriggersViolation(t *testing.T) {
+	path := writeExample(t)
+	out, err := runWith(t, "-trace", path, "-untrusted", "1")
+	if err == nil {
+		t.Fatal("expected a violation error")
+	}
+	if !strings.Contains(out, "Confidentiality        VIOLATED") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestSingleProperty(t *testing.T) {
+	path := writeExample(t)
+	out, err := runWith(t, "-trace", path, "-property", "No Replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("expected exactly one verdict line:\n%s", out)
+	}
+}
+
+func TestUnknownProperty(t *testing.T) {
+	path := writeExample(t)
+	if _, err := runWith(t, "-trace", path, "-property", "Nonsense"); err == nil {
+		t.Error("unknown property accepted")
+	}
+}
+
+func TestMissingTraceFlag(t *testing.T) {
+	if _, err := runWith(t); err == nil {
+		t.Error("missing -trace accepted")
+	}
+}
+
+func TestNonexistentFile(t *testing.T) {
+	if _, err := runWith(t, "-trace", "/nonexistent/file.json"); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+}
+
+func TestMalformedTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`[{"kind":"send","msg":{"id":1,"sender":0}},{"kind":"send","msg":{"id":1,"sender":0}}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runWith(t, "-trace", path); err == nil {
+		t.Error("duplicate-send trace accepted")
+	}
+}
+
+func TestBadUntrustedFlag(t *testing.T) {
+	path := writeExample(t)
+	if _, err := runWith(t, "-trace", path, "-untrusted", "zebra"); err == nil {
+		t.Error("garbage -untrusted accepted")
+	}
+}
+
+func TestMasterFlag(t *testing.T) {
+	path := writeExample(t)
+	// With master=1 (who never delivers first), Prioritized Delivery
+	// must fail: process 0 delivers m1 first.
+	out, err := runWith(t, "-trace", path, "-master", "1", "-property", "Prioritized Delivery")
+	if err == nil {
+		t.Errorf("expected violation with -master 1:\n%s", out)
+	}
+}
+
+func TestPlural(t *testing.T) {
+	if plural(1) != "y" || plural(2) != "ies" {
+		t.Error("plural wrong")
+	}
+}

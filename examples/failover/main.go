@@ -1,0 +1,129 @@
+// Failover: the capability boundary between the paper's two switching
+// mechanisms, live. The token-ring switching protocol (§2) assumes
+// crash-free members — a single crash silently kills its control token.
+// The §8 view-change mechanism, paired with a heartbeat failure
+// detector, evicts the crashed member and the group keeps multicasting.
+//
+// This example crashes a member mid-traffic and shows the group
+// reconfigure with no operator intervention.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/core/viewswitch"
+	"repro/internal/des"
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fd"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/runtime/simenv"
+	"repro/internal/simnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatal("failover: ", err)
+	}
+}
+
+func run() error {
+	const members = 4
+	sim := des.New(42)
+	net, err := simnet.New(sim, simnet.Ethernet10Mbit(members))
+	if err != nil {
+		return err
+	}
+	group, err := simenv.NewGroup(sim, net, members)
+	if err != nil {
+		return err
+	}
+
+	seqStack := func(proto.Env) []proto.Layer {
+		return []proto.Layer{seqorder.New(0), fifo.New(fifo.Config{})}
+	}
+	cfg := viewswitch.Config{
+		Protocols: []switching.ProtocolFactory{seqStack, seqStack},
+		Detector:  &fd.Config{Interval: 5 * time.Millisecond},
+		AutoEvict: true,
+	}
+
+	delivered := make(map[ids.ProcID][]string, members)
+	managers := make([]*viewswitch.Manager, members)
+	for _, node := range group.Nodes() {
+		self := node.Self()
+		app := proto.UpFunc(func(src ids.ProcID, payload []byte) {
+			m, err := proto.DecodeApp(payload)
+			if err != nil {
+				return
+			}
+			if m.IsView {
+				delivered[self] = append(delivered[self], fmt.Sprintf("<new view %v>", m.View))
+				return
+			}
+			delivered[self] = append(delivered[self], string(m.Body))
+		})
+		mgr, err := viewswitch.New(node, app, node.Transport(), cfg)
+		if err != nil {
+			return err
+		}
+		managers[self] = mgr
+		if err := node.BindStack(mgr.Recv); err != nil {
+			return err
+		}
+	}
+
+	seq := uint32(0)
+	cast := func(p ids.ProcID, body string) {
+		seq++
+		m := proto.AppMsg{ID: proto.MakeMsgID(p, seq), Sender: p, Body: []byte(body)}
+		if err := managers[p].Cast(m.Encode()); err != nil {
+			fmt.Fprintf(os.Stderr, "cast %q: %v\n", body, err)
+		}
+	}
+
+	fmt.Println("t=0      4-member group multicasting")
+	sim.At(5*time.Millisecond, func() { cast(1, "tick-1") })
+	sim.At(20*time.Millisecond, func() { cast(2, "tick-2") })
+	sim.At(50*time.Millisecond, func() {
+		fmt.Println("t=50ms   member 3 crashes (power gone, no goodbye)")
+		net.Crash(3)
+	})
+	// The heartbeat detector suspects p3 ~25ms later; the coordinator
+	// evicts it automatically.
+	sim.At(300*time.Millisecond, func() {
+		fmt.Printf("t=300ms  survivors' view: %v\n", managers[0].View())
+		cast(1, "tick-3 (after failover)")
+	})
+	sim.RunUntil(5 * time.Second)
+	for _, m := range managers {
+		m.Stop()
+	}
+
+	fmt.Println("\nmember 0's delivery log:")
+	for _, b := range delivered[0] {
+		fmt.Println("   ", b)
+	}
+	for _, p := range []ids.ProcID{0, 1, 2} {
+		if managers[p].InView(3) {
+			return fmt.Errorf("member %v still believes p3 is alive", p)
+		}
+		if len(delivered[p]) != len(delivered[0]) {
+			return fmt.Errorf("member %v diverged: %v", p, delivered[p])
+		}
+	}
+	fmt.Println("\nthe failure detector suspected the silent member, the coordinator")
+	fmt.Println("flushed and installed a 3-member view, and traffic continued —")
+	fmt.Println("no restarts, no operator. (The token-ring SP cannot do this: its")
+	fmt.Println("token dies with the crashed member; see the crash tests.)")
+	return nil
+}

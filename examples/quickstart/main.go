@@ -1,0 +1,159 @@
+// Quickstart: a five-member group switches between two total-order
+// protocols at run time, on the goroutine (real-time) runtime, without
+// the application noticing anything but a transparent multicast service.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/protocols/tokenorder"
+	"repro/internal/runtime/realtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatal("quickstart: ", err)
+	}
+}
+
+func run() error {
+	const members = 5
+	group, err := realtime.NewGroup(realtime.Config{
+		Nodes:     members,
+		PropDelay: time.Millisecond,
+		Jitter:    500 * time.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer group.Stop()
+
+	// The two interchangeable protocols: sequencer-based total order
+	// (fast at low load) and token-based total order (no bottleneck).
+	protocols := []switching.ProtocolFactory{
+		func(proto.Env) []proto.Layer {
+			return []proto.Layer{seqorder.New(0), fifo.New(fifo.Config{})}
+		},
+		func(proto.Env) []proto.Layer {
+			return []proto.Layer{tokenorder.New(tokenorder.Config{HoldDelay: 2 * time.Millisecond}), fifo.New(fifo.Config{})}
+		},
+	}
+
+	var mu sync.Mutex
+	delivered := make(map[ids.ProcID][]string, members)
+	switches := make([]*switching.Switch, members)
+	for _, node := range group.Nodes() {
+		node := node
+		self := node.Self()
+		app := proto.UpFunc(func(src ids.ProcID, payload []byte) {
+			m, err := proto.DecodeApp(payload)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			delivered[self] = append(delivered[self], string(m.Body))
+			mu.Unlock()
+		})
+		var sw *switching.Switch
+		var buildErr error
+		node.Run(func() {
+			sw, buildErr = switching.New(node, app, node.Transport(), switching.Config{
+				Protocols:     protocols,
+				TokenInterval: 5 * time.Millisecond,
+				OnSwitchComplete: func(r switching.Record) {
+					fmt.Printf("  [switch] initiator=%v closed epoch %d in %v\n",
+						r.Initiator, r.Epoch, r.Duration().Round(time.Millisecond))
+				},
+			})
+		})
+		if buildErr != nil {
+			return buildErr
+		}
+		switches[self] = sw
+		node.Bind(sw.Recv)
+	}
+
+	cast := func(p ids.ProcID, seq uint32, body string) {
+		group.Node(p).Run(func() {
+			m := proto.AppMsg{ID: proto.MakeMsgID(p, seq), Sender: p, Body: []byte(body)}
+			if err := switches[p].Cast(m.Encode()); err != nil {
+				fmt.Fprintln(os.Stderr, "cast:", err)
+			}
+		})
+	}
+
+	fmt.Println("phase 1: multicasting on the sequencer protocol")
+	for i := 0; i < 3; i++ {
+		cast(ids.ProcID(i), uint32(i), fmt.Sprintf("seq-era-%d", i))
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Println("phase 2: member 3 requests a protocol switch")
+	group.Node(3).Run(func() { switches[3].RequestSwitch() })
+
+	// Keep sending while the switch is in flight — the SP never blocks
+	// senders (§7 of the paper).
+	for i := 3; i < 6; i++ {
+		cast(ids.ProcID(i%5), uint32(i), fmt.Sprintf("during-%d", i))
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Wait for the switch to land everywhere.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for p := 0; p < members; p++ {
+			var e uint64
+			group.Node(ids.ProcID(p)).Run(func() { e = switches[p].Epoch() })
+			if e != 1 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fmt.Println("phase 3: multicasting on the token protocol")
+	for i := 6; i < 9; i++ {
+		cast(ids.ProcID(i%5), uint32(i), fmt.Sprintf("token-era-%d", i))
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	ref := delivered[0]
+	fmt.Printf("\nmember 0 delivered %d messages, in order:\n", len(ref))
+	for _, b := range ref {
+		fmt.Println("   ", b)
+	}
+	for p := 1; p < members; p++ {
+		got := delivered[ids.ProcID(p)]
+		if len(got) != len(ref) {
+			return fmt.Errorf("member %d delivered %d messages, member 0 delivered %d", p, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return fmt.Errorf("member %d disagrees with member 0 at position %d", p, i)
+			}
+		}
+	}
+	fmt.Println("\nall five members delivered the identical sequence — total order")
+	fmt.Println("held across the switch, exactly as Table 2 predicts.")
+	return nil
+}

@@ -1,0 +1,142 @@
+// Security: the "Security" use case of §1 — "system managers will be
+// able to increase security at run-time, for example when an intrusion
+// detection system notices unusual behavior".
+//
+// The group starts on a plain (fast, unauthenticated) stack; a rogue
+// process can inject forged orders. When the intrusion detector fires,
+// the manager switches to an HMAC-authenticated, AES-encrypted stack —
+// without restarting the application — and the rogue's forgeries stop
+// getting through.
+//
+//	go run ./examples/security
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/core/switching/swtest"
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/conf"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/integrity"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/simnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatal("security: ", err)
+	}
+}
+
+func run() error {
+	const members = 4
+	const rogue = ids.ProcID(3)
+	macKey := []byte("shared-group-mac-key-00001")
+	encKey := []byte("0123456789abcdef") // AES-128
+
+	secured := func(env proto.Env) []proto.Layer {
+		mk, ek := macKey, encKey
+		if env.Self() == rogue {
+			// The rogue was not given the new keys.
+			mk = []byte("guessed-wrong-key-guessed!")
+			ek = []byte("ffffffffffffffff")
+		}
+		c, err := conf.New(ek)
+		if err != nil {
+			panic(err) // static key length; cannot fail
+		}
+		return []proto.Layer{seqorder.New(0), integrity.New(mk), c, fifo.New(fifo.Config{})}
+	}
+	cfg := switching.Config{
+		Protocols: []switching.ProtocolFactory{
+			// Epoch 0: plain stack — no authentication at all.
+			func(proto.Env) []proto.Layer {
+				return []proto.Layer{seqorder.New(0), fifo.New(fifo.Config{})}
+			},
+			// Epoch 1: authenticated + encrypted stack.
+			secured,
+		},
+		OnSwitchComplete: func(r switching.Record) {
+			fmt.Printf("  security switch completed in %v\n", r.Duration().Round(time.Millisecond))
+		},
+	}
+	cluster, err := swtest.NewSwitched(11, simnet.Ethernet10Mbit(members), members, cfg)
+	if err != nil {
+		return err
+	}
+	sim := cluster.Sim
+
+	honestSeq := uint32(0)
+	honest := func(p ids.ProcID, body string) {
+		honestSeq++
+		m := proto.AppMsg{ID: proto.MakeMsgID(p, honestSeq), Sender: p, Body: []byte(body)}
+		if err := cluster.Members[p].Switch.Cast(m.Encode()); err != nil {
+			fmt.Fprintln(os.Stderr, "cast:", err)
+		}
+	}
+	// The rogue injects below its switch so it cannot wedge the group's
+	// send-count vector (see EXPERIMENTS.md E7 on the §2 exactly-once
+	// assumption).
+	forgeSeq := uint32(100)
+	forge := func(body string) {
+		forgeSeq++
+		sw := cluster.Members[rogue].Switch
+		m := proto.AppMsg{ID: proto.MakeMsgID(rogue, forgeSeq), Sender: rogue, Body: []byte(body)}
+		payload := sw.FrameForEpoch(sw.SendEpoch(), m.Encode())
+		if err := sw.SubStack(sw.ActiveProtocol()).Cast(payload); err != nil {
+			fmt.Fprintln(os.Stderr, "forge:", err)
+		}
+	}
+
+	fmt.Println("phase 1: plain protocol — the rogue's forgery gets delivered")
+	sim.At(5*time.Millisecond, func() { honest(0, "transfer $10 to alice") })
+	sim.At(15*time.Millisecond, func() { forge("transfer $9999 to rogue") })
+	sim.At(40*time.Millisecond, func() {
+		fmt.Println("phase 2: intrusion detected — switching to the secured stack")
+		cluster.Members[0].Switch.RequestSwitch()
+	})
+	sim.At(300*time.Millisecond, func() {
+		fmt.Println("phase 3: secured protocol — the same forgery is now rejected")
+		honest(1, "transfer $20 to bob")
+		forge("transfer $9999 to rogue AGAIN")
+	})
+	cluster.Run(10 * time.Second)
+	cluster.Stop()
+
+	for p := 0; p < 3; p++ {
+		bodies, err := cluster.AppBodies(ids.ProcID(p))
+		if err != nil {
+			return err
+		}
+		if p == 0 {
+			fmt.Printf("\nmember 0's ledger:\n")
+			for _, b := range bodies {
+				fmt.Println("   ", b)
+			}
+		}
+		joined := strings.Join(bodies, "|")
+		if !strings.Contains(joined, "$10 to alice") || !strings.Contains(joined, "$20 to bob") {
+			return fmt.Errorf("member %d lost honest traffic: %v", p, bodies)
+		}
+		if !strings.Contains(joined, "$9999 to rogue") {
+			return fmt.Errorf("member %d: expected the pre-switch forgery to land (plain stack)", p)
+		}
+		if strings.Contains(joined, "AGAIN") {
+			return fmt.Errorf("member %d delivered a forgery after the security switch", p)
+		}
+	}
+	fmt.Println("\nthe pre-switch forgery landed (plain stack); the post-switch one")
+	fmt.Println("was dropped by the HMAC layer. Security was raised at run time,")
+	fmt.Println("with no restart — and Integrity/Confidentiality are in the class")
+	fmt.Println("of properties the switching protocol provably preserves (§6.3).")
+	return nil
+}

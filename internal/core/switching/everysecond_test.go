@@ -1,0 +1,109 @@
+// The paper's §5.1 thought experiment, live: "consider the property
+// every second message is eventually delivered. If an application sends
+// two messages, and a switch occurs in between, the property may well
+// be violated since the underlying protocols have no requirement to
+// deliver either message."
+package switching_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/ids"
+	"repro/internal/property"
+	"repro/internal/proto"
+	"repro/internal/protocols/evenonly"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/ptest"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/simnet"
+)
+
+func everySecondPair() []switching.ProtocolFactory {
+	mk := func(proto.Env) []proto.Layer {
+		return []proto.Layer{evenonly.New(), seqorder.New(0), fifo.New(fifo.Config{})}
+	}
+	return []switching.ProtocolFactory{mk, mk}
+}
+
+// TestEverySecondViolatedAcrossSwitch: the sender's globally second
+// message rides the new protocol as *its* first — odd, obligation-free,
+// dropped. Each protocol honoured its contract; the composition did
+// not.
+//
+// A side observation the paper leaves implicit: such a
+// not-everything-delivered protocol also breaks the SP's §2 liveness
+// assumption — the switch below never *completes* (the dropped message
+// stays in the send-count vector), even though the safety-level
+// violation is already visible. §5.1 can get away with this because
+// the paper explicitly scopes its analysis to safety properties.
+func TestEverySecondViolatedAcrossSwitch(t *testing.T) {
+	c := newCluster(t, 71, simnet.Config{Nodes: 3, PropDelay: 300 * time.Microsecond}, 3,
+		switching.Config{Protocols: everySecondPair()})
+	var sent []ptest.SentMsg
+	cast := func(seq uint32, body string) {
+		m := appMsg(0, seq, body)
+		s, err := c.CastApp(m)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sent = append(sent, s)
+	}
+	// Message #1 on protocol A (odd there: dropped, fine).
+	c.Sim.At(time.Millisecond, func() { cast(1, "first") })
+	// The switch lands between the two sends...
+	c.Sim.At(10*time.Millisecond, func() { c.Members[0].Switch.RequestSwitch() })
+	// ...so message #2 (globally even, owed delivery) is protocol B's
+	// local #1 — and B drops it.
+	c.Sim.At(300*time.Millisecond, func() { cast(2, "second") })
+	c.Run(10 * time.Second)
+	c.Stop()
+
+	for p := 0; p < 3; p++ {
+		bodies, err := c.AppBodies(ids.ProcID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bodies) != 0 {
+			t.Fatalf("member %d delivered %v — both messages should have been dropped as locally odd", p, bodies)
+		}
+	}
+	tr, err := c.TraceTimed(sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := property.EverySecondDelivered{Group: ids.Procs(3)}
+	if es.Holds(tr) {
+		t.Error("Every Second Delivered held across the switch — expected the §5.1 violation")
+	}
+
+	// Control: without a switch, the same two sends satisfy the
+	// property (the second is delivered).
+	c2 := newCluster(t, 72, simnet.Config{Nodes: 3, PropDelay: 300 * time.Microsecond}, 3,
+		switching.Config{Protocols: everySecondPair()})
+	var sent2 []ptest.SentMsg
+	for i, at := range []time.Duration{time.Millisecond, 10 * time.Millisecond} {
+		i := i
+		at := at
+		c2.Sim.At(at, func() {
+			m := appMsg(0, uint32(i+1), []string{"first", "second"}[i])
+			s, err := c2.CastApp(m)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sent2 = append(sent2, s)
+		})
+	}
+	c2.Run(10 * time.Second)
+	c2.Stop()
+	tr2, err := c2.TraceTimed(sent2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !es.Holds(tr2) {
+		t.Error("without a switch, the protocol must honour its own contract")
+	}
+}

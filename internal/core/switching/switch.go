@@ -1,0 +1,480 @@
+package switching
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/wire"
+)
+
+// ProtocolFactory builds one sub-protocol's stack (layers, top first)
+// for a member. Each factory gets its own private multiplex channel.
+type ProtocolFactory func(env proto.Env) []proto.Layer
+
+// Record describes one completed switch, observed at its initiator.
+type Record struct {
+	Initiator ids.ProcID
+	// Epoch is the protocol epoch the switch closed.
+	Epoch uint64
+	// Started is when the initiator turned the token to PREPARE;
+	// Finished is when the FLUSH token returned. Their difference is
+	// the switch overhead discussed in §7 of the paper (~31 ms near
+	// the Figure 2 crossover on the paper's testbed).
+	Started, Finished time.Duration
+}
+
+// Duration returns the switch's end-to-end duration.
+func (r Record) Duration() time.Duration { return r.Finished - r.Started }
+
+// Config configures a Switch.
+type Config struct {
+	// Protocols are the interchangeable protocols (at least two).
+	// Epoch e runs on Protocols[e % len(Protocols)].
+	Protocols []ProtocolFactory
+	// TokenInterval is how long a member holds a NORMAL token before
+	// passing it on — the idle rotation pace. Defaults to 5ms.
+	TokenInterval time.Duration
+	// Control tunes the reliable channel carrying the token.
+	Control fifo.Config
+	// OnSwitchComplete, if set, is invoked at the initiator when its
+	// FLUSH token returns.
+	OnSwitchComplete func(Record)
+}
+
+// Stats counts switch-layer activity at one member.
+type Stats struct {
+	// SwitchesCompleted counts switches this member has completed
+	// (locally: delivered all old-epoch messages and moved on).
+	SwitchesCompleted uint64
+	// Buffered counts new-epoch messages buffered during switches.
+	Buffered uint64
+	// StaleDropped counts data that arrived for an already-closed epoch.
+	StaleDropped uint64
+	// TokenPasses counts tokens forwarded by this member.
+	TokenPasses uint64
+}
+
+// Switch is one member's instance of the switching protocol. The
+// application talks only to the Switch (the SP is transparent, §1); the
+// Switch talks to its sub-protocols over private multiplex channels.
+type Switch struct {
+	cfg Config
+	env proto.Env
+	app proto.Up
+	mux *Multiplex
+
+	ctl    *proto.Stack   // control channel (token transport)
+	protos []*proto.Stack // sub-protocol stacks, one per factory
+
+	// sendEpoch is the epoch new application sends go to; deliverEpoch
+	// is the epoch currently being delivered. After a PREPARE and until
+	// the switch completes, sendEpoch == deliverEpoch + 1.
+	sendEpoch    uint64
+	deliverEpoch uint64
+
+	// sent counts this member's sends per epoch (the OK(count) value).
+	sent map[uint64]uint64
+	// recv counts delivered+buffered arrivals per epoch per ring
+	// position — compared against the SWITCH token's vector.
+	recv map[uint64][]uint64
+	// expected is the closing epoch's send-count vector, once known.
+	expected []uint64
+	// buffer holds arrivals for future epochs until the switch
+	// completes ("messages received over this protocol will be
+	// buffered rather than delivered", §2).
+	buffer map[uint64][]bufEntry
+
+	// wantSwitch is set by RequestSwitch and consumed when this member
+	// next holds a NORMAL token.
+	wantSwitch bool
+	// initiating marks this member as the initiator of the in-flight
+	// switch.
+	initiating bool
+	started    time.Duration
+	// heldFlush is a FLUSH token waiting for local completion.
+	heldFlush *Token
+
+	timer   proto.Timer
+	stopped bool
+	stats   Stats
+	records []Record
+}
+
+type bufEntry struct {
+	src     ids.ProcID
+	payload []byte
+}
+
+// New assembles a Switch for one member over the given transport. Wire
+// the node's incoming packets to (*Switch).Recv.
+func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch, error) {
+	if env == nil || app == nil || transport == nil {
+		return nil, fmt.Errorf("switching: nil wiring")
+	}
+	if len(cfg.Protocols) < 2 {
+		return nil, fmt.Errorf("switching: need at least two protocols, got %d", len(cfg.Protocols))
+	}
+	if cfg.TokenInterval <= 0 {
+		cfg.TokenInterval = 5 * time.Millisecond
+	}
+	mux, err := NewMultiplex(transport)
+	if err != nil {
+		return nil, err
+	}
+	s := &Switch{
+		cfg:    cfg,
+		env:    env,
+		app:    app,
+		mux:    mux,
+		sent:   make(map[uint64]uint64),
+		recv:   make(map[uint64][]uint64),
+		buffer: make(map[uint64][]bufEntry),
+	}
+	// Control channel: the token rides a private reliable channel.
+	ctl, err := proto.Build(env,
+		proto.UpFunc(s.onControl),
+		mux.Port(ids.ControlChannel),
+		fifo.New(cfg.Control))
+	if err != nil {
+		return nil, fmt.Errorf("switching: control stack: %w", err)
+	}
+	s.ctl = ctl
+	mux.Bind(ids.ControlChannel, proto.UpFunc(ctl.Recv))
+	// Sub-protocol stacks, each on its private channel.
+	for i, factory := range cfg.Protocols {
+		ch := ids.ProtocolChannel(i)
+		stack, err := proto.Build(env,
+			proto.UpFunc(s.onData),
+			mux.Port(ch),
+			factory(env)...)
+		if err != nil {
+			return nil, fmt.Errorf("switching: protocol %d stack: %w", i, err)
+		}
+		s.protos = append(s.protos, stack)
+		mux.Bind(ch, proto.UpFunc(stack.Recv))
+	}
+	// The first ring member injects the NORMAL token.
+	if env.Self() == env.Ring().Members()[0] {
+		s.timer = env.After(cfg.TokenInterval, func() {
+			if s.stopped {
+				return
+			}
+			s.passToken(Token{Mode: ModeNormal, Initiator: env.Self()})
+		})
+	}
+	return s, nil
+}
+
+// Recv routes an incoming transport packet; bind the node's network
+// handler here.
+func (s *Switch) Recv(src ids.ProcID, pkt []byte) { s.mux.Recv(src, pkt) }
+
+// Stop shuts down the switch and its sub-stacks.
+func (s *Switch) Stop() {
+	s.stopped = true
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.ctl.Stop()
+	for _, p := range s.protos {
+		p.Stop()
+	}
+}
+
+// Epoch returns the epoch currently being delivered.
+func (s *Switch) Epoch() uint64 { return s.deliverEpoch }
+
+// SendEpoch returns the epoch new sends go to (deliverEpoch + 1 while a
+// switch is draining).
+func (s *Switch) SendEpoch() uint64 { return s.sendEpoch }
+
+// SubStack returns sub-protocol i's stack, giving tests and management
+// tools access to layer-specific controls (e.g. vsync view
+// installation). Out-of-range indexes return nil.
+func (s *Switch) SubStack(i int) *proto.Stack {
+	if i < 0 || i >= len(s.protos) {
+		return nil
+	}
+	return s.protos[i]
+}
+
+// FrameForEpoch wraps an application payload in the switch's epoch
+// header — for control traffic injected directly into a sub-stack (such
+// as vsync view messages) that must still parse as switch data at
+// receivers. Injected traffic does not count toward the epoch's
+// send-count vector; inject only while no switch is closing that epoch,
+// or the receivers' completion accounting can run ahead of the vector.
+func (s *Switch) FrameForEpoch(epoch uint64, payload []byte) []byte {
+	e := wire.NewEncoder(10)
+	e.Uvarint(epoch)
+	return e.Prepend(payload)
+}
+
+// ActiveProtocol returns the index of the protocol new sends use.
+func (s *Switch) ActiveProtocol() int {
+	return int(s.sendEpoch % uint64(len(s.protos)))
+}
+
+// Switching reports whether a switch is in progress at this member
+// (sends redirected, old epoch still draining).
+func (s *Switch) Switching() bool { return s.sendEpoch != s.deliverEpoch }
+
+// Stats returns a copy of the counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// Records returns the switches this member initiated.
+func (s *Switch) Records() []Record {
+	out := make([]Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// RequestSwitch asks the member to initiate a switch to the next
+// protocol when it next holds a NORMAL token ("the oracle requests the
+// SP to switch at one of the processes called the manager", §2).
+func (s *Switch) RequestSwitch() { s.wantSwitch = true }
+
+// CancelSwitch withdraws a pending request that has not yet begun.
+func (s *Switch) CancelSwitch() { s.wantSwitch = false }
+
+// SwitchPending reports whether a request is waiting for the token.
+func (s *Switch) SwitchPending() bool { return s.wantSwitch }
+
+// Cast multicasts an application payload over the currently active
+// protocol. Sending is never blocked by a switch in progress (§7).
+func (s *Switch) Cast(payload []byte) error {
+	if s.stopped {
+		return fmt.Errorf("switching: stopped")
+	}
+	epoch := s.sendEpoch
+	e := wire.NewEncoder(10)
+	e.Uvarint(epoch)
+	s.sent[epoch]++
+	return s.protos[epoch%uint64(len(s.protos))].Cast(e.Prepend(payload))
+}
+
+// onData handles a delivery from any sub-protocol stack.
+func (s *Switch) onData(src ids.ProcID, pkt []byte) {
+	d := wire.NewDecoder(pkt)
+	epoch := d.Uvarint()
+	if d.Err() != nil {
+		return
+	}
+	payload := d.Remaining()
+	switch {
+	case epoch == s.deliverEpoch:
+		s.countRecv(epoch, src)
+		s.app.Deliver(src, payload)
+		s.checkComplete()
+	case epoch > s.deliverEpoch:
+		// New-protocol traffic rides ahead of the switch: buffer it.
+		s.countRecv(epoch, src)
+		s.stats.Buffered++
+		s.buffer[epoch] = append(s.buffer[epoch], bufEntry{src: src, payload: payload})
+	default:
+		// The vector guaranteed every old message arrived before we
+		// completed; anything else is a late duplicate.
+		s.stats.StaleDropped++
+	}
+}
+
+// countRecv increments the per-epoch arrival count for src.
+func (s *Switch) countRecv(epoch uint64, src ids.ProcID) {
+	v := s.recv[epoch]
+	if v == nil {
+		v = make([]uint64, s.env.Ring().Size())
+		s.recv[epoch] = v
+	}
+	pos := s.env.Ring().Position(src)
+	if pos >= 0 {
+		v[pos]++
+	}
+}
+
+// onControl handles a token arriving on the control channel.
+func (s *Switch) onControl(src ids.ProcID, pkt []byte) {
+	if s.stopped {
+		return
+	}
+	t, err := DecodeToken(pkt)
+	if err != nil {
+		return
+	}
+	s.onToken(t)
+}
+
+// onToken is the heart of §2's state machine.
+func (s *Switch) onToken(t Token) {
+	self := s.env.Self()
+	switch t.Mode {
+	case ModeNormal:
+		if s.wantSwitch && !s.Switching() {
+			// Become the initiator: this is the only place a switch can
+			// start, so concurrent initiators are impossible (§2).
+			s.wantSwitch = false
+			s.initiating = true
+			s.started = s.env.Now()
+			prep := Token{
+				Mode:      ModePrepare,
+				Epoch:     s.deliverEpoch,
+				Initiator: self,
+				Vector:    make([]uint64, s.env.Ring().Size()),
+			}
+			s.applyPrepare(&prep)
+			s.passToken(prep)
+			return
+		}
+		// Idle rotation: hold, then pass.
+		s.holdThenPass(t)
+
+	case ModePrepare:
+		if t.Initiator == self {
+			// Vector complete: disseminate it.
+			t.Mode = ModeSwitch
+			s.learnVector(t.Vector, t.Epoch)
+			s.passToken(t)
+			return
+		}
+		s.applyPrepare(&t)
+		s.passToken(t)
+
+	case ModeSwitch:
+		if t.Initiator == self {
+			// Everyone has the vector; start the flush round.
+			t.Mode = ModeFlush
+			s.forwardFlushWhenDone(t)
+			return
+		}
+		s.learnVector(t.Vector, t.Epoch)
+		s.passToken(t)
+
+	case ModeFlush:
+		if t.Initiator == self {
+			// The flush completed the full circle: every member has
+			// delivered all old-protocol messages.
+			rec := Record{
+				Initiator: self,
+				Epoch:     t.Epoch,
+				Started:   s.started,
+				Finished:  s.env.Now(),
+			}
+			s.records = append(s.records, rec)
+			s.initiating = false
+			if s.cfg.OnSwitchComplete != nil {
+				s.cfg.OnSwitchComplete(rec)
+			}
+			s.holdThenPass(Token{Mode: ModeNormal, Initiator: self})
+			return
+		}
+		s.forwardFlushWhenDone(t)
+	}
+}
+
+// applyPrepare redirects sending to the new epoch and records this
+// member's send count in the token's vector.
+func (s *Switch) applyPrepare(t *Token) {
+	if s.Switching() || t.Epoch != s.deliverEpoch {
+		return // defensive: already prepared or epoch mismatch
+	}
+	pos := s.env.Ring().Position(s.env.Self())
+	if pos >= 0 && pos < len(t.Vector) {
+		t.Vector[pos] = s.sent[t.Epoch]
+	}
+	s.sendEpoch = t.Epoch + 1
+}
+
+// learnVector records the closing epoch's expected counts and checks
+// for completion.
+func (s *Switch) learnVector(vector []uint64, epoch uint64) {
+	if epoch != s.deliverEpoch {
+		return // already completed this switch
+	}
+	s.expected = make([]uint64, len(vector))
+	copy(s.expected, vector)
+	s.checkComplete()
+}
+
+// checkComplete finishes the local switch once every expected
+// old-protocol message has been delivered.
+func (s *Switch) checkComplete() {
+	if s.expected == nil || !s.Switching() {
+		return
+	}
+	have := s.recv[s.deliverEpoch]
+	for pos, want := range s.expected {
+		var got uint64
+		if have != nil {
+			got = have[pos]
+		}
+		if got < want {
+			return
+		}
+	}
+	// All old messages delivered: move to the new epoch and release the
+	// buffered messages in arrival order.
+	old := s.deliverEpoch
+	s.deliverEpoch = s.sendEpoch
+	s.expected = nil
+	delete(s.recv, old)
+	delete(s.sent, old)
+	s.stats.SwitchesCompleted++
+	pend := s.buffer[s.deliverEpoch]
+	delete(s.buffer, s.deliverEpoch)
+	for _, b := range pend {
+		s.app.Deliver(b.src, b.payload)
+	}
+	if s.heldFlush != nil {
+		t := *s.heldFlush
+		s.heldFlush = nil
+		s.forwardFlushWhenDone(t)
+	}
+}
+
+// forwardFlushWhenDone passes a FLUSH token if this member has completed
+// the switch it flushes, otherwise holds it.
+func (s *Switch) forwardFlushWhenDone(t Token) {
+	if s.deliverEpoch > t.Epoch {
+		s.passToken(t)
+		return
+	}
+	s.heldFlush = &t
+}
+
+// holdThenPass keeps the token for the configured interval, then passes
+// it on (idle rotation pacing).
+func (s *Switch) holdThenPass(t Token) {
+	s.timer = s.env.After(s.cfg.TokenInterval, func() {
+		if s.stopped {
+			return
+		}
+		// A request may have arrived while holding the NORMAL token.
+		if t.Mode == ModeNormal && s.wantSwitch && !s.Switching() {
+			s.onToken(t)
+			return
+		}
+		s.passToken(t)
+	})
+}
+
+// passToken sends the token to the ring successor (or loops it back in
+// a singleton group).
+func (s *Switch) passToken(t Token) {
+	succ, err := s.env.Ring().Successor(s.env.Self())
+	if err != nil {
+		return
+	}
+	s.stats.TokenPasses++
+	if succ == s.env.Self() {
+		s.timer = s.env.After(s.cfg.TokenInterval, func() {
+			if s.stopped {
+				return
+			}
+			s.onToken(t)
+		})
+		return
+	}
+	_ = s.ctl.Send(succ, t.Encode())
+}

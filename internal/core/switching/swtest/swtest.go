@@ -1,0 +1,127 @@
+// Package swtest builds simulated clusters whose members run the
+// switching protocol — shared scaffolding for the switching tests, the
+// benchmark harness, and the examples.
+package swtest
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/des"
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/ptest"
+	"repro/internal/runtime/simenv"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// SwitchedMember is one process running the switching protocol.
+type SwitchedMember struct {
+	Node      *simenv.Node
+	Switch    *switching.Switch
+	Delivered []ptest.Delivery
+}
+
+// SwitchedCluster is a simulated group in which every member runs a
+// Switch over the same set of sub-protocols.
+type SwitchedCluster struct {
+	Sim     *des.Sim
+	Net     *simnet.Network
+	Group   *simenv.Group
+	Members []*SwitchedMember
+}
+
+// NewSwitched builds an n-member cluster of Switches. cfg.Protocols must
+// be set; the remaining switching config fields are honoured as given.
+// Every member's application records deliveries into Member.Delivered.
+func NewSwitched(seed int64, netCfg simnet.Config, n int, swCfg switching.Config) (*SwitchedCluster, error) {
+	return NewSwitchedWithApp(seed, netCfg, n, swCfg, nil)
+}
+
+// AppFactory builds the application endpoint for one member.
+type AppFactory func(m *SwitchedMember, sim *des.Sim) proto.Up
+
+// NewSwitchedWithApp is NewSwitched with a custom application per
+// member. A nil appFor installs the default recording application.
+func NewSwitchedWithApp(seed int64, netCfg simnet.Config, n int, swCfg switching.Config, appFor AppFactory) (*SwitchedCluster, error) {
+	sim := des.New(seed)
+	net, err := simnet.New(sim, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	group, err := simenv.NewGroup(sim, net, n)
+	if err != nil {
+		return nil, err
+	}
+	if appFor == nil {
+		appFor = func(m *SwitchedMember, sim *des.Sim) proto.Up {
+			return proto.UpFunc(func(src ids.ProcID, payload []byte) {
+				buf := make([]byte, len(payload))
+				copy(buf, payload)
+				m.Delivered = append(m.Delivered, ptest.Delivery{At: sim.Now(), Src: src, Payload: buf})
+			})
+		}
+	}
+	c := &SwitchedCluster{Sim: sim, Net: net, Group: group}
+	for _, node := range group.Nodes() {
+		m := &SwitchedMember{Node: node}
+		sw, err := switching.New(node, appFor(m, sim), node.Transport(), swCfg)
+		if err != nil {
+			return nil, fmt.Errorf("ptest: member %v: %w", node.Self(), err)
+		}
+		m.Switch = sw
+		if err := node.BindStack(sw.Recv); err != nil {
+			return nil, err
+		}
+		c.Members = append(c.Members, m)
+	}
+	return c, nil
+}
+
+// Cast multicasts a payload from member p through its switch.
+func (c *SwitchedCluster) Cast(p ids.ProcID, payload []byte) error {
+	return c.Members[p].Switch.Cast(payload)
+}
+
+// CastApp multicasts an app message from its sender, returning the send
+// time for trace building.
+func (c *SwitchedCluster) CastApp(m proto.AppMsg) (ptest.SentMsg, error) {
+	s := ptest.SentMsg{At: c.Sim.Now(), Msg: m}
+	return s, c.Members[m.Sender].Switch.Cast(m.Encode())
+}
+
+// Run drives the simulation until the deadline.
+func (c *SwitchedCluster) Run(d time.Duration) { c.Sim.RunUntil(d) }
+
+// Stop stops all switches.
+func (c *SwitchedCluster) Stop() {
+	for _, m := range c.Members {
+		m.Switch.Stop()
+	}
+}
+
+// AppBodies decodes member p's deliveries as AppMsgs and returns the
+// bodies in order.
+func (c *SwitchedCluster) AppBodies(p ids.ProcID) ([]string, error) {
+	var out []string
+	for _, d := range c.Members[p].Delivered {
+		m, err := proto.DecodeApp(d.Payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, string(m.Body))
+	}
+	return out, nil
+}
+
+// TraceTimed reconstructs the app-level trace (see Cluster.TraceTimed).
+func (c *SwitchedCluster) TraceTimed(sent []ptest.SentMsg) (trace.Trace, error) {
+	// Reuse Cluster's implementation through a light adapter.
+	adapter := &ptest.Cluster{Sim: c.Sim}
+	for _, m := range c.Members {
+		adapter.Members = append(adapter.Members, &ptest.Member{Node: m.Node, Delivered: m.Delivered})
+	}
+	return adapter.TraceTimed(sent)
+}

@@ -1,0 +1,91 @@
+package swtest_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/core/switching/swtest"
+	"repro/internal/des"
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/ptest"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/simnet"
+)
+
+func factories() []switching.ProtocolFactory {
+	mk := func(proto.Env) []proto.Layer {
+		return []proto.Layer{seqorder.New(0), fifo.New(fifo.Config{})}
+	}
+	return []switching.ProtocolFactory{mk, mk}
+}
+
+func TestNewSwitchedDefaults(t *testing.T) {
+	c, err := swtest.NewSwitched(1, simnet.Config{Nodes: 3, PropDelay: time.Millisecond}, 3,
+		switching.Config{Protocols: factories()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	m := proto.AppMsg{ID: proto.MakeMsgID(1, 1), Sender: 1, Body: []byte("x")}
+	s, err := c.CastApp(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	bodies, err := c.AppBodies(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 1 || bodies[0] != "x" {
+		t.Fatalf("bodies = %v", bodies)
+	}
+	tr, err := c.TraceTimed([]ptest.SentMsg{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 send + 3 deliveries.
+	if len(tr) != 4 {
+		t.Fatalf("trace has %d events, want 4:\n%v", len(tr), tr)
+	}
+	if err := tr.ValidateAtMostOnce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSwitchedWithAppCustomApp(t *testing.T) {
+	delivered := 0
+	c, err := swtest.NewSwitchedWithApp(1, simnet.Config{Nodes: 2, PropDelay: time.Millisecond}, 2,
+		switching.Config{Protocols: factories()},
+		func(_ *swtest.SwitchedMember, _ *des.Sim) proto.Up {
+			return proto.UpFunc(func(_ ids.ProcID, _ []byte) { delivered++ })
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Cast(0, proto.AppMsg{ID: 1, Sender: 0, Body: []byte("y")}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	if delivered != 2 {
+		t.Fatalf("custom app saw %d deliveries, want 2", delivered)
+	}
+	// The custom app bypassed the recording buffers.
+	if len(c.Members[0].Delivered) != 0 {
+		t.Error("recording buffer filled despite custom app")
+	}
+}
+
+func TestNewSwitchedErrors(t *testing.T) {
+	if _, err := swtest.NewSwitched(1, simnet.Config{Nodes: 0}, 2,
+		switching.Config{Protocols: factories()}); err == nil {
+		t.Error("bad network config accepted")
+	}
+	if _, err := swtest.NewSwitched(1, simnet.Config{Nodes: 2}, 2,
+		switching.Config{}); err == nil {
+		t.Error("missing protocols accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package switching
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Mode is the phase of the rotating token (§2 of the paper). The token
+// travels the ring three times to execute a switch: once as PREPARE
+// (collecting per-member send counts), once as SWITCH (disseminating the
+// count vector), and once as FLUSH (confirming every member delivered
+// all old-protocol messages).
+type Mode uint8
+
+const (
+	// ModeNormal circulates between switches; a member that wants to
+	// initiate a switch must first hold a NORMAL token.
+	ModeNormal Mode = iota + 1
+	// ModePrepare collects each member's send count over the protocol
+	// being switched away from.
+	ModePrepare
+	// ModeSwitch disseminates the completed count vector.
+	ModeSwitch
+	// ModeFlush is forwarded by a member only once it has delivered all
+	// messages of the old protocol.
+	ModeFlush
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "NORMAL"
+	case ModePrepare:
+		return "PREPARE"
+	case ModeSwitch:
+		return "SWITCH"
+	case ModeFlush:
+		return "FLUSH"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Token is the switching protocol's control message.
+type Token struct {
+	Mode Mode
+	// Epoch is the protocol epoch being closed by this switch (the
+	// epoch whose messages must all be delivered before completion).
+	Epoch uint64
+	// Initiator is the member that turned the token to PREPARE.
+	Initiator ids.ProcID
+	// Vector holds, per ring position, the number of messages that
+	// member sent over the closing epoch. During PREPARE it fills up as
+	// the token travels; from SWITCH on it is complete.
+	Vector []uint64
+}
+
+// Encode marshals the token.
+func (t Token) Encode() []byte {
+	e := wire.NewEncoder(24 + 2*len(t.Vector))
+	e.U8(uint8(t.Mode)).Uvarint(t.Epoch).Proc(t.Initiator).Counts(t.Vector)
+	return e.Bytes()
+}
+
+// DecodeToken unmarshals a token.
+func DecodeToken(b []byte) (Token, error) {
+	d := wire.NewDecoder(b)
+	t := Token{
+		Mode:      Mode(d.U8()),
+		Epoch:     d.Uvarint(),
+		Initiator: d.Proc(),
+		Vector:    d.Counts(),
+	}
+	if err := d.Err(); err != nil {
+		return Token{}, fmt.Errorf("switching: decode token: %w", err)
+	}
+	if t.Mode < ModeNormal || t.Mode > ModeFlush {
+		return Token{}, fmt.Errorf("switching: invalid token mode %d", uint8(t.Mode))
+	}
+	return t, nil
+}

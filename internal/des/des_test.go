@@ -1,0 +1,227 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAfterOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestEqualTimesFIFOTieBreak(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO tie-break violated: order = %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	s := New(1)
+	fired := time.Duration(-1)
+	s.After(10*time.Millisecond, func() {
+		s.At(0, func() { fired = s.Now() })
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10*time.Millisecond {
+		t.Errorf("past event fired at %v, want 10ms", fired)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(-5*time.Second, func() { ran = true })
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || s.Now() != 0 {
+		t.Errorf("negative delay: ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	ran := false
+	tm := s.After(time.Millisecond, func() { ran = true })
+	if !tm.Active() {
+		t.Error("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Error("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("stopped timer fired")
+	}
+	if tm.Active() {
+		t.Error("stopped timer still active")
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	s := New(1)
+	tm := s.After(time.Millisecond, func() {})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire returned true")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() || nilTimer.Active() {
+		t.Error("nil timer misbehaved")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{5, 10, 15, 25} {
+		d := d * time.Millisecond
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(15 * time.Millisecond)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 15*time.Millisecond {
+		t.Errorf("Now = %v, want 15ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	// Advancing to an idle deadline moves the clock.
+	s.RunUntil(100 * time.Millisecond)
+	if s.Now() != 100*time.Millisecond || s.Pending() != 0 {
+		t.Errorf("after second RunUntil: now=%v pending=%d", s.Now(), s.Pending())
+	}
+}
+
+func TestRunEventBound(t *testing.T) {
+	s := New(1)
+	var tick func()
+	tick = func() { s.After(time.Millisecond, tick) }
+	s.After(time.Millisecond, tick)
+	if err := s.Run(100); err == nil {
+		t.Error("Run did not report exceeding the event bound")
+	}
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At(nil) did not panic")
+		}
+	}()
+	New(1).At(0, nil)
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var samples []int64
+		for i := 0; i < 5; i++ {
+			s.After(time.Duration(i)*time.Millisecond, func() {
+				samples = append(samples, s.Rand().Int63())
+			})
+		}
+		if err := s.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different executions")
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical random streams")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executed() != 7 {
+		t.Errorf("Executed = %d, want 7", s.Executed())
+	}
+}
+
+// Property: events always fire in non-decreasing time order, regardless
+// of the order they were scheduled in.
+func TestMonotonicFiringProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		var fired []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Microsecond
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		if err := s.Run(0); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	s := New(1)
+	tm := s.After(42*time.Millisecond, func() {})
+	if tm.When() != 42*time.Millisecond {
+		t.Errorf("When = %v, want 42ms", tm.When())
+	}
+}

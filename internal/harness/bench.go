@@ -1,0 +1,320 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/core/switching/swtest"
+	"repro/internal/des"
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/ptest"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/protocols/tokenorder"
+	"repro/internal/simnet"
+)
+
+// ProtocolKind selects one of the two total-order protocols of §7.
+type ProtocolKind int
+
+const (
+	// Sequencer is the centralized-sequencer protocol [8].
+	Sequencer ProtocolKind = iota + 1
+	// Token is the rotating-token protocol [4].
+	Token
+)
+
+// String renders the kind.
+func (k ProtocolKind) String() string {
+	switch k {
+	case Sequencer:
+		return "sequencer"
+	case Token:
+		return "token"
+	default:
+		return fmt.Sprintf("ProtocolKind(%d)", int(k))
+	}
+}
+
+// RunConfig parameterizes one measurement run. The defaults reproduce
+// the paper's §7 setup: a 10-member group on a 10 Mbit Ethernet with 50
+// messages per second per active sender.
+type RunConfig struct {
+	Seed          int64
+	Group         int
+	ActiveSenders int
+	// RatePerSender is messages per second per active sender.
+	RatePerSender float64
+	// MsgBytes is the application payload size.
+	MsgBytes int
+	// TokenHold is the token protocol's per-hop hold time.
+	TokenHold time.Duration
+	// Warmup is discarded; Measure is the sampled window; Drain lets
+	// in-flight messages land after sending stops.
+	Warmup, Measure, Drain time.Duration
+}
+
+// DefaultRunConfig returns the §7 parameters.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Seed:          1,
+		Group:         10,
+		ActiveSenders: 1,
+		RatePerSender: 50,
+		MsgBytes:      2240,
+		TokenHold:     time.Millisecond,
+		Warmup:        2 * time.Second,
+		Measure:       10 * time.Second,
+		Drain:         5 * time.Second,
+	}
+}
+
+func (rc RunConfig) withDefaults() RunConfig {
+	d := DefaultRunConfig()
+	if rc.Group <= 0 {
+		rc.Group = d.Group
+	}
+	if rc.ActiveSenders <= 0 {
+		rc.ActiveSenders = d.ActiveSenders
+	}
+	if rc.RatePerSender <= 0 {
+		rc.RatePerSender = d.RatePerSender
+	}
+	if rc.MsgBytes <= 0 {
+		rc.MsgBytes = d.MsgBytes
+	}
+	if rc.TokenHold <= 0 {
+		rc.TokenHold = d.TokenHold
+	}
+	if rc.Warmup <= 0 {
+		rc.Warmup = d.Warmup
+	}
+	if rc.Measure <= 0 {
+		rc.Measure = d.Measure
+	}
+	if rc.Drain <= 0 {
+		rc.Drain = d.Drain
+	}
+	return rc
+}
+
+// Layers builds the stack (top first) for one protocol kind.
+func Layers(kind ProtocolKind, tokenHold time.Duration) []proto.Layer {
+	switch kind {
+	case Sequencer:
+		return []proto.Layer{seqorder.New(0), fifo.New(fifo.Config{})}
+	case Token:
+		return []proto.Layer{tokenorder.New(tokenorder.Config{HoldDelay: tokenHold}), fifo.New(fifo.Config{})}
+	default:
+		panic(fmt.Sprintf("harness: unknown protocol kind %d", kind))
+	}
+}
+
+// Factories returns switching-protocol factories for [Sequencer, Token].
+func Factories(tokenHold time.Duration) []switching.ProtocolFactory {
+	return []switching.ProtocolFactory{
+		func(proto.Env) []proto.Layer { return Layers(Sequencer, tokenHold) },
+		func(proto.Env) []proto.Layer { return Layers(Token, tokenHold) },
+	}
+}
+
+// collector gathers latency samples from one group execution.
+type collector struct {
+	rc       RunConfig
+	sendTime map[ids.MsgID]time.Duration
+	samples  []time.Duration
+	// delivered counts all app-level deliveries (for throughput).
+	delivered uint64
+	// hook, if set, observes every delivery (used by the overhead
+	// experiment to find delivery gaps).
+	hook func(now time.Duration)
+}
+
+func newCollector(rc RunConfig) *collector {
+	return &collector{rc: rc, sendTime: make(map[ids.MsgID]time.Duration)}
+}
+
+// onDeliver records a sample for one delivery at virtual time now.
+func (c *collector) onDeliver(now time.Duration, id ids.MsgID) {
+	c.delivered++
+	if c.hook != nil {
+		c.hook(now)
+	}
+	sent, ok := c.sendTime[id]
+	if !ok {
+		return
+	}
+	if sent < c.rc.Warmup || sent >= c.rc.Warmup+c.rc.Measure {
+		return
+	}
+	c.samples = append(c.samples, now-sent)
+}
+
+// SetDeliveryHook installs an observer called on every app delivery.
+func (r *SwitchedRun) SetDeliveryHook(fn func(now time.Duration)) {
+	r.Collector.hook = fn
+}
+
+// senderSchedule installs the constant-rate senders on a simulator-side
+// cast function. Senders are phase-shifted so they do not fire in
+// lockstep, with small per-message jitter.
+func senderSchedule(rc RunConfig, now func() time.Duration, after func(time.Duration, func()), rnd func(int64) int64, cast func(p ids.ProcID, seq uint32)) {
+	interval := time.Duration(float64(time.Second) / rc.RatePerSender)
+	stopAt := rc.Warmup + rc.Measure
+	for s := 0; s < rc.ActiveSenders; s++ {
+		p := ids.ProcID(s)
+		phase := time.Duration(s) * interval / time.Duration(rc.ActiveSenders)
+		seq := uint32(0)
+		var tick func()
+		tick = func() {
+			if now() >= stopAt {
+				return
+			}
+			seq++
+			cast(p, seq)
+			jitter := time.Duration(rnd(int64(interval / 5)))
+			after(interval-interval/10+jitter, tick)
+		}
+		after(phase, tick)
+	}
+}
+
+// Result is the outcome of one measurement run.
+type Result struct {
+	Stats LatencyStats
+	// Sent is the number of messages cast in the measurement window.
+	Sent int
+	// Delivered is the number of app-level deliveries over the run.
+	Delivered uint64
+}
+
+// measuringApp returns an AppFactory that feeds the collector instead
+// of recording payloads.
+func measuringApp(col *collector) func(sim *des.Sim) proto.Up {
+	return func(sim *des.Sim) proto.Up {
+		return proto.UpFunc(func(src ids.ProcID, payload []byte) {
+			am, err := proto.DecodeApp(payload)
+			if err != nil {
+				return
+			}
+			col.onDeliver(sim.Now(), am.ID)
+		})
+	}
+}
+
+// RunDirect measures one protocol without the switching layer — the raw
+// curves of Figure 2.
+func RunDirect(kind ProtocolKind, rc RunConfig) (Result, error) {
+	rc = rc.withDefaults()
+	col := newCollector(rc)
+	app := measuringApp(col)
+	cluster, err := ptest.NewWithApp(rc.Seed, simnet.Ethernet10Mbit(rc.Group), rc.Group,
+		func(proto.Env) []proto.Layer { return Layers(kind, rc.TokenHold) },
+		func(_ *ptest.Member, sim *des.Sim) proto.Up { return app(sim) })
+	if err != nil {
+		return Result{}, err
+	}
+	body := make([]byte, rc.MsgBytes)
+	sent := 0
+	cast := func(p ids.ProcID, seq uint32) {
+		m := proto.AppMsg{ID: proto.MakeMsgID(p, seq), Sender: p, Body: body}
+		col.sendTime[m.ID] = cluster.Sim.Now()
+		if cluster.Sim.Now() >= rc.Warmup && cluster.Sim.Now() < rc.Warmup+rc.Measure {
+			sent++
+		}
+		if err := cluster.Members[p].Stack.Cast(m.Encode()); err != nil {
+			panic(err) // deterministic sim: a cast error is a bug
+		}
+	}
+	senderSchedule(rc, cluster.Sim.Now,
+		func(d time.Duration, fn func()) { cluster.Sim.After(d, fn) },
+		cluster.Sim.Rand().Int63n, cast)
+	cluster.Run(rc.Warmup + rc.Measure + rc.Drain)
+	cluster.Stop()
+	return Result{Stats: Summarize(col.samples), Sent: sent, Delivered: col.delivered}, nil
+}
+
+// SwitchedRun is a hybrid (switching) execution with measurement hooks.
+type SwitchedRun struct {
+	Cluster   *swtest.SwitchedCluster
+	Collector *collector
+	rc        RunConfig
+	body      []byte
+	seqs      []uint32
+	// SentInWindow counts casts inside the measurement window.
+	SentInWindow int
+}
+
+// NewSwitchedRun assembles a measuring hybrid cluster without starting
+// the workload (callers install oracles/controllers first).
+func NewSwitchedRun(rc RunConfig, swCfg switching.Config) (*SwitchedRun, error) {
+	rc = rc.withDefaults()
+	if swCfg.Protocols == nil {
+		swCfg.Protocols = Factories(rc.TokenHold)
+	}
+	col := newCollector(rc)
+	app := measuringApp(col)
+	cluster, err := swtest.NewSwitchedWithApp(rc.Seed, simnet.Ethernet10Mbit(rc.Group), rc.Group, swCfg,
+		func(_ *swtest.SwitchedMember, sim *des.Sim) proto.Up { return app(sim) })
+	if err != nil {
+		return nil, err
+	}
+	return &SwitchedRun{
+		Cluster:   cluster,
+		Collector: col,
+		rc:        rc,
+		body:      make([]byte, rc.MsgBytes),
+		seqs:      make([]uint32, rc.Group),
+	}, nil
+}
+
+// Cast sends one measured message from p.
+func (r *SwitchedRun) Cast(p ids.ProcID) {
+	r.seqs[p]++
+	m := proto.AppMsg{ID: proto.MakeMsgID(p, r.seqs[p]), Sender: p, Body: r.body}
+	now := r.Cluster.Sim.Now()
+	r.Collector.sendTime[m.ID] = now
+	if now >= r.rc.Warmup && now < r.rc.Warmup+r.rc.Measure {
+		r.SentInWindow++
+	}
+	if err := r.Cluster.Members[p].Switch.Cast(m.Encode()); err != nil {
+		panic(err) // deterministic sim: a cast error is a bug
+	}
+}
+
+// StartWorkload installs the §7 constant-rate senders.
+func (r *SwitchedRun) StartWorkload() {
+	senderSchedule(r.rc, r.Cluster.Sim.Now,
+		func(d time.Duration, fn func()) { r.Cluster.Sim.After(d, fn) },
+		r.Cluster.Sim.Rand().Int63n,
+		func(p ids.ProcID, _ uint32) { r.Cast(p) })
+}
+
+// Finish drives the run to completion and summarizes.
+func (r *SwitchedRun) Finish() Result {
+	r.Cluster.Run(r.rc.Warmup + r.rc.Measure + r.rc.Drain)
+	r.Cluster.Stop()
+	return Result{Stats: Summarize(r.Collector.samples), Sent: r.SentInWindow, Delivered: r.Collector.delivered}
+}
+
+// RunSwitched measures the hybrid: the switching protocol over both
+// total-order protocols, a controller polling the active-sender metric
+// through the given oracle.
+func RunSwitched(rc RunConfig, oracle switching.Oracle, pollEvery time.Duration) (Result, error) {
+	rc = rc.withDefaults()
+	run, err := NewSwitchedRun(rc, switching.Config{})
+	if err != nil {
+		return Result{}, err
+	}
+	metric := func() float64 { return float64(rc.ActiveSenders) }
+	if oracle != nil {
+		// The manager is member 0.
+		if _, err := switching.NewController(run.Cluster.Members[0].Switch, oracle, metric, pollEvery); err != nil {
+			return Result{}, err
+		}
+	}
+	run.StartWorkload()
+	return run.Finish(), nil
+}

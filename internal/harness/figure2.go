@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core/switching"
+)
+
+// Figure2Row is one x-axis point of the paper's Figure 2: message
+// latency vs. number of active senders, for the sequencer-based and
+// token-based total-order protocols (and, as our extension, the hybrid
+// running under the switching protocol with a threshold oracle).
+type Figure2Row struct {
+	ActiveSenders int
+	Sequencer     LatencyStats
+	Token         LatencyStats
+	// Hybrid is only filled when the experiment is run with
+	// IncludeHybrid.
+	Hybrid LatencyStats
+}
+
+// Figure2Result is the full reproduced figure.
+type Figure2Result struct {
+	Rows []Figure2Row
+	// CrossoverAfter is the largest sender count at which the sequencer
+	// is still faster (the paper finds the crossover between 5 and 6).
+	// Zero means the curves never cross.
+	CrossoverAfter int
+	IncludedHybrid bool
+}
+
+// Figure2Config parameterizes the sweep.
+type Figure2Config struct {
+	Run           RunConfig
+	MaxSenders    int
+	IncludeHybrid bool
+	// Progress, if set, is called before each point (for CLI feedback).
+	Progress func(msg string)
+}
+
+// DefaultFigure2Config mirrors §7: a 10-member group, 1..10 active
+// senders, 50 msgs/s each.
+func DefaultFigure2Config() Figure2Config {
+	return Figure2Config{Run: DefaultRunConfig(), MaxSenders: 10}
+}
+
+// RunFigure2 sweeps the active-sender axis and measures each protocol.
+func RunFigure2(cfg Figure2Config) (*Figure2Result, error) {
+	if cfg.MaxSenders <= 0 {
+		cfg.MaxSenders = 10
+	}
+	if cfg.MaxSenders > cfg.Run.withDefaults().Group {
+		return nil, fmt.Errorf("harness: %d senders exceed group size", cfg.MaxSenders)
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+	res := &Figure2Result{IncludedHybrid: cfg.IncludeHybrid}
+	for n := 1; n <= cfg.MaxSenders; n++ {
+		rc := cfg.Run
+		rc.ActiveSenders = n
+		progress(fmt.Sprintf("senders=%d sequencer", n))
+		seq, err := RunDirect(Sequencer, rc)
+		if err != nil {
+			return nil, err
+		}
+		progress(fmt.Sprintf("senders=%d token", n))
+		tok, err := RunDirect(Token, rc)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure2Row{ActiveSenders: n, Sequencer: seq.Stats, Token: tok.Stats}
+		if cfg.IncludeHybrid {
+			progress(fmt.Sprintf("senders=%d hybrid", n))
+			hyb, err := runHybridPoint(rc, res.CrossoverGuess())
+			if err != nil {
+				return nil, err
+			}
+			row.Hybrid = hyb.Stats
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.CrossoverAfter = res.computeCrossover()
+	return res, nil
+}
+
+// CrossoverGuess returns a working threshold for the hybrid's oracle
+// while the sweep is still running (defaults to the paper's 5.5).
+func (r *Figure2Result) CrossoverGuess() float64 {
+	if c := r.computeCrossover(); c > 0 {
+		return float64(c) + 0.5
+	}
+	return 5.5
+}
+
+// computeCrossover finds the last sender count where the sequencer's
+// mean latency is below the token's.
+func (r *Figure2Result) computeCrossover() int {
+	last := 0
+	for _, row := range r.Rows {
+		if row.Sequencer.Mean < row.Token.Mean {
+			last = row.ActiveSenders
+		}
+	}
+	if last == len(r.Rows) {
+		return 0 // never crossed
+	}
+	return last
+}
+
+// runHybridPoint measures the switching hybrid at a fixed load with a
+// threshold oracle at the crossover.
+func runHybridPoint(rc RunConfig, threshold float64) (Result, error) {
+	return RunSwitched(rc, switching.ThresholdOracle{Threshold: threshold}, 100*time.Millisecond)
+}
+
+// Render prints the figure as the table cmd/switchbench and
+// EXPERIMENTS.md use.
+func (r *Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — message latency (ms) vs. number of active senders\n")
+	b.WriteString("group=10, 50 msgs/s per sender, 2 KB messages, 10 Mbit/s shared medium\n\n")
+	fmt.Fprintf(&b, "%8s %12s %12s", "senders", "sequencer", "token")
+	if r.IncludedHybrid {
+		fmt.Fprintf(&b, " %12s", "hybrid")
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %12s %12s", row.ActiveSenders,
+			FormatMillis(row.Sequencer.Mean), FormatMillis(row.Token.Mean))
+		if r.IncludedHybrid {
+			fmt.Fprintf(&b, " %12s", FormatMillis(row.Hybrid.Mean))
+		}
+		b.WriteString("\n")
+	}
+	if r.CrossoverAfter > 0 {
+		fmt.Fprintf(&b, "\ncrossover: between %d and %d active senders (paper: between 5 and 6)\n",
+			r.CrossoverAfter, r.CrossoverAfter+1)
+	} else {
+		b.WriteString("\ncrossover: not observed in range\n")
+	}
+	b.WriteString("\n" + r.Plot())
+	return b.String()
+}
+
+// Plot renders a rough ASCII plot of the two curves (s = sequencer,
+// t = token, * = both).
+func (r *Figure2Result) Plot() string {
+	if len(r.Rows) == 0 {
+		return ""
+	}
+	const height = 12
+	maxMs := 0.0
+	for _, row := range r.Rows {
+		if v := Millis(row.Sequencer.Mean); v > maxMs {
+			maxMs = v
+		}
+		if v := Millis(row.Token.Mean); v > maxMs {
+			maxMs = v
+		}
+	}
+	if maxMs <= 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(r.Rows)*3))
+	}
+	put := func(col int, ms float64, ch byte) {
+		rowIdx := int((ms / maxMs) * float64(height-1))
+		if rowIdx > height-1 {
+			rowIdx = height - 1
+		}
+		y := height - 1 - rowIdx
+		x := col*3 + 1
+		if grid[y][x] != ' ' && grid[y][x] != ch {
+			grid[y][x] = '*'
+			return
+		}
+		grid[y][x] = ch
+	}
+	for i, row := range r.Rows {
+		put(i, Millis(row.Sequencer.Mean), 's')
+		put(i, Millis(row.Token.Mean), 't')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency 0..%.0fms (s=sequencer, t=token, *=both)\n", maxMs)
+	for _, line := range grid {
+		b.WriteString("| " + string(line) + "\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", len(r.Rows)*3+1) + "\n  ")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-3d", row.ActiveSenders)
+	}
+	b.WriteString(" active senders\n")
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/ids"
+)
+
+// HysteresisResult reproduces §7's oscillation observation: "if
+// switching too aggressively, the resulting protocol starts
+// oscillating. If we make our protocol less aggressive (by adding a
+// hysteresis)" the oscillation disappears. The experiment ramps the
+// offered load back and forth across the crossover and counts switches
+// under a bare threshold oracle vs. a hysteresis oracle.
+type HysteresisResult struct {
+	Policy string
+	// SwitchRequests is how often the controller asked for a switch.
+	SwitchRequests uint64
+	// SwitchesCompleted is how many switches actually ran (member 0).
+	SwitchesCompleted uint64
+	// MeanLatency is the app-level mean latency over the run.
+	MeanLatency time.Duration
+}
+
+// HysteresisConfig parameterizes the oscillation experiment.
+type HysteresisConfig struct {
+	Run RunConfig
+	// LoadPeriod is how long the load stays at each level of the ramp.
+	LoadPeriod time.Duration
+	// Levels is the repeating active-sender ramp. The default hovers
+	// around the crossover (paper: between 5 and 6).
+	Levels []int
+	// Threshold is the aggressive oracle's cut-over; Low/High the
+	// hysteresis band.
+	Threshold float64
+	Low, High float64
+	// PollEvery is the controller's metric sampling interval.
+	PollEvery time.Duration
+}
+
+// DefaultHysteresisConfig hovers the load around the crossover.
+func DefaultHysteresisConfig() HysteresisConfig {
+	rc := DefaultRunConfig()
+	rc.Measure = 16 * time.Second
+	return HysteresisConfig{
+		Run:        rc,
+		LoadPeriod: 2 * time.Second,
+		Levels:     []int{5, 6, 5, 6, 5, 6, 5, 6},
+		Threshold:  5.5,
+		// Switch up at the crossover, but only switch back once the
+		// load has clearly receded: the asymmetric band is what stops
+		// a load hovering at the crossover from flapping the protocol.
+		Low:       3.5,
+		High:      5.5,
+		PollEvery: 100 * time.Millisecond,
+	}
+}
+
+// RunHysteresis runs the ramp under one oracle and reports oscillation
+// and latency.
+func RunHysteresis(cfg HysteresisConfig, oracle switching.Oracle, policy string) (*HysteresisResult, error) {
+	rc := cfg.Run.withDefaults()
+	run, err := NewSwitchedRun(rc, switching.Config{})
+	if err != nil {
+		return nil, err
+	}
+	sim := run.Cluster.Sim
+
+	// The time-varying load: level changes every LoadPeriod.
+	level := func() int {
+		if len(cfg.Levels) == 0 {
+			return rc.ActiveSenders
+		}
+		idx := int(sim.Now()/cfg.LoadPeriod) % len(cfg.Levels)
+		return cfg.Levels[idx]
+	}
+	// Per-sender constant-rate ticks, active only while the ramp level
+	// includes the sender.
+	interval := time.Duration(float64(time.Second) / rc.RatePerSender)
+	stopAt := rc.Warmup + rc.Measure
+	for s := 0; s < rc.Group; s++ {
+		p := ids.ProcID(s)
+		var tick func()
+		tick = func() {
+			if sim.Now() >= stopAt {
+				return
+			}
+			if int(p) < level() {
+				run.Cast(p)
+			}
+			sim.After(interval, tick)
+		}
+		sim.After(time.Duration(s)*interval/time.Duration(rc.Group), tick)
+	}
+
+	ctrl, err := switching.NewController(run.Cluster.Members[0].Switch, oracle,
+		func() float64 { return float64(level()) }, cfg.PollEvery)
+	if err != nil {
+		return nil, err
+	}
+	res := run.Finish()
+	return &HysteresisResult{
+		Policy:            policy,
+		SwitchRequests:    ctrl.SwitchRequests,
+		SwitchesCompleted: run.Cluster.Members[0].Switch.Stats().SwitchesCompleted,
+		MeanLatency:       res.Stats.Mean,
+	}, nil
+}
+
+// RunHysteresisComparison runs the ramp under both policies.
+func RunHysteresisComparison(cfg HysteresisConfig) ([]HysteresisResult, error) {
+	aggressive, err := RunHysteresis(cfg, switching.ThresholdOracle{Threshold: cfg.Threshold}, "threshold (aggressive)")
+	if err != nil {
+		return nil, err
+	}
+	h, err := switching.NewHysteresisOracle(cfg.Low, cfg.High)
+	if err != nil {
+		return nil, err
+	}
+	damped, err := RunHysteresis(cfg, h, "hysteresis")
+	if err != nil {
+		return nil, err
+	}
+	return []HysteresisResult{*aggressive, *damped}, nil
+}
+
+// RenderHysteresis prints the comparison.
+func RenderHysteresis(rows []HysteresisResult) string {
+	var b strings.Builder
+	b.WriteString("Oscillation study (§7): load ramping 5↔6 senders across the crossover\n\n")
+	fmt.Fprintf(&b, "%-24s %10s %10s %12s\n", "policy", "requests", "switches", "latency(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %10d %10d %12s\n",
+			r.Policy, r.SwitchRequests, r.SwitchesCompleted, FormatMillis(r.MeanLatency))
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core/switching"
+)
+
+// OverheadResult reproduces the §7 switching-overhead measurement: near
+// the Figure 2 crossover, the paper reports a switch overhead of about
+// 31 ms, dominated by waiting for the (high-latency) old protocol's
+// in-flight messages — while the *perceived* hiccup is often less,
+// because processes are never blocked from sending.
+type OverheadResult struct {
+	ActiveSenders int
+	// SwitchDuration is the initiator's PREPARE→FLUSH-return time.
+	SwitchDuration time.Duration
+	// Hiccup is the worst app-level delivery gap during the switch,
+	// minus the typical (median) steady-state gap.
+	Hiccup time.Duration
+	// SteadyGap is the median inter-delivery gap before the switch.
+	SteadyGap time.Duration
+	// From names the protocol being switched away from.
+	From ProtocolKind
+}
+
+// OverheadConfig parameterizes the experiment.
+type OverheadConfig struct {
+	Run RunConfig
+	// From selects the old protocol (the one whose latency dominates
+	// the overhead). The new protocol is the other one.
+	From ProtocolKind
+	// SwitchAt is when the switch is requested.
+	SwitchAt time.Duration
+}
+
+// DefaultOverheadConfig switches away from the token protocol (the
+// high-latency direction §7 warns about) at the crossover load.
+func DefaultOverheadConfig() OverheadConfig {
+	rc := DefaultRunConfig()
+	rc.ActiveSenders = 5
+	rc.Measure = 6 * time.Second
+	return OverheadConfig{Run: rc, From: Token, SwitchAt: rc.Warmup + 2*time.Second}
+}
+
+// RunOverhead measures one switch under load.
+func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
+	rc := cfg.Run.withDefaults()
+	protos := Factories(rc.TokenHold)
+	if cfg.From == Token {
+		protos[0], protos[1] = protos[1], protos[0]
+	}
+	var rec *switching.Record
+	swCfg := switching.Config{
+		Protocols:        protos,
+		OnSwitchComplete: func(r switching.Record) { rec = &r },
+	}
+	run, err := NewSwitchedRun(rc, swCfg)
+	if err != nil {
+		return nil, err
+	}
+	// Record the group-wide app-delivery timeline to find the hiccup.
+	var deliveries []time.Duration
+	run.SetDeliveryHook(func(now time.Duration) { deliveries = append(deliveries, now) })
+	run.Cluster.Sim.At(cfg.SwitchAt, func() {
+		run.Cluster.Members[0].Switch.RequestSwitch()
+	})
+	run.StartWorkload()
+	run.Finish()
+	if rec == nil {
+		return nil, fmt.Errorf("harness: the switch never completed")
+	}
+	steady, hiccup := analyzeGaps(deliveries, cfg.SwitchAt, rec)
+	return &OverheadResult{
+		ActiveSenders:  rc.ActiveSenders,
+		SwitchDuration: rec.Duration(),
+		Hiccup:         hiccup,
+		SteadyGap:      steady,
+		From:           cfg.From,
+	}, nil
+}
+
+// analyzeGaps returns the median steady-state delivery gap before the
+// switch and the hiccup (worst gap overlapping the switch window minus
+// the steady gap; never negative).
+func analyzeGaps(ts []time.Duration, switchAt time.Duration, rec *switching.Record) (steady, hiccup time.Duration) {
+	var preGaps []time.Duration
+	var worst time.Duration
+	windowEnd := rec.Finished + 50*time.Millisecond
+	for i := 1; i < len(ts); i++ {
+		gap := ts[i] - ts[i-1]
+		switch {
+		case ts[i] < switchAt:
+			preGaps = append(preGaps, gap)
+		case ts[i-1] >= rec.Started && ts[i-1] <= windowEnd:
+			if gap > worst {
+				worst = gap
+			}
+		}
+	}
+	if len(preGaps) == 0 {
+		return 0, worst
+	}
+	sort.Slice(preGaps, func(i, j int) bool { return preGaps[i] < preGaps[j] })
+	steady = preGaps[len(preGaps)/2]
+	hiccup = worst - steady
+	if hiccup < 0 {
+		hiccup = 0
+	}
+	return steady, hiccup
+}
+
+// Render prints the overhead result.
+func (r *OverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Switching overhead near the crossover (§7; paper: ~31 ms)\n\n")
+	fmt.Fprintf(&b, "active senders:        %d\n", r.ActiveSenders)
+	fmt.Fprintf(&b, "switching away from:   %v\n", r.From)
+	fmt.Fprintf(&b, "switch duration:       %s ms\n", FormatMillis(r.SwitchDuration))
+	fmt.Fprintf(&b, "steady delivery gap:   %s ms\n", FormatMillis(r.SteadyGap))
+	fmt.Fprintf(&b, "perceived hiccup:      %s ms (senders are never blocked)\n", FormatMillis(r.Hiccup))
+	return b.String()
+}
+
+// RunOverheadSweep measures the switch duration in both directions and
+// across sender counts — the ablation for DESIGN.md §5 ("the overhead
+// of switching depends on the latency of the protocol being switched
+// away from").
+func RunOverheadSweep(base OverheadConfig, senders []int) ([]OverheadResult, error) {
+	var out []OverheadResult
+	for _, n := range senders {
+		for _, from := range []ProtocolKind{Sequencer, Token} {
+			cfg := base
+			cfg.Run.ActiveSenders = n
+			cfg.From = from
+			r, err := RunOverhead(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("senders=%d from=%v: %w", n, from, err)
+			}
+			out = append(out, *r)
+		}
+	}
+	return out, nil
+}
+
+// RenderOverheadSweep prints the sweep as a table.
+func RenderOverheadSweep(rows []OverheadResult) string {
+	var b strings.Builder
+	b.WriteString("Switch overhead sweep: duration(ms)/hiccup(ms) by old protocol\n\n")
+	fmt.Fprintf(&b, "%8s %18s %18s\n", "senders", "from sequencer", "from token")
+	bySenders := map[int]map[ProtocolKind]OverheadResult{}
+	var order []int
+	for _, r := range rows {
+		if bySenders[r.ActiveSenders] == nil {
+			bySenders[r.ActiveSenders] = map[ProtocolKind]OverheadResult{}
+			order = append(order, r.ActiveSenders)
+		}
+		bySenders[r.ActiveSenders][r.From] = r
+	}
+	sort.Ints(order)
+	for _, n := range order {
+		s := bySenders[n][Sequencer]
+		t := bySenders[n][Token]
+		fmt.Fprintf(&b, "%8d %11s/%-6s %11s/%-6s\n", n,
+			FormatMillis(s.SwitchDuration), FormatMillis(s.Hiccup),
+			FormatMillis(t.SwitchDuration), FormatMillis(t.Hiccup))
+	}
+	return b.String()
+}

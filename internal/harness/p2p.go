@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/protocols/arq"
+	"repro/internal/protocols/ptest"
+	"repro/internal/simnet"
+)
+
+// E11: the §1 point-to-point specialization. This experiment compares
+// the three classic ARQ protocols (stop-and-wait, go-back-N, selective
+// repeat) over contrasting links — the p2p analogue of Figure 2's
+// trade-off table.
+
+// ARQKind selects a link protocol.
+type ARQKind int
+
+const (
+	// StopWait is the window-1 protocol.
+	StopWait ARQKind = iota + 1
+	// GoBackN is the cumulative-ack sliding window.
+	GoBackN
+	// SelectiveRepeat is the per-frame-ack sliding window.
+	SelectiveRepeat
+)
+
+// String renders the kind.
+func (k ARQKind) String() string {
+	switch k {
+	case StopWait:
+		return "stop-and-wait"
+	case GoBackN:
+		return "go-back-N"
+	case SelectiveRepeat:
+		return "selective-repeat"
+	default:
+		return fmt.Sprintf("ARQKind(%d)", int(k))
+	}
+}
+
+// arqStats abstracts the two stats-bearing layer families.
+type arqStats interface{ Stats() arq.Stats }
+
+// newARQ builds one layer of the given kind.
+func newARQ(kind ARQKind, window int, timeout time.Duration) (proto.Layer, arqStats, error) {
+	switch kind {
+	case StopWait:
+		l := arq.NewStopAndWait(timeout)
+		return l, l, nil
+	case GoBackN:
+		l := arq.NewGoBackN(window, timeout)
+		return l, l, nil
+	case SelectiveRepeat:
+		l := arq.NewSelectiveRepeat(window, timeout)
+		return l, l, nil
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown ARQ kind %d", kind)
+	}
+}
+
+// P2PConfig parameterizes one link measurement.
+type P2PConfig struct {
+	Seed     int64
+	Link     simnet.Config // must have Nodes == 2
+	Window   int
+	Timeout  time.Duration
+	Offered  int // frames offered as fast as the window admits
+	MsgBytes int
+	RunFor   time.Duration
+}
+
+// DefaultP2PConfig returns the E11 parameters.
+func DefaultP2PConfig() P2PConfig {
+	return P2PConfig{
+		Seed:     1,
+		Link:     simnet.Config{Nodes: 2, PropDelay: 10 * time.Millisecond},
+		Window:   16,
+		Timeout:  30 * time.Millisecond,
+		Offered:  200,
+		MsgBytes: 256,
+		RunFor:   time.Second,
+	}
+}
+
+// P2PResult is one (link, protocol) measurement.
+type P2PResult struct {
+	Kind        ARQKind
+	Delivered   int
+	Retransmits uint64
+	AcksSent    uint64
+}
+
+// RunP2P measures one ARQ protocol on one link.
+func RunP2P(kind ARQKind, cfg P2PConfig) (*P2PResult, error) {
+	if cfg.Link.Nodes != 2 {
+		return nil, fmt.Errorf("harness: p2p needs exactly 2 nodes, got %d", cfg.Link.Nodes)
+	}
+	if _, _, err := newARQ(kind, cfg.Window, cfg.Timeout); err != nil {
+		return nil, err // validate the kind before the factory can panic
+	}
+	var stats arqStats
+	cluster, err := ptest.New(cfg.Seed, cfg.Link, 2, func(env proto.Env) []proto.Layer {
+		l, s, err := newARQ(kind, cfg.Window, cfg.Timeout)
+		if err != nil {
+			panic(err) // unreachable: kind validated above
+		}
+		if env.Self() == 0 {
+			stats = s
+		}
+		return []proto.Layer{l}
+	})
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, cfg.MsgBytes)
+	for i := 0; i < cfg.Offered; i++ {
+		if err := cluster.Members[0].Stack.Send(1, payload); err != nil {
+			return nil, err
+		}
+	}
+	cluster.Run(cfg.RunFor)
+	res := &P2PResult{
+		Kind:        kind,
+		Delivered:   len(cluster.Members[1].Delivered),
+		Retransmits: stats.Stats().Retransmits,
+		AcksSent:    stats.Stats().AcksSent,
+	}
+	cluster.Stop()
+	return res, nil
+}
+
+// P2PTable runs all three protocols over the fat-pipe and lossy links
+// and renders the E11 table.
+func P2PTable(base P2PConfig) (string, error) {
+	links := []struct {
+		name string
+		cfg  simnet.Config
+	}{
+		{"fat-pipe (10ms RTT/2)", simnet.Config{Nodes: 2, PropDelay: 10 * time.Millisecond}},
+		{"lossy (15% drop)", simnet.Config{Nodes: 2, PropDelay: 2 * time.Millisecond, DropProb: 0.15}},
+	}
+	var b strings.Builder
+	b.WriteString("E11 — point-to-point specialization (§1): throughput and waste per link\n\n")
+	fmt.Fprintf(&b, "%-22s %-18s %12s %12s\n", "link", "protocol", "delivered/s", "retransmits")
+	for _, link := range links {
+		for _, kind := range []ARQKind{StopWait, GoBackN, SelectiveRepeat} {
+			cfg := base
+			cfg.Link = link.cfg
+			res, err := RunP2P(kind, cfg)
+			if err != nil {
+				return "", err
+			}
+			perSec := float64(res.Delivered) / base.RunFor.Seconds()
+			fmt.Fprintf(&b, "%-22s %-18s %12.0f %12d\n", link.name, res.Kind, perSec, res.Retransmits)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,68 @@
+// Package harness drives the paper's evaluation (§7): workload
+// generation, latency measurement, and the experiment loops that
+// regenerate Figure 2, the switching-overhead measurement, and the
+// oscillation/hysteresis study. See DESIGN.md §4 for the experiment
+// index.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyStats summarizes a sample of delivery latencies.
+type LatencyStats struct {
+	Count         int
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+}
+
+// Summarize computes statistics over a latency sample. It returns the
+// zero value for an empty sample.
+func Summarize(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, s := range sorted {
+		sum += float64(s)
+	}
+	pct := func(p float64) time.Duration {
+		if len(sorted) == 1 {
+			return sorted[0]
+		}
+		idx := p / 100 * float64(len(sorted)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		if lo == hi {
+			return sorted[lo]
+		}
+		frac := idx - float64(lo)
+		return time.Duration(float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac)
+	}
+	return LatencyStats{
+		Count: len(sorted),
+		Mean:  time.Duration(sum / float64(len(sorted))),
+		P50:   pct(50),
+		P95:   pct(95),
+		P99:   pct(99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Millis renders a duration as fractional milliseconds (the unit of the
+// paper's Figure 2 axis).
+func Millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// FormatMillis renders a duration as e.g. "12.3".
+func FormatMillis(d time.Duration) string {
+	return fmt.Sprintf("%.1f", Millis(d))
+}

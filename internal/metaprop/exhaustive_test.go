@@ -1,0 +1,139 @@
+package metaprop
+
+import (
+	"testing"
+
+	"repro/internal/property"
+)
+
+func propByName(t *testing.T, name string) property.Property {
+	t.Helper()
+	for _, p := range append(property.Table1(2), property.Extensions(2)...) {
+		if p.Name() == name {
+			return p
+		}
+	}
+	t.Fatalf("no property %q", name)
+	return nil
+}
+
+func relByName(t *testing.T, name string, procs int) Relation {
+	t.Helper()
+	for _, r := range Relations(procs) {
+		if r.Name() == name {
+			return r
+		}
+	}
+	t.Fatalf("no relation %q", name)
+	return nil
+}
+
+// TestEnumFindsKnownViolations: the bounded-exhaustive search must
+// rediscover every relation-based ✗ cell, with small universes.
+func TestEnumFindsKnownViolations(t *testing.T) {
+	cases := []struct {
+		prop, rel string
+		cfg       EnumConfig
+	}{
+		{"Reliability", "Safety", EnumConfig{Procs: 2, Messages: 1, MaxLen: 4}},
+		{"Reliability", "Send Enabled", EnumConfig{Procs: 2, Messages: 1, MaxLen: 3}},
+		{"Prioritized Delivery", "Asynchronous", EnumConfig{Procs: 2, Messages: 1, MaxLen: 3}},
+		// Amoeba and Every-Second need several messages from one sender:
+		// in the universe, process 0 sends messages 2, 3, 4 and 5.
+		{"Amoeba", "Delayable", EnumConfig{Procs: 2, Messages: 5, MaxLen: 3}},
+		{"Amoeba", "Send Enabled", EnumConfig{Procs: 2, Messages: 1, MaxLen: 2}},
+		{"Virtual Synchrony", "Memoryless", EnumConfig{Procs: 2, Messages: 4, MaxLen: 5}},
+		{"Every Second Delivered", "Safety", EnumConfig{Procs: 2, Messages: 5, MaxLen: 4}},
+		{"Every Second Delivered", "Send Enabled", EnumConfig{Procs: 2, Messages: 2, MaxLen: 2}},
+		{"Every Second Delivered", "Memoryless", EnumConfig{Procs: 2, Messages: 5, MaxLen: 5}},
+		{"Causal Order", "Delayable", EnumConfig{Procs: 2, Messages: 2, MaxLen: 6}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.prop+"×"+tc.rel, func(t *testing.T) {
+			p := propByName(t, tc.prop)
+			r := relByName(t, tc.rel, tc.cfg.Procs)
+			cex, err := EnumCheck(p, r, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cex == nil {
+				t.Fatalf("bounded-exhaustive search missed the known %s × %s violation", tc.prop, tc.rel)
+			}
+			// The counterexample must be genuine.
+			if !p.Holds(cex.Below) || p.Holds(cex.Above) {
+				t.Fatalf("bogus counterexample:\n%v", cex)
+			}
+		})
+	}
+}
+
+// TestEnumProvesPreservationUpToBound: ✓ cells survive the exhaustive
+// sweep — a bounded proof, not a sample.
+func TestEnumProvesPreservationUpToBound(t *testing.T) {
+	cfg := EnumConfig{Procs: 2, Messages: 2, MaxLen: 5}
+	cases := []struct{ prop, rel string }{
+		{"Total Order", "Safety"},
+		{"Total Order", "Asynchronous"},
+		{"Total Order", "Delayable"},
+		{"Total Order", "Memoryless"},
+		{"Integrity", "Asynchronous"},
+		{"Confidentiality", "Memoryless"},
+		{"No Replay", "Memoryless"},
+		{"Prioritized Delivery", "Safety"},
+		{"Amoeba", "Asynchronous"},
+		{"Reliability", "Delayable"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.prop+"×"+tc.rel, func(t *testing.T) {
+			p := propByName(t, tc.prop)
+			r := relByName(t, tc.rel, cfg.Procs)
+			cex, err := EnumCheck(p, r, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cex != nil {
+				t.Fatalf("unexpected counterexample for a ✓ cell:\n%v", cex)
+			}
+		})
+	}
+}
+
+func TestEnumComposable(t *testing.T) {
+	cfg := EnumConfig{Procs: 2, Messages: 2, MaxLen: 3}
+	// ✗ cells found…
+	for _, name := range []string{"No Replay", "Amoeba", "Every Second Delivered"} {
+		p := propByName(t, name)
+		cex, err := EnumCheckComposable(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cex == nil {
+			t.Errorf("composable violation for %s not found", name)
+			continue
+		}
+		if !p.Holds(cex.Below) || !p.Holds(cex.Extra) || p.Holds(cex.Above) {
+			t.Errorf("bogus composable counterexample for %s", name)
+		}
+	}
+	// …and a ✓ cell proven up to the bound.
+	p := propByName(t, "Total Order")
+	cex, err := EnumCheckComposable(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Errorf("Total Order composability broken by:\n%v", cex)
+	}
+}
+
+func TestEnumConfigValidation(t *testing.T) {
+	p := propByName(t, "Total Order")
+	if _, err := EnumCheck(p, Safety{}, EnumConfig{}); err == nil {
+		t.Error("degenerate config accepted")
+	}
+	if _, err := EnumCheckComposable(p, EnumConfig{}); err == nil {
+		t.Error("degenerate config accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package metaprop
+
+import "testing"
+
+// TestExhaustiveMatrixMatchesFalsifier: both verification strategies
+// must agree on every cell, including the extension rows.
+func TestExhaustiveMatrixMatchesFalsifier(t *testing.T) {
+	exact, err := ComputeExhaustive(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := ComputeWithExtensions(Checker{Trials: 150, Seed: 7}, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prop := range exact.Order {
+		for _, meta := range exact.Metas {
+			a, err := exact.Preserved(prop, meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sampled.Preserved(prop, meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("%s × %s: exhaustive=%v falsifier=%v", prop, meta, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package metaprop
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ids"
+	"repro/internal/property"
+	"repro/internal/trace"
+)
+
+// Generator produces random traces satisfying one property — the
+// P(tr_below) premise of Equation 1. Generators aim to produce traces
+// "at risk": shaped so that a relation that does NOT preserve the
+// property has a real chance of breaking it.
+type Generator func(rng *rand.Rand) trace.Trace
+
+// GenConfig fixes the population and conventional parameters shared
+// with property.Table1: n processes, 0..n-2 trusted, master 0, initial
+// view = everyone.
+type GenConfig struct {
+	Procs    int
+	Messages int
+}
+
+// DefaultGenConfig returns the population used by the Table 2
+// computation.
+func DefaultGenConfig() GenConfig { return GenConfig{Procs: 4, Messages: 8} }
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Procs < 2 {
+		c.Procs = 4
+	}
+	if c.Messages <= 0 {
+		c.Messages = 8
+	}
+	return c
+}
+
+// randProc draws a process.
+func randProc(rng *rand.Rand, n int) ids.ProcID { return ids.ProcID(rng.Intn(n)) }
+
+// GenTotalOrder emits a global message order; every process delivers a
+// random subsequence of it, so any two processes agree on common
+// messages. Sends are sprinkled in (Total Order ignores them, but the
+// Delayable/Send-Enabled relations need material to act on).
+func (c GenConfig) GenTotalOrder(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	msgs := make([]trace.Message, c.Messages)
+	for i := range msgs {
+		msgs[i] = trace.Message{
+			ID:     ids.MsgID(i + 1),
+			Sender: randProc(rng, c.Procs),
+			Body:   fmt.Sprintf("b%d", i),
+		}
+	}
+	var tr trace.Trace
+	for _, m := range msgs {
+		tr = append(tr, trace.Send(m))
+	}
+	for p := 0; p < c.Procs; p++ {
+		for _, m := range msgs {
+			if rng.Float64() < 0.7 {
+				tr = append(tr, trace.Deliver(ids.ProcID(p), m))
+			}
+		}
+	}
+	// Interleave across processes: shuffle deliveries while preserving
+	// each process's internal order (riffle by random take).
+	return riffleDeliveries(rng, tr, len(msgs))
+}
+
+// riffleDeliveries randomly interleaves the per-process delivery runs
+// that follow the first nSends events, preserving each process's order.
+func riffleDeliveries(rng *rand.Rand, tr trace.Trace, nSends int) trace.Trace {
+	head := tr[:nSends].Clone()
+	tail := tr[nSends:]
+	perProc := make(map[ids.ProcID][]trace.Event)
+	var order []ids.ProcID
+	for _, e := range tail {
+		p := e.Proc()
+		if perProc[p] == nil {
+			order = append(order, p)
+		}
+		perProc[p] = append(perProc[p], e.Clone())
+	}
+	out := head
+	for {
+		var nonEmpty []ids.ProcID
+		for _, p := range order {
+			if len(perProc[p]) > 0 {
+				nonEmpty = append(nonEmpty, p)
+			}
+		}
+		if len(nonEmpty) == 0 {
+			break
+		}
+		p := nonEmpty[rng.Intn(len(nonEmpty))]
+		out = append(out, perProc[p][0])
+		perProc[p] = perProc[p][1:]
+	}
+	return out
+}
+
+// GenReliable emits sends followed by a delivery of every message at
+// every process, in per-process random order.
+func (c GenConfig) GenReliable(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	var tr trace.Trace
+	msgs := make([]trace.Message, c.Messages)
+	for i := range msgs {
+		msgs[i] = trace.Message{
+			ID:     ids.MsgID(i + 1),
+			Sender: randProc(rng, c.Procs),
+			Body:   fmt.Sprintf("b%d", i),
+		}
+		tr = append(tr, trace.Send(msgs[i]))
+	}
+	for p := 0; p < c.Procs; p++ {
+		perm := rng.Perm(len(msgs))
+		for _, i := range perm {
+			tr = append(tr, trace.Deliver(ids.ProcID(p), msgs[i]))
+		}
+	}
+	return riffleDeliveries(rng, tr, len(msgs))
+}
+
+// GenIntegrity emits deliveries whose senders are all trusted
+// (processes 0..n-2).
+func (c GenConfig) GenIntegrity(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	var tr trace.Trace
+	for i := 0; i < c.Messages; i++ {
+		m := trace.Message{
+			ID:     ids.MsgID(i + 1),
+			Sender: ids.ProcID(rng.Intn(c.Procs - 1)), // trusted only
+			Body:   fmt.Sprintf("b%d", i),
+		}
+		tr = append(tr, trace.Send(m))
+		for p := 0; p < c.Procs; p++ {
+			if rng.Float64() < 0.6 {
+				tr = append(tr, trace.Deliver(ids.ProcID(p), m))
+			}
+		}
+	}
+	return tr
+}
+
+// GenConfidential emits trusted traffic delivered only to trusted
+// processes, and untrusted traffic anywhere.
+func (c GenConfig) GenConfidential(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	untrusted := ids.ProcID(c.Procs - 1)
+	var tr trace.Trace
+	for i := 0; i < c.Messages; i++ {
+		sender := randProc(rng, c.Procs)
+		m := trace.Message{ID: ids.MsgID(i + 1), Sender: sender, Body: fmt.Sprintf("b%d", i)}
+		tr = append(tr, trace.Send(m))
+		for p := 0; p < c.Procs; p++ {
+			dst := ids.ProcID(p)
+			if sender != untrusted && dst == untrusted {
+				continue // trusted traffic never reaches the untrusted
+			}
+			if rng.Float64() < 0.6 {
+				tr = append(tr, trace.Deliver(dst, m))
+			}
+		}
+	}
+	return tr
+}
+
+// GenNoReplay emits deliveries where each process sees each body at most
+// once — but bodies deliberately collide across processes and messages.
+func (c GenConfig) GenNoReplay(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	var tr trace.Trace
+	seen := make(map[string]map[ids.ProcID]bool)
+	for i := 0; i < c.Messages; i++ {
+		body := randBody(rng) // tiny alphabet: collisions guaranteed
+		m := trace.Message{ID: ids.MsgID(i + 1), Sender: randProc(rng, c.Procs), Body: body}
+		tr = append(tr, trace.Send(m))
+		if seen[body] == nil {
+			seen[body] = make(map[ids.ProcID]bool)
+		}
+		for p := 0; p < c.Procs; p++ {
+			dst := ids.ProcID(p)
+			if seen[body][dst] {
+				continue
+			}
+			if rng.Float64() < 0.5 {
+				seen[body][dst] = true
+				tr = append(tr, trace.Deliver(dst, m))
+			}
+		}
+	}
+	return tr
+}
+
+// GenPrioritized emits deliveries where the master (process 0) always
+// delivers first, with other processes' deliveries often adjacent to the
+// master's — the at-risk shape for the Asynchrony relation.
+func (c GenConfig) GenPrioritized(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	var tr trace.Trace
+	for i := 0; i < c.Messages; i++ {
+		m := trace.Message{ID: ids.MsgID(i + 1), Sender: randProc(rng, c.Procs), Body: fmt.Sprintf("b%d", i)}
+		tr = append(tr, trace.Send(m))
+		tr = append(tr, trace.Deliver(0, m))
+		for p := 1; p < c.Procs; p++ {
+			if rng.Float64() < 0.7 {
+				tr = append(tr, trace.Deliver(ids.ProcID(p), m))
+			}
+		}
+	}
+	return tr
+}
+
+// GenAmoeba emits per-process disciplined send/deliver chains: a
+// process's own delivery is immediately followed by its next send — the
+// at-risk adjacency for the Delayable relation.
+func (c GenConfig) GenAmoeba(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	var tr trace.Trace
+	id := uint64(1)
+	for p := 0; p < c.Procs && id <= uint64(c.Messages); p++ {
+		chain := 1 + rng.Intn(3)
+		for k := 0; k < chain && id <= uint64(c.Messages); k++ {
+			m := trace.Message{ID: ids.MsgID(id), Sender: ids.ProcID(p), Body: fmt.Sprintf("b%d", id)}
+			id++
+			tr = append(tr, trace.Send(m))
+			// Other processes may deliver in between.
+			for q := 0; q < c.Procs; q++ {
+				if q != p && rng.Float64() < 0.4 {
+					tr = append(tr, trace.Deliver(ids.ProcID(q), m))
+				}
+			}
+			// The final send of a chain may be left outstanding — still
+			// legal ("awaiting" is not a violation), but it makes
+			// concatenation hazardous, which is the point of §6.2.
+			if k == chain-1 && rng.Float64() < 0.3 {
+				break
+			}
+			tr = append(tr, trace.Deliver(ids.ProcID(p), m)) // own delivery unblocks
+		}
+	}
+	return tr
+}
+
+// GenVSync emits a totally-ordered execution with view changes that
+// exclude and re-admit the last process; data senders are always in the
+// current view. Erasing a re-admitting view message (the Memoryless
+// relation) is exactly what breaks it.
+func (c GenConfig) GenVSync(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	all := ids.Procs(c.Procs)
+	small := all[:c.Procs-1]
+	var tr trace.Trace
+	id := uint64(1)
+	cur := all
+	var global []trace.Message
+	for i := 0; i < c.Messages; i++ {
+		if rng.Float64() < 0.3 {
+			// Toggle the view between full and reduced membership.
+			var next []ids.ProcID
+			if len(cur) == len(all) {
+				next = small
+			} else {
+				next = all
+			}
+			cur = next
+			v := trace.Message{ID: ids.MsgID(id), Sender: cur[0], IsView: true, View: append([]ids.ProcID(nil), next...)}
+			id++
+			global = append(global, v)
+			continue
+		}
+		sender := cur[rng.Intn(len(cur))]
+		global = append(global, trace.Message{ID: ids.MsgID(id), Sender: sender, Body: fmt.Sprintf("b%d", id)})
+		id++
+	}
+	for _, m := range global {
+		tr = append(tr, trace.Send(m))
+	}
+	// Every process delivers the full global sequence in order (views
+	// and data alike), so each delivery happens in the view current at
+	// that point.
+	for p := 0; p < c.Procs; p++ {
+		for _, m := range global {
+			tr = append(tr, trace.Deliver(ids.ProcID(p), m))
+		}
+	}
+	return riffleDeliveries(rng, tr, len(global))
+}
+
+// GenCausal simulates a causally consistent multicast execution: a
+// process may deliver a message only once its causal past (the
+// sender's history at send time) is in the process's own history.
+// Send-then-deliver adjacencies occur naturally — the at-risk shape for
+// the Delayable relation, which Causal Order lacks.
+func (c GenConfig) GenCausal(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	var tr trace.Trace
+	// hist[p] is p's (transitively closed) causal history, used as the
+	// past of p's sends — this matches how property.CausalOrder
+	// reconstructs causality.
+	hist := make([]map[ids.MsgID]bool, c.Procs)
+	// delivered[p] is what p actually delivered; forbidden[p] marks
+	// messages p skipped past (a dependency of something it delivered)
+	// and must now never deliver, or the order would be violated.
+	delivered := make([]map[ids.MsgID]bool, c.Procs)
+	forbidden := make([]map[ids.MsgID]bool, c.Procs)
+	for i := range hist {
+		hist[i] = make(map[ids.MsgID]bool)
+		delivered[i] = make(map[ids.MsgID]bool)
+		forbidden[i] = make(map[ids.MsgID]bool)
+	}
+	past := make(map[ids.MsgID]map[ids.MsgID]bool)
+	sender := make(map[ids.MsgID]ids.ProcID)
+	// undelivered[p] holds messages p has not delivered yet.
+	undelivered := make([]map[ids.MsgID]bool, c.Procs)
+	for i := range undelivered {
+		undelivered[i] = make(map[ids.MsgID]bool)
+	}
+	nextID := uint64(1)
+	steps := c.Messages * (c.Procs + 1)
+	for s := 0; s < steps; s++ {
+		p := rng.Intn(c.Procs)
+		if int(nextID) <= c.Messages && rng.Float64() < 0.3 {
+			// p multicasts a new message.
+			m := trace.Message{ID: ids.MsgID(nextID), Sender: ids.ProcID(p), Body: fmt.Sprintf("b%d", nextID)}
+			nextID++
+			pp := make(map[ids.MsgID]bool, len(hist[p]))
+			for id := range hist[p] {
+				pp[id] = true
+			}
+			past[m.ID] = pp
+			sender[m.ID] = m.Sender
+			hist[p][m.ID] = true
+			tr = append(tr, trace.Send(m))
+			for q := 0; q < c.Procs; q++ {
+				undelivered[q][m.ID] = true
+			}
+			continue
+		}
+		// p delivers a pending message all of whose (not-forbidden)
+		// dependencies it has actually delivered.
+		var choices []ids.MsgID
+		for id := range undelivered[p] {
+			if forbidden[p][id] {
+				continue
+			}
+			ok := true
+			for dep := range past[id] {
+				if !delivered[p][dep] && !forbidden[p][dep] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				choices = append(choices, id)
+			}
+		}
+		if len(choices) == 0 {
+			continue
+		}
+		min := choices[0]
+		for _, id := range choices {
+			if id < min {
+				min = id
+			}
+		}
+		id := min
+		if rng.Float64() < 0.3 {
+			id = choices[rng.Intn(len(choices))]
+		}
+		delete(undelivered[p], id)
+		delivered[p][id] = true
+		// Any skipped dependency may now never be delivered at p.
+		for dep := range past[id] {
+			if !delivered[p][dep] {
+				forbidden[p][dep] = true
+			}
+		}
+		hist[p][id] = true
+		for dep := range past[id] {
+			hist[p][dep] = true
+		}
+		tr = append(tr, trace.Deliver(ids.ProcID(p), trace.Message{
+			ID:     id,
+			Sender: sender[id],
+			Body:   fmt.Sprintf("b%d", id),
+		}))
+	}
+	return tr
+}
+
+// GenEverySecond emits executions satisfying §5.1's "every second
+// message is eventually delivered": per sender, even-numbered messages
+// reach everyone; odd-numbered ones land wherever chance takes them.
+func (c GenConfig) GenEverySecond(rng *rand.Rand) trace.Trace {
+	c = c.withDefaults()
+	var tr trace.Trace
+	nth := make(map[ids.ProcID]int)
+	for i := 0; i < c.Messages; i++ {
+		sender := randProc(rng, c.Procs)
+		m := trace.Message{ID: ids.MsgID(i + 1), Sender: sender, Body: fmt.Sprintf("b%d", i)}
+		tr = append(tr, trace.Send(m))
+		nth[sender]++
+		even := nth[sender]%2 == 0
+		for p := 0; p < c.Procs; p++ {
+			if even || rng.Float64() < 0.4 {
+				tr = append(tr, trace.Deliver(ids.ProcID(p), m))
+			}
+		}
+	}
+	return tr
+}
+
+// ForProperty returns the generator matching a Table 1 or extension
+// property (by name). It panics on unknown properties: the registry and
+// the property lists are maintained together.
+func (c GenConfig) ForProperty(p property.Property) Generator {
+	switch p.Name() {
+	case "Causal Order":
+		return c.GenCausal
+	case "Every Second Delivered":
+		return c.GenEverySecond
+	case "Reliability":
+		return c.GenReliable
+	case "Total Order":
+		return c.GenTotalOrder
+	case "Integrity":
+		return c.GenIntegrity
+	case "Confidentiality":
+		return c.GenConfidential
+	case "No Replay":
+		return c.GenNoReplay
+	case "Prioritized Delivery":
+		return c.GenPrioritized
+	case "Amoeba":
+		return c.GenAmoeba
+	case "Virtual Synchrony":
+		return c.GenVSync
+	default:
+		panic(fmt.Sprintf("metaprop: no generator for property %q", p.Name()))
+	}
+}

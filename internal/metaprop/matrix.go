@@ -1,0 +1,224 @@
+package metaprop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/property"
+)
+
+// Cell is one entry of Table 2.
+type Cell struct {
+	Property string
+	Meta     string
+	// Preserved is the cell's value: true = ✓ (no counterexample
+	// exists/was found), false = ✗ (witnessed).
+	Preserved bool
+	// Counterexample is non-nil exactly when Preserved is false.
+	Counterexample *Counterexample
+	// FromWitness reports whether the counterexample came from the
+	// hand-built registry rather than the randomized search.
+	FromWitness bool
+}
+
+// Matrix is the computed Table 2.
+type Matrix struct {
+	// Metas is the column order.
+	Metas []string
+	// Rows is one slice of cells per property, in Metas order.
+	Rows map[string][]Cell
+	// Order is the row order (property names).
+	Order []string
+}
+
+// MetaNames is the Table 2 column order: the four layering
+// meta-properties of §5, then the two switching meta-properties of §6.
+func MetaNames(n int) []string {
+	names := make([]string, 0, 6)
+	for _, r := range Relations(n) {
+		names = append(names, r.Name())
+	}
+	return append(names, "Composable")
+}
+
+// Compute regenerates Table 2 for the standard population: for every
+// Table 1 property and every meta-property, check the hand-built
+// witness (if any), then run the randomized falsifier.
+func Compute(c Checker, gc GenConfig) (*Matrix, error) {
+	return ComputeFor(c, gc, property.Table1(gc.withDefaults().Procs))
+}
+
+// ComputeWithExtensions regenerates Table 2 plus the repository's
+// extension rows (Causal Order).
+func ComputeWithExtensions(c Checker, gc GenConfig) (*Matrix, error) {
+	gc = gc.withDefaults()
+	props := property.Table1(gc.Procs)
+	props = append(props, property.Extensions(gc.Procs)...)
+	return ComputeFor(c, gc, props)
+}
+
+// ComputeFor runs the matrix over an explicit property list; every
+// property must have a registered generator (GenConfig.ForProperty).
+func ComputeFor(c Checker, gc GenConfig, props []property.Property) (*Matrix, error) {
+	gc = gc.withDefaults()
+	rels := Relations(gc.Procs)
+	witnesses := Witnesses()
+
+	findWitness := func(prop, meta string) *Witness {
+		for i := range witnesses {
+			if witnesses[i].Property == prop && witnesses[i].Relation == meta {
+				return &witnesses[i]
+			}
+		}
+		return nil
+	}
+
+	m := &Matrix{
+		Metas: MetaNames(gc.Procs),
+		Rows:  make(map[string][]Cell),
+	}
+	for _, p := range props {
+		m.Order = append(m.Order, p.Name())
+		gen := gc.ForProperty(p)
+		var row []Cell
+		check := func(meta string, search func() (*Counterexample, error)) error {
+			cell := Cell{Property: p.Name(), Meta: meta, Preserved: true}
+			if w := findWitness(p.Name(), meta); w != nil {
+				cex, err := verifyWitness(p, w)
+				if err != nil {
+					return err
+				}
+				cell.Preserved = false
+				cell.Counterexample = cex
+				cell.FromWitness = true
+			} else {
+				cex, err := search()
+				if err != nil {
+					return err
+				}
+				if cex != nil {
+					cell.Preserved = false
+					cell.Counterexample = cex
+				}
+			}
+			row = append(row, cell)
+			return nil
+		}
+		for _, r := range rels {
+			r := r
+			if err := check(r.Name(), func() (*Counterexample, error) {
+				return c.CheckRelation(p, r, gen)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if err := check("Composable", func() (*Counterexample, error) {
+			return c.CheckComposable(p, gen)
+		}); err != nil {
+			return nil, err
+		}
+		m.Rows[p.Name()] = row
+	}
+	return m, nil
+}
+
+// verifyWitness checks that a registered witness really is a
+// counterexample: Below (and Extra) satisfy the property, the violating
+// trace does not.
+func verifyWitness(p property.Property, w *Witness) (*Counterexample, error) {
+	if !p.Holds(w.Below) {
+		return nil, fmt.Errorf("metaprop: witness %s/%s: tr_below violates the property", w.Property, w.Relation)
+	}
+	above := w.Above
+	if w.Relation == "Composable" {
+		if !p.Holds(w.Extra) {
+			return nil, fmt.Errorf("metaprop: witness %s/%s: tr_2 violates the property", w.Property, w.Relation)
+		}
+		var err error
+		above, err = w.Below.Concat(w.Extra)
+		if err != nil {
+			return nil, fmt.Errorf("metaprop: witness %s/%s: %w", w.Property, w.Relation, err)
+		}
+	}
+	if p.Holds(above) {
+		return nil, fmt.Errorf("metaprop: witness %s/%s: tr_above does not violate the property", w.Property, w.Relation)
+	}
+	return &Counterexample{
+		Property: w.Property,
+		Relation: w.Relation,
+		Below:    w.Below,
+		Extra:    w.Extra,
+		Above:    above,
+	}, nil
+}
+
+// Preserved reports one cell's value; it returns an error for unknown
+// names.
+func (m *Matrix) Preserved(prop, meta string) (bool, error) {
+	row, ok := m.Rows[prop]
+	if !ok {
+		return false, fmt.Errorf("metaprop: unknown property %q", prop)
+	}
+	for _, c := range row {
+		if c.Meta == meta {
+			return c.Preserved, nil
+		}
+	}
+	return false, fmt.Errorf("metaprop: unknown meta-property %q", meta)
+}
+
+// AllPreserved reports whether every cell in a property's row is ✓ —
+// §6.3's sufficient condition for the property to be preserved by the
+// switching protocol.
+func (m *Matrix) AllPreserved(prop string) (bool, error) {
+	row, ok := m.Rows[prop]
+	if !ok {
+		return false, fmt.Errorf("metaprop: unknown property %q", prop)
+	}
+	for _, c := range row {
+		if !c.Preserved {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Render prints the matrix in the layout of the paper's Table 2.
+func (m *Matrix) Render() string {
+	short := map[string]string{
+		"Safety":       "Safe",
+		"Asynchronous": "Async",
+		"Send Enabled": "SendEn",
+		"Delayable":    "Delay",
+		"Memoryless":   "MemLess",
+		"Composable":   "Comp",
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "")
+	for _, meta := range m.Metas {
+		name := short[meta]
+		if name == "" {
+			name = meta
+		}
+		fmt.Fprintf(&b, "%9s", name)
+	}
+	fmt.Fprintf(&b, "%12s\n", "SP-safe")
+	for _, prop := range m.Order {
+		fmt.Fprintf(&b, "%-22s", prop)
+		all := true
+		for _, c := range m.Rows[prop] {
+			mark := "+"
+			if !c.Preserved {
+				mark = "-"
+				all = false
+			}
+			fmt.Fprintf(&b, "%9s", mark)
+		}
+		mark := "yes"
+		if !all {
+			mark = "no"
+		}
+		fmt.Fprintf(&b, "%12s\n", mark)
+	}
+	return b.String()
+}

@@ -1,0 +1,393 @@
+package metaprop
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/property"
+	"repro/internal/trace"
+)
+
+// expectedMatrix is the derived Table 2 (see EXPERIMENTS.md). Every cell
+// the paper's prose states explicitly is marked; the rest follow from
+// the property formalizations. Column order: Safety, Asynchronous,
+// Send Enabled, Delayable, Memoryless, Composable.
+var expectedMatrix = map[string][6]bool{
+	"Reliability":          {false, true, false, true, true, true},
+	"Total Order":          {true, true, true, true, true, true},
+	"Integrity":            {true, true, true, true, true, true},
+	"Confidentiality":      {true, true, true, true, true, true},
+	"No Replay":            {true, true, true, true, true, false},
+	"Prioritized Delivery": {true, false, true, true, true, true},
+	"Amoeba":               {true, true, false, false, true, false},
+	"Virtual Synchrony":    {true, true, true, true, false, false},
+}
+
+func computeMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	m, err := Compute(Checker{Trials: 150, Seed: 7}, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMatrixMatchesDerivation(t *testing.T) {
+	m := computeMatrix(t)
+	metas := m.Metas
+	if len(metas) != 6 {
+		t.Fatalf("got %d meta-properties, want 6", len(metas))
+	}
+	for prop, want := range expectedMatrix {
+		for i, meta := range metas {
+			got, err := m.Preserved(prop, meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want[i] {
+				t.Errorf("%s × %s = %v, want %v", prop, meta, got, want[i])
+			}
+		}
+	}
+}
+
+// TestPaperProseCells pins exactly the cells the paper states in prose
+// (§5–§6), independent of the full derivation above.
+func TestPaperProseCells(t *testing.T) {
+	m := computeMatrix(t)
+	mustBe := func(prop, meta string, want bool) {
+		t.Helper()
+		got, err := m.Preserved(prop, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("paper says %s × %s should be %v, computed %v", prop, meta, want, got)
+		}
+	}
+	mustBe("Total Order", "Safety", true)                 // §5.1
+	mustBe("Reliability", "Safety", false)                // §5.1
+	mustBe("Prioritized Delivery", "Asynchronous", false) // §5.2
+	mustBe("Amoeba", "Delayable", false)                  // §5.3
+	mustBe("Amoeba", "Send Enabled", false)               // §5.4
+	mustBe("Virtual Synchrony", "Memoryless", false)      // §6.1
+	mustBe("No Replay", "Memoryless", true)               // §6.1
+	mustBe("No Replay", "Composable", false)              // §6.2
+}
+
+// TestAllPreservedClass pins §6.3: Total Order, Integrity and
+// Confidentiality have all six meta-properties and are therefore in the
+// class the SP provably supports; the others are not.
+func TestAllPreservedClass(t *testing.T) {
+	m := computeMatrix(t)
+	inClass := map[string]bool{
+		"Total Order":     true,
+		"Integrity":       true,
+		"Confidentiality": true,
+	}
+	for _, prop := range m.Order {
+		got, err := m.AllPreserved(prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != inClass[prop] {
+			t.Errorf("AllPreserved(%s) = %v, want %v", prop, got, inClass[prop])
+		}
+	}
+}
+
+// TestExtensionMatrixCausalOrder pins the extension row: Causal Order
+// has every meta-property except Delayable — the same "outside the
+// class yet preserved by SP" status the paper gives Reliability.
+func TestExtensionMatrixCausalOrder(t *testing.T) {
+	m, err := ComputeWithExtensions(Checker{Trials: 150, Seed: 7}, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"Safety":       true,
+		"Asynchronous": true,
+		"Send Enabled": true,
+		"Delayable":    false,
+		"Memoryless":   true,
+		"Composable":   true,
+	}
+	for meta, w := range want {
+		got, err := m.Preserved("Causal Order", meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("Causal Order × %s = %v, want %v", meta, got, w)
+		}
+	}
+	all, err := m.AllPreserved("Causal Order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all {
+		t.Error("Causal Order must be outside the SP-safe class")
+	}
+	// The §5.1 example: Safety, Send Enabled, Memoryless and Composable
+	// all fail; only the two reordering relations leave it intact.
+	wantES := map[string]bool{
+		"Safety":       false,
+		"Asynchronous": true,
+		"Send Enabled": false,
+		"Delayable":    true,
+		"Memoryless":   false,
+		"Composable":   false,
+	}
+	for meta, w := range wantES {
+		got, err := m.Preserved("Every Second Delivered", meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("Every Second Delivered × %s = %v, want %v", meta, got, w)
+		}
+	}
+	// The random search also finds the Delayable violation unaided.
+	props := property.Extensions(4)
+	gc := DefaultGenConfig()
+	cex, err := Checker{Trials: 2000, Seed: 3}.CheckRelation(props[0], Delayable{}, gc.ForProperty(props[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex == nil {
+		t.Error("random search failed to break Causal Order × Delayable")
+	}
+}
+
+func TestWitnessesAllVerify(t *testing.T) {
+	props := append(property.Table1(4), property.Extensions(4)...)
+	byName := map[string]property.Property{}
+	for _, p := range props {
+		byName[p.Name()] = p
+	}
+	for _, w := range Witnesses() {
+		p, ok := byName[w.Property]
+		if !ok {
+			t.Fatalf("witness references unknown property %q", w.Property)
+		}
+		cex, err := verifyWitness(p, &w)
+		if err != nil {
+			t.Errorf("witness %s/%s does not verify: %v", w.Property, w.Relation, err)
+			continue
+		}
+		if cex.Property != w.Property || cex.Relation != w.Relation {
+			t.Errorf("witness %s/%s produced mislabelled counterexample", w.Property, w.Relation)
+		}
+		if cex.String() == "" {
+			t.Error("empty counterexample rendering")
+		}
+	}
+}
+
+func TestGeneratorsSatisfyTheirProperties(t *testing.T) {
+	gc := DefaultGenConfig()
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range append(property.Table1(gc.Procs), property.Extensions(gc.Procs)...) {
+		gen := gc.ForProperty(p)
+		for i := 0; i < 200; i++ {
+			tr := gen(rng)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s generator emitted invalid trace: %v", p.Name(), err)
+			}
+			if !p.Holds(tr) {
+				t.Fatalf("%s generator emitted violating trace:\n%v", p.Name(), tr)
+			}
+		}
+	}
+}
+
+func TestForPropertyUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ForProperty(unknown) did not panic")
+		}
+	}()
+	DefaultGenConfig().ForProperty(fakeProp{})
+}
+
+type fakeProp struct{}
+
+func (fakeProp) Name() string              { return "Fake" }
+func (fakeProp) Holds(tr trace.Trace) bool { return true }
+
+func TestRelationsPerturbStayRelated(t *testing.T) {
+	// Structural sanity: each relation's output obeys its defining
+	// constraints (prefix / same multiset up to allowed rewrites).
+	rng := rand.New(rand.NewSource(5))
+	gc := DefaultGenConfig()
+	base := gc.GenTotalOrder(rng)
+
+	pre := Safety{}.Perturb(rng, base)
+	if len(pre) > len(base) {
+		t.Error("Safety produced a longer trace")
+	}
+	for i := range pre {
+		if pre[i].String() != base[i].String() {
+			t.Error("Safety did not produce a prefix")
+		}
+	}
+
+	async := Asynchrony{}.Perturb(rng, base)
+	if len(async) != len(base) {
+		t.Error("Asynchrony changed the length")
+	}
+	// Per-process subsequences must be identical.
+	perProc := func(tr trace.Trace, p ids.ProcID) string {
+		var b strings.Builder
+		for _, e := range tr {
+			if e.Proc() == p {
+				b.WriteString(e.String())
+			}
+		}
+		return b.String()
+	}
+	for _, p := range base.Processes() {
+		if perProc(base, p) != perProc(async, p) {
+			t.Errorf("Asynchrony reordered events of %v", p)
+		}
+	}
+
+	se := SendEnabled{Procs: 4}.Perturb(rng, base)
+	if len(se) <= len(base) {
+		t.Error("SendEnabled added nothing")
+	}
+	for _, e := range se[len(base):] {
+		if e.Kind != trace.SendKind {
+			t.Error("SendEnabled appended a non-Send event")
+		}
+	}
+
+	mem := Memoryless{}.Perturb(rng, base)
+	if len(mem) >= len(base) {
+		t.Error("Memoryless removed nothing")
+	}
+	// Erasure must be whole-message: every surviving id keeps all its
+	// events.
+	count := func(tr trace.Trace, id ids.MsgID) int {
+		n := 0
+		for _, e := range tr {
+			if e.Msg.ID == id {
+				n++
+			}
+		}
+		return n
+	}
+	for _, id := range mem.MessageIDs() {
+		if count(mem, id) != count(base, id) {
+			t.Errorf("Memoryless partially erased message %v", id)
+		}
+	}
+}
+
+func TestPerturbEmptyTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range Relations(4) {
+		out := r.Perturb(rng, nil)
+		if len(out) != 0 && r.Name() != "Send Enabled" {
+			t.Errorf("%s invented events from an empty trace", r.Name())
+		}
+	}
+}
+
+func TestCheckerCatchesGeneratorBugs(t *testing.T) {
+	bad := func(rng *rand.Rand) trace.Trace {
+		m := wmsg(1, 3, "forged") // untrusted sender delivered
+		return trace.Trace{trace.Deliver(0, m)}
+	}
+	props := property.Table1(4)
+	var integ property.Property
+	for _, p := range props {
+		if p.Name() == "Integrity" {
+			integ = p
+		}
+	}
+	c := Checker{Trials: 5, Seed: 1}
+	if _, err := c.CheckRelation(integ, Safety{}, bad); err == nil {
+		t.Error("CheckRelation accepted a violating generator")
+	}
+	if _, err := c.CheckComposable(integ, bad); err == nil {
+		t.Error("CheckComposable accepted a violating generator")
+	}
+}
+
+func TestMatrixRender(t *testing.T) {
+	m := computeMatrix(t)
+	out := m.Render()
+	if !strings.Contains(out, "Total Order") || !strings.Contains(out, "Amoeba") {
+		t.Error("render missing rows")
+	}
+	if !strings.Contains(out, "SP-safe") {
+		t.Error("render missing SP-safe column")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // header + 8 properties
+		t.Errorf("render has %d lines, want 9:\n%s", len(lines), out)
+	}
+}
+
+func TestMatrixUnknownLookups(t *testing.T) {
+	m := computeMatrix(t)
+	if _, err := m.Preserved("Nope", "Safety"); err == nil {
+		t.Error("unknown property accepted")
+	}
+	if _, err := m.Preserved("Amoeba", "Nope"); err == nil {
+		t.Error("unknown meta accepted")
+	}
+	if _, err := m.AllPreserved("Nope"); err == nil {
+		t.Error("unknown property accepted by AllPreserved")
+	}
+}
+
+// TestRandomSearchFindsViolationsWithoutWitnesses removes the witness
+// shortcut and checks the falsifier alone discovers at least the
+// classic ✗ cells — evidence the search is genuinely adversarial.
+func TestRandomSearchFindsViolationsWithoutWitnesses(t *testing.T) {
+	gc := DefaultGenConfig()
+	c := Checker{Trials: 2000, Seed: 11}
+	props := property.Table1(gc.Procs)
+	byName := map[string]property.Property{}
+	for _, p := range props {
+		byName[p.Name()] = p
+	}
+	relByName := map[string]Relation{}
+	for _, r := range Relations(gc.Procs) {
+		relByName[r.Name()] = r
+	}
+	cases := []struct{ prop, meta string }{
+		{"Reliability", "Safety"},
+		{"Reliability", "Send Enabled"},
+		{"Prioritized Delivery", "Asynchronous"},
+		{"Amoeba", "Delayable"},
+		{"Amoeba", "Send Enabled"},
+		{"Virtual Synchrony", "Memoryless"},
+	}
+	for _, tc := range cases {
+		p := byName[tc.prop]
+		gen := gc.ForProperty(p)
+		cex, err := c.CheckRelation(p, relByName[tc.meta], gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cex == nil {
+			t.Errorf("random search failed to break %s × %s", tc.prop, tc.meta)
+		}
+	}
+	// Composable ✗ cells.
+	for _, prop := range []string{"No Replay", "Virtual Synchrony", "Amoeba"} {
+		p := byName[prop]
+		cex, err := c.CheckComposable(p, gc.ForProperty(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cex == nil {
+			t.Errorf("random search failed to break %s × Composable", prop)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package metaprop implements §5–6 of the paper: meta-properties —
+// predicates on properties — realized as preservation of a property
+// under a relation on traces (Equation 1):
+//
+//	P(tr_below) ∧ tr_above R tr_below ⇒ P(tr_above)
+//
+// Five meta-properties are relations applied to a single trace (Safety,
+// Asynchrony, Delayable, Send Enabled, Memoryless); the sixth,
+// Composable, is a binary condition on concatenation. The paper proved
+// in Nuprl that a property with all six is preserved by the switching
+// protocol; this package substitutes an executable *falsifier*: every ✗
+// cell of Table 2 is witnessed by a machine-checked counterexample, and
+// every ✓ cell survives an adversarial randomized search (see
+// DESIGN.md §2 for the substitution rationale).
+package metaprop
+
+import (
+	"math/rand"
+
+	"repro/internal/ids"
+	"repro/internal/trace"
+)
+
+// Relation is one of the paper's trace relations. Perturb produces a
+// random tr_above related to tr_below (the reflexive-transitive closure
+// of the relation's elementary rewrites).
+type Relation interface {
+	// Name returns the meta-property's §5–6 name.
+	Name() string
+	// Perturb returns some tr_above with tr_above R tr_below.
+	Perturb(rng *rand.Rand, below trace.Trace) trace.Trace
+}
+
+// Safety (§5.1): tr_above is a prefix of tr_below — "taking events off
+// the end of a trace" must not break the property.
+type Safety struct{}
+
+var _ Relation = Safety{}
+
+// Name implements Relation.
+func (Safety) Name() string { return "Safety" }
+
+// Perturb implements Relation.
+func (Safety) Perturb(rng *rand.Rand, below trace.Trace) trace.Trace {
+	if len(below) == 0 {
+		return below.Clone()
+	}
+	return below.Prefix(rng.Intn(len(below) + 1))
+}
+
+// Asynchrony (§5.2): adjacent events of *different* processes may be
+// swapped — global orderings can be lost to delays between processes.
+type Asynchrony struct{}
+
+var _ Relation = Asynchrony{}
+
+// Name implements Relation.
+func (Asynchrony) Name() string { return "Asynchronous" }
+
+// Perturb implements Relation.
+func (Asynchrony) Perturb(rng *rand.Rand, below trace.Trace) trace.Trace {
+	return perturbSwaps(rng, below, trace.Trace.CanSwapAsync)
+}
+
+// Delayable (§5.3): adjacent Send and Deliver events of the *same*
+// process may be swapped — a layer delays Sends going down and Delivers
+// going up.
+type Delayable struct{}
+
+var _ Relation = Delayable{}
+
+// Name implements Relation.
+func (Delayable) Name() string { return "Delayable" }
+
+// Perturb implements Relation.
+func (Delayable) Perturb(rng *rand.Rand, below trace.Trace) trace.Trace {
+	return perturbSwaps(rng, below, trace.Trace.CanSwapDelayable)
+}
+
+// perturbSwaps applies a random number of random legal adjacent swaps.
+func perturbSwaps(rng *rand.Rand, below trace.Trace, can func(trace.Trace, int) bool) trace.Trace {
+	cur := below.Clone()
+	if len(cur) < 2 {
+		return cur
+	}
+	swaps := 1 + rng.Intn(2*len(cur))
+	for s := 0; s < swaps; s++ {
+		// Collect currently legal swap points; stop if none.
+		var legal []int
+		for i := 0; i+1 < len(cur); i++ {
+			if can(cur, i) {
+				legal = append(legal, i)
+			}
+		}
+		if len(legal) == 0 {
+			break
+		}
+		i := legal[rng.Intn(len(legal))]
+		next, err := cur.SwapAdjacent(i)
+		if err != nil {
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+// SendEnabled (§5.4): new Send events may be appended — a protocol
+// "typically does not restrict when the layer above sends messages".
+type SendEnabled struct {
+	// Procs is the process population appended sends may come from.
+	Procs int
+}
+
+var _ Relation = SendEnabled{}
+
+// Name implements Relation.
+func (SendEnabled) Name() string { return "Send Enabled" }
+
+// Perturb implements Relation.
+func (r SendEnabled) Perturb(rng *rand.Rand, below trace.Trace) trace.Trace {
+	n := r.Procs
+	if n <= 0 {
+		n = 2
+	}
+	count := 1 + rng.Intn(3)
+	next := ids.MsgID(below.MaxMsgID() + 1)
+	msgs := make([]trace.Message, 0, count)
+	for i := 0; i < count; i++ {
+		msgs = append(msgs, trace.Message{
+			ID:     next,
+			Sender: ids.ProcID(rng.Intn(n)),
+			Body:   randBody(rng),
+		})
+		next++
+	}
+	return below.AppendSends(msgs...)
+}
+
+// Memoryless (§6.1): all events pertaining to some messages may be
+// removed — "whether such a message was ever sent or delivered is no
+// longer of importance".
+type Memoryless struct{}
+
+var _ Relation = Memoryless{}
+
+// Name implements Relation.
+func (Memoryless) Name() string { return "Memoryless" }
+
+// Perturb implements Relation.
+func (Memoryless) Perturb(rng *rand.Rand, below trace.Trace) trace.Trace {
+	idsSeen := below.MessageIDs()
+	if len(idsSeen) == 0 {
+		return below.Clone()
+	}
+	doomed := make(map[ids.MsgID]bool)
+	for _, id := range idsSeen {
+		if rng.Float64() < 0.4 {
+			doomed[id] = true
+		}
+	}
+	if len(doomed) == 0 {
+		doomed[idsSeen[rng.Intn(len(idsSeen))]] = true
+	}
+	return below.EraseMessages(doomed)
+}
+
+// randBody draws a short body from a small alphabet so collisions occur
+// (needed to probe No Replay).
+func randBody(rng *rand.Rand) string {
+	return string(rune('a' + rng.Intn(4)))
+}
+
+// Relations returns the five unary relations in Table 2 column order
+// for a population of n processes.
+func Relations(n int) []Relation {
+	return []Relation{
+		Safety{},
+		Asynchrony{},
+		SendEnabled{Procs: n},
+		Delayable{},
+		Memoryless{},
+	}
+}

@@ -1,0 +1,203 @@
+package metaprop
+
+import (
+	"repro/internal/ids"
+	"repro/internal/trace"
+)
+
+// Hand-constructed counterexamples for every ✗ cell of Table 2. The
+// randomized falsifier finds these classes of violation too; keeping
+// explicit witnesses makes the matrix deterministic and doubles as
+// documentation of *why* each cell fails. Each witness is verified by
+// the matrix computation (the Below trace must satisfy the property and
+// the Above trace must violate it), so a witness that rots fails loudly.
+
+func wmsg(id uint64, sender int32, body string) trace.Message {
+	return trace.Message{ID: ids.MsgID(id), Sender: ids.ProcID(sender), Body: body}
+}
+
+func wview(id uint64, sender int32, members ...int32) trace.Message {
+	m := trace.Message{ID: ids.MsgID(id), Sender: ids.ProcID(sender), IsView: true}
+	for _, p := range members {
+		m.View = append(m.View, ids.ProcID(p))
+	}
+	return m
+}
+
+// Witness is a deterministic counterexample for one Table 2 cell. For
+// relation cells, Above is the perturbed trace that violates the
+// property; for Composable cells, Extra is the second trace and Above
+// is left nil (the violation is the concatenation Below ++ Extra).
+type Witness struct {
+	Property string
+	Relation string
+	Below    trace.Trace
+	Extra    trace.Trace
+	Above    trace.Trace
+}
+
+// Witnesses returns the registry of counterexamples for the ✗ cells,
+// using the conventional Table1 parameters (master 0, full group as
+// receivers/initial view).
+func Witnesses() []Witness {
+	m1 := wmsg(1, 0, "a")
+	m2 := wmsg(2, 0, "b")
+
+	var out []Witness
+
+	// Reliability is not Safety (§5.1): chop the trace after the Send
+	// and the message is no longer delivered everywhere.
+	out = append(out, Witness{
+		Property: "Reliability",
+		Relation: "Safety",
+		Below:    trace.Trace{trace.Send(m1), trace.Deliver(0, m1), trace.Deliver(1, m1), trace.Deliver(2, m1), trace.Deliver(3, m1)},
+		Above:    trace.Trace{trace.Send(m1)},
+	})
+	// Reliability is not Send Enabled: appending a Send leaves it
+	// undelivered.
+	out = append(out, Witness{
+		Property: "Reliability",
+		Relation: "Send Enabled",
+		Below:    trace.Trace{trace.Send(m1), trace.Deliver(0, m1), trace.Deliver(1, m1), trace.Deliver(2, m1), trace.Deliver(3, m1)},
+		Above:    trace.Trace{trace.Send(m1), trace.Deliver(0, m1), trace.Deliver(1, m1), trace.Deliver(2, m1), trace.Deliver(3, m1), trace.Send(m2)},
+	})
+	// Prioritized Delivery is not Asynchronous (§5.2): swapping the
+	// master's delivery with another process's adjacent delivery
+	// reverses who delivered first.
+	out = append(out, Witness{
+		Property: "Prioritized Delivery",
+		Relation: "Asynchronous",
+		Below:    trace.Trace{trace.Send(m1), trace.Deliver(0, m1), trace.Deliver(1, m1)},
+		Above:    trace.Trace{trace.Send(m1), trace.Deliver(1, m1), trace.Deliver(0, m1)},
+	})
+	// Amoeba is not Delayable (§5.3): delaying the sender's own
+	// delivery past its next send breaks the blocking discipline.
+	out = append(out, Witness{
+		Property: "Amoeba",
+		Relation: "Delayable",
+		Below:    trace.Trace{trace.Send(m1), trace.Deliver(0, m1), trace.Send(m2), trace.Deliver(0, m2)},
+		Above:    trace.Trace{trace.Send(m1), trace.Send(m2), trace.Deliver(0, m1), trace.Deliver(0, m2)},
+	})
+	// Amoeba is not Send Enabled (§5.4): appending a send while the
+	// previous one is outstanding violates it outright.
+	out = append(out, Witness{
+		Property: "Amoeba",
+		Relation: "Send Enabled",
+		Below:    trace.Trace{trace.Send(m1)},
+		Above:    trace.Trace{trace.Send(m1), trace.Send(m2)},
+	})
+	// Amoeba is not Composable: each trace may end with an outstanding
+	// send; gluing them puts a fresh send inside the wait.
+	out = append(out, Witness{
+		Property: "Amoeba",
+		Relation: "Composable",
+		Below:    trace.Trace{trace.Send(m1)},
+		Extra:    trace.Trace{trace.Send(wmsg(10, 0, "x")), trace.Deliver(0, wmsg(10, 0, "x"))},
+	})
+	// Virtual Synchrony is not Memoryless (§6.1): erase the view message
+	// that re-admitted process 3 and its subsequent traffic becomes
+	// out-of-view. (Initial view = {0,1,2,3}; v1 excludes 3; v2
+	// re-admits it.)
+	v1 := wview(20, 0, 0, 1, 2)
+	v2 := wview(21, 0, 0, 1, 2, 3)
+	d3 := wmsg(22, 3, "late")
+	out = append(out, Witness{
+		Property: "Virtual Synchrony",
+		Relation: "Memoryless",
+		Below: trace.Trace{
+			trace.Send(v1), trace.Deliver(0, v1),
+			trace.Send(v2), trace.Deliver(0, v2),
+			trace.Send(d3), trace.Deliver(0, d3),
+		},
+		Above: trace.Trace{
+			trace.Send(v1), trace.Deliver(0, v1),
+			trace.Send(d3), trace.Deliver(0, d3),
+		},
+	})
+	// Virtual Synchrony is not Composable: the first trace shrinks the
+	// view; the second, legal from the initial view, delivers from the
+	// now-excluded member.
+	out = append(out, Witness{
+		Property: "Virtual Synchrony",
+		Relation: "Composable",
+		Below:    trace.Trace{trace.Send(v1), trace.Deliver(0, v1)},
+		Extra:    trace.Trace{trace.Send(wmsg(30, 3, "x")), trace.Deliver(0, wmsg(30, 3, "x"))},
+	})
+	// No Replay is not Composable (§6.2): "even if a message body is
+	// delivered at most once in tr1 and tr2 ... the body may be
+	// delivered twice in the concatenation".
+	out = append(out, Witness{
+		Property: "No Replay",
+		Relation: "Composable",
+		Below:    trace.Trace{trace.Send(wmsg(1, 0, "pay")), trace.Deliver(1, wmsg(1, 0, "pay"))},
+		Extra:    trace.Trace{trace.Send(wmsg(2, 0, "pay")), trace.Deliver(1, wmsg(2, 0, "pay"))},
+	})
+	// Every Second Delivered (the paper's §5.1 non-safety example,
+	// extension row). Not safe: chop the deliveries off.
+	es1 := wmsg(50, 0, "first")
+	es2 := wmsg(51, 0, "second")
+	fullES := trace.Trace{
+		trace.Send(es1), trace.Send(es2),
+		trace.Deliver(0, es2), trace.Deliver(1, es2), trace.Deliver(2, es2), trace.Deliver(3, es2),
+	}
+	out = append(out, Witness{
+		Property: "Every Second Delivered",
+		Relation: "Safety",
+		Below:    fullES,
+		Above:    fullES.Prefix(2),
+	})
+	// Not send-enabled: the appended send may itself be a sender's
+	// even-numbered message, owed delivery that never happens.
+	out = append(out, Witness{
+		Property: "Every Second Delivered",
+		Relation: "Send Enabled",
+		Below:    trace.Trace{trace.Send(es1)},
+		Above:    trace.Trace{trace.Send(es1), trace.Send(es2)},
+	})
+	// Not memoryless: erasing an odd message renumbers its sender's
+	// stream, turning a delivered even message into an undelivered one.
+	es3 := wmsg(52, 0, "third")
+	out = append(out, Witness{
+		Property: "Every Second Delivered",
+		Relation: "Memoryless",
+		Below: trace.Trace{
+			trace.Send(es1), trace.Send(es2), trace.Send(es3),
+			trace.Deliver(0, es2), trace.Deliver(1, es2), trace.Deliver(2, es2), trace.Deliver(3, es2),
+		},
+		Above: trace.Trace{
+			trace.Send(es2), trace.Send(es3), // es1 erased: es3 is now "second"
+			trace.Deliver(0, es2), trace.Deliver(1, es2), trace.Deliver(2, es2), trace.Deliver(3, es2),
+		},
+	})
+	// Not composable — §5.1's switching argument verbatim: two streams
+	// of one (odd, obligation-free) message each; glued together the
+	// second trace's message becomes even and undelivered.
+	out = append(out, Witness{
+		Property: "Every Second Delivered",
+		Relation: "Composable",
+		Below:    trace.Trace{trace.Send(es1)},
+		Extra:    trace.Trace{trace.Send(wmsg(60, 0, "renumbered"))},
+	})
+	// Causal Order (extension) is not Delayable: delaying p0's delivery
+	// of m1 past its send of m2 creates the causal edge m1 → m2, which
+	// p1's delivery order (m2 before m1) then violates.
+	cm1 := wmsg(40, 1, "m1")
+	cm2 := wmsg(41, 0, "m2")
+	out = append(out, Witness{
+		Property: "Causal Order",
+		Relation: "Delayable",
+		Below: trace.Trace{
+			trace.Send(cm1),
+			trace.Send(cm2), trace.Deliver(0, cm1), // adjacent, same process, swappable
+			trace.Deliver(0, cm2),
+			trace.Deliver(1, cm2), trace.Deliver(1, cm1),
+		},
+		Above: trace.Trace{
+			trace.Send(cm1),
+			trace.Deliver(0, cm1), trace.Send(cm2), // m1 now in m2's past
+			trace.Deliver(0, cm2),
+			trace.Deliver(1, cm2), trace.Deliver(1, cm1), // violates at p1
+		},
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package property
+
+import (
+	"repro/internal/ids"
+	"repro/internal/trace"
+)
+
+// CausalOrder extends Table 1 (repository extension, not in the paper):
+// "if the sending of m1 causally precedes the sending of m2, then every
+// process that delivers both delivers m1 first" — Lamport's happens-
+// before specialized to multicast, as implemented by vector-clock
+// protocols (package protocols/causal).
+//
+// Causal precedence is reconstructed from the trace itself: send(m1)
+// precedes send(m2) iff the same process sent m1 before m2, or the
+// sender of m2 delivered m1 before sending m2, or transitively so.
+//
+// Meta-property profile (computed in package metaprop): Causal Order is
+// safe, asynchronous, send-enabled, memoryless and composable but NOT
+// delayable — delaying a process's delivery of m1 past its send of m2
+// retroactively creates the dependency m1 → m2 that other processes
+// never knew about. Like Reliability (§6.3), it therefore sits outside
+// the provably-SP-safe class yet IS preserved by the switching protocol:
+// the SP's old-before-new delivery order subsumes every cross-epoch
+// causal dependency (demonstrated live in the switching tests).
+type CausalOrder struct{}
+
+var _ Property = CausalOrder{}
+
+// Name implements Property.
+func (CausalOrder) Name() string { return "Causal Order" }
+
+// Holds implements Property.
+func (CausalOrder) Holds(tr trace.Trace) bool {
+	// Assign each message the set of messages in its causal past at
+	// send time: everything its sender previously sent or delivered,
+	// plus their pasts (transitively, by accumulation).
+	past := make(map[ids.MsgID]map[ids.MsgID]bool)      // message -> causal past
+	procHist := make(map[ids.ProcID]map[ids.MsgID]bool) // process -> messages in its causal history
+	hist := func(p ids.ProcID) map[ids.MsgID]bool {
+		h := procHist[p]
+		if h == nil {
+			h = make(map[ids.MsgID]bool)
+			procHist[p] = h
+		}
+		return h
+	}
+	for _, e := range tr {
+		switch e.Kind {
+		case trace.SendKind:
+			h := hist(e.Msg.Sender)
+			p := make(map[ids.MsgID]bool, len(h))
+			for id := range h {
+				p[id] = true
+			}
+			past[e.Msg.ID] = p
+			h[e.Msg.ID] = true
+		case trace.DeliverKind:
+			h := hist(e.Deliverer)
+			if !h[e.Msg.ID] {
+				h[e.Msg.ID] = true
+				for id := range past[e.Msg.ID] {
+					h[id] = true
+				}
+			}
+		}
+	}
+	// Check every process's delivery order against the causal pasts.
+	delivered := make(map[ids.ProcID]map[ids.MsgID]int)
+	order := make(map[ids.ProcID][]ids.MsgID)
+	for _, e := range tr {
+		if e.Kind != trace.DeliverKind {
+			continue
+		}
+		p := e.Deliverer
+		if delivered[p] == nil {
+			delivered[p] = make(map[ids.MsgID]int)
+		}
+		if _, dup := delivered[p][e.Msg.ID]; dup {
+			continue
+		}
+		delivered[p][e.Msg.ID] = len(order[p])
+		order[p] = append(order[p], e.Msg.ID)
+	}
+	for p, seq := range order {
+		pos := delivered[p]
+		for _, m2 := range seq {
+			for m1 := range past[m2] {
+				i1, got1 := pos[m1]
+				if !got1 {
+					continue // never delivered m1: no ordering obligation
+				}
+				if i1 > pos[m2] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package property
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestCausalOrderDirectDependency(t *testing.T) {
+	p := CausalOrder{}
+	m1 := msg(1, 0, "question")
+	m2 := msg(2, 1, "answer") // p1 delivers m1 before sending m2
+	good := trace.Trace{
+		trace.Send(m1),
+		trace.Deliver(1, m1),
+		trace.Send(m2),
+		trace.Deliver(2, m1),
+		trace.Deliver(2, m2),
+	}
+	if !p.Holds(good) {
+		t.Error("causally ordered trace rejected")
+	}
+	bad := trace.Trace{
+		trace.Send(m1),
+		trace.Deliver(1, m1),
+		trace.Send(m2),
+		trace.Deliver(2, m2), // answer before question
+		trace.Deliver(2, m1),
+	}
+	if p.Holds(bad) {
+		t.Error("causal violation accepted")
+	}
+}
+
+func TestCausalOrderSameSenderFIFO(t *testing.T) {
+	p := CausalOrder{}
+	m1, m2 := msg(1, 0, "a"), msg(2, 0, "b")
+	bad := trace.Trace{
+		trace.Send(m1), trace.Send(m2),
+		trace.Deliver(1, m2), trace.Deliver(1, m1),
+	}
+	if p.Holds(bad) {
+		t.Error("per-sender FIFO violation accepted")
+	}
+}
+
+func TestCausalOrderTransitive(t *testing.T) {
+	p := CausalOrder{}
+	m1 := msg(1, 0, "a")
+	m2 := msg(2, 1, "b") // after delivering m1
+	m3 := msg(3, 2, "c") // after delivering m2
+	bad := trace.Trace{
+		trace.Send(m1),
+		trace.Deliver(1, m1), trace.Send(m2),
+		trace.Deliver(2, m2), trace.Send(m3),
+		// p0 delivers m3 then m1: m1 is in m3's transitive past.
+		trace.Deliver(0, m3), trace.Deliver(0, m1),
+	}
+	if p.Holds(bad) {
+		t.Error("transitive causal violation accepted")
+	}
+}
+
+func TestCausalOrderConcurrentFree(t *testing.T) {
+	p := CausalOrder{}
+	m1 := msg(1, 0, "a")
+	m2 := msg(2, 1, "b") // concurrent with m1
+	either := trace.Trace{
+		trace.Send(m1), trace.Send(m2),
+		trace.Deliver(2, m2), trace.Deliver(2, m1),
+		trace.Deliver(0, m1), trace.Deliver(0, m2),
+	}
+	if !p.Holds(either) {
+		t.Error("concurrent messages wrongly constrained")
+	}
+}
+
+func TestCausalOrderMissingDependencyVacuous(t *testing.T) {
+	p := CausalOrder{}
+	m1 := msg(1, 0, "a")
+	m2 := msg(2, 1, "b")
+	// p2 delivers only the dependent message; with m1 undelivered there
+	// is no ordering obligation (reliability is a separate property).
+	tr := trace.Trace{
+		trace.Send(m1),
+		trace.Deliver(1, m1), trace.Send(m2),
+		trace.Deliver(2, m2),
+	}
+	if !p.Holds(tr) {
+		t.Error("missing dependency treated as violation")
+	}
+}
+
+func TestCausalOrderEmptyTrace(t *testing.T) {
+	if !(CausalOrder{}).Holds(nil) {
+		t.Error("empty trace rejected")
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	ext := Extensions(3)
+	if len(ext) != 2 || ext[0].Name() != "Causal Order" || ext[1].Name() != "Every Second Delivered" {
+		t.Errorf("Extensions = %v", ext)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Extensions(1) did not panic")
+		}
+	}()
+	Extensions(1)
+}

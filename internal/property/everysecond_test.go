@@ -1,0 +1,55 @@
+package property
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/trace"
+)
+
+func TestEverySecondHolds(t *testing.T) {
+	p := EverySecondDelivered{Group: ids.Procs(2)}
+	m1, m2 := msg(1, 0, "a"), msg(2, 0, "b")
+	good := trace.Trace{
+		trace.Send(m1), // #1: no obligation
+		trace.Send(m2), // #2: owed to everyone
+		trace.Deliver(0, m2), trace.Deliver(1, m2),
+	}
+	if !p.Holds(good) {
+		t.Error("satisfying trace rejected")
+	}
+}
+
+func TestEverySecondViolated(t *testing.T) {
+	p := EverySecondDelivered{Group: ids.Procs(2)}
+	m1, m2 := msg(1, 0, "a"), msg(2, 0, "b")
+	bad := trace.Trace{
+		trace.Send(m1), trace.Send(m2),
+		trace.Deliver(0, m2), // p1 never gets the even message
+	}
+	if p.Holds(bad) {
+		t.Error("missing even delivery accepted")
+	}
+}
+
+func TestEverySecondCountsPerSender(t *testing.T) {
+	p := EverySecondDelivered{Group: ids.Procs(2)}
+	// Two senders, one message each: both are #1 for their sender.
+	tr := trace.Trace{
+		trace.Send(msg(1, 0, "a")),
+		trace.Send(msg(2, 1, "b")),
+	}
+	if !p.Holds(tr) {
+		t.Error("per-sender numbering not honoured")
+	}
+}
+
+func TestEverySecondOddUndeliveredFine(t *testing.T) {
+	p := EverySecondDelivered{Group: ids.Procs(2)}
+	if !p.Holds(trace.Trace{trace.Send(msg(1, 0, "a"))}) {
+		t.Error("odd undelivered message rejected")
+	}
+	if !p.Holds(nil) {
+		t.Error("empty trace rejected")
+	}
+}

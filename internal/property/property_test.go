@@ -1,0 +1,257 @@
+package property
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/trace"
+)
+
+func msg(id uint64, sender int32, body string) trace.Message {
+	return trace.Message{ID: ids.MsgID(id), Sender: ids.ProcID(sender), Body: body}
+}
+
+func viewMsg(id uint64, sender int32, members ...int32) trace.Message {
+	m := trace.Message{ID: ids.MsgID(id), Sender: ids.ProcID(sender), IsView: true}
+	for _, p := range members {
+		m.View = append(m.View, ids.ProcID(p))
+	}
+	return m
+}
+
+func TestReliability(t *testing.T) {
+	p := Reliability{Group: ids.Procs(2)}
+	m1 := msg(1, 0, "a")
+	good := trace.Trace{trace.Send(m1), trace.Deliver(0, m1), trace.Deliver(1, m1)}
+	if !p.Holds(good) {
+		t.Error("complete trace rejected")
+	}
+	missing := trace.Trace{trace.Send(m1), trace.Deliver(0, m1)}
+	if p.Holds(missing) {
+		t.Error("trace missing a delivery accepted")
+	}
+	// A delivery without a send does not violate reliability.
+	orphan := trace.Trace{trace.Deliver(0, m1)}
+	if !p.Holds(orphan) {
+		t.Error("orphan delivery rejected")
+	}
+	if !p.Holds(nil) {
+		t.Error("empty trace rejected")
+	}
+}
+
+func TestTotalOrder(t *testing.T) {
+	p := TotalOrder{}
+	m1, m2 := msg(1, 0, "a"), msg(2, 1, "b")
+	agree := trace.Trace{
+		trace.Deliver(0, m1), trace.Deliver(0, m2),
+		trace.Deliver(1, m1), trace.Deliver(1, m2),
+	}
+	if !p.Holds(agree) {
+		t.Error("agreeing trace rejected")
+	}
+	disagree := trace.Trace{
+		trace.Deliver(0, m1), trace.Deliver(0, m2),
+		trace.Deliver(1, m2), trace.Deliver(1, m1),
+	}
+	if p.Holds(disagree) {
+		t.Error("disagreeing trace accepted")
+	}
+	// Processes that share only one message cannot disagree.
+	partial := trace.Trace{
+		trace.Deliver(0, m1), trace.Deliver(0, m2),
+		trace.Deliver(1, m2),
+	}
+	if !p.Holds(partial) {
+		t.Error("partial overlap rejected")
+	}
+	// Three processes, transitively consistent.
+	m3 := msg(3, 0, "c")
+	tri := trace.Trace{
+		trace.Deliver(0, m1), trace.Deliver(0, m2),
+		trace.Deliver(1, m2), trace.Deliver(1, m3),
+		trace.Deliver(2, m1), trace.Deliver(2, m3),
+	}
+	if !p.Holds(tri) {
+		t.Error("pairwise-consistent trace rejected")
+	}
+}
+
+func TestIntegrity(t *testing.T) {
+	trusted := map[ids.ProcID]bool{0: true, 1: true}
+	p := Integrity{Trusted: trusted}
+	ok := trace.Trace{trace.Deliver(2, msg(1, 0, "a"))}
+	if !p.Holds(ok) {
+		t.Error("trusted-sender delivery rejected")
+	}
+	forged := trace.Trace{trace.Deliver(0, msg(1, 2, "a"))}
+	if p.Holds(forged) {
+		t.Error("untrusted-sender delivery accepted")
+	}
+	// Sends alone never violate integrity.
+	sends := trace.Trace{trace.Send(msg(1, 2, "a"))}
+	if !p.Holds(sends) {
+		t.Error("untrusted send (undelivered) rejected")
+	}
+}
+
+func TestConfidentiality(t *testing.T) {
+	trusted := map[ids.ProcID]bool{0: true, 1: true}
+	p := Confidentiality{Trusted: trusted}
+	ok := trace.Trace{
+		trace.Deliver(1, msg(1, 0, "secret")), // trusted -> trusted
+		trace.Deliver(0, msg(2, 2, "public")), // untrusted -> trusted
+		trace.Deliver(2, msg(3, 2, "public")), // untrusted -> untrusted
+	}
+	if !p.Holds(ok) {
+		t.Error("legal trace rejected")
+	}
+	leak := trace.Trace{trace.Deliver(2, msg(1, 0, "secret"))}
+	if p.Holds(leak) {
+		t.Error("trusted->untrusted leak accepted")
+	}
+}
+
+func TestNoReplay(t *testing.T) {
+	p := NoReplay{}
+	// Same body, different messages, same process: replay.
+	replay := trace.Trace{
+		trace.Deliver(0, msg(1, 0, "pay")),
+		trace.Deliver(0, msg(2, 1, "pay")),
+	}
+	if p.Holds(replay) {
+		t.Error("body replay accepted")
+	}
+	// Same body at different processes: fine.
+	spread := trace.Trace{
+		trace.Deliver(0, msg(1, 0, "pay")),
+		trace.Deliver(1, msg(1, 0, "pay")),
+	}
+	if !p.Holds(spread) {
+		t.Error("cross-process same body rejected")
+	}
+	distinct := trace.Trace{
+		trace.Deliver(0, msg(1, 0, "a")),
+		trace.Deliver(0, msg(2, 0, "b")),
+	}
+	if !p.Holds(distinct) {
+		t.Error("distinct bodies rejected")
+	}
+}
+
+func TestPrioritizedDelivery(t *testing.T) {
+	p := PrioritizedDelivery{Master: 0}
+	m1 := msg(1, 1, "a")
+	good := trace.Trace{trace.Deliver(0, m1), trace.Deliver(1, m1), trace.Deliver(2, m1)}
+	if !p.Holds(good) {
+		t.Error("master-first trace rejected")
+	}
+	bad := trace.Trace{trace.Deliver(1, m1), trace.Deliver(0, m1)}
+	if p.Holds(bad) {
+		t.Error("non-master-first accepted")
+	}
+	never := trace.Trace{trace.Deliver(1, m1)}
+	if p.Holds(never) {
+		t.Error("delivery the master never made accepted")
+	}
+	masterOnly := trace.Trace{trace.Deliver(0, m1)}
+	if !p.Holds(masterOnly) {
+		t.Error("master-only delivery rejected")
+	}
+}
+
+func TestAmoeba(t *testing.T) {
+	p := Amoeba{}
+	m1, m2 := msg(1, 0, "a"), msg(2, 0, "b")
+	good := trace.Trace{
+		trace.Send(m1), trace.Deliver(0, m1),
+		trace.Send(m2), trace.Deliver(0, m2),
+	}
+	if !p.Holds(good) {
+		t.Error("disciplined trace rejected")
+	}
+	bad := trace.Trace{trace.Send(m1), trace.Send(m2)}
+	if p.Holds(bad) {
+		t.Error("send-while-awaiting accepted")
+	}
+	// Deliveries of others' messages do not unblock.
+	other := msg(3, 1, "x")
+	stillBad := trace.Trace{trace.Send(m1), trace.Deliver(0, other), trace.Send(m2)}
+	if p.Holds(stillBad) {
+		t.Error("unblocked by another process's message")
+	}
+	// An outstanding send at the end of the trace is not a violation.
+	pending := trace.Trace{trace.Send(m1)}
+	if !p.Holds(pending) {
+		t.Error("trailing outstanding send rejected")
+	}
+	// Two different senders interleave freely.
+	m3 := msg(4, 1, "y")
+	interleaved := trace.Trace{trace.Send(m1), trace.Send(m3)}
+	if !p.Holds(interleaved) {
+		t.Error("independent senders rejected")
+	}
+}
+
+func TestVirtualSynchrony(t *testing.T) {
+	p := VirtualSynchrony{InitialView: ids.Procs(3)}
+	v := viewMsg(10, 0, 0, 1) // new view {0,1}, excluding 2
+	data2 := msg(1, 2, "from-2")
+	// Before the view change, 2's messages are fine.
+	before := trace.Trace{trace.Deliver(0, data2)}
+	if !p.Holds(before) {
+		t.Error("initial-view delivery rejected")
+	}
+	// After delivering the view, 2 is out.
+	after := trace.Trace{trace.Deliver(0, v), trace.Deliver(0, data2)}
+	if p.Holds(after) {
+		t.Error("out-of-view delivery accepted")
+	}
+	// Views are per-process: 1 hasn't seen the view yet.
+	mixed := trace.Trace{trace.Deliver(0, v), trace.Deliver(1, data2)}
+	if !p.Holds(mixed) {
+		t.Error("per-process view state not honoured")
+	}
+	// View messages themselves are always deliverable.
+	viewFromOutsider := viewMsg(11, 2, 0, 1, 2)
+	vv := trace.Trace{trace.Deliver(0, v), trace.Deliver(0, viewFromOutsider), trace.Deliver(0, data2)}
+	if !p.Holds(vv) {
+		t.Error("re-admitting view rejected")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	props := Table1(3)
+	if len(props) != 8 {
+		t.Fatalf("Table1 returned %d properties, want 8", len(props))
+	}
+	names := map[string]bool{}
+	for _, p := range props {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{
+		"Reliability", "Total Order", "Integrity", "Confidentiality",
+		"No Replay", "Prioritized Delivery", "Amoeba", "Virtual Synchrony",
+	} {
+		if !names[want] {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Table1(1) did not panic")
+		}
+	}()
+	Table1(1)
+}
+
+// Every Table 1 property must accept the empty trace (properties are
+// conditions on what happens, not on that something happens — except
+// Reliability, which also accepts it vacuously).
+func TestEmptyTraceAccepted(t *testing.T) {
+	for _, p := range Table1(3) {
+		if !p.Holds(nil) {
+			t.Errorf("%s rejects the empty trace", p.Name())
+		}
+	}
+}

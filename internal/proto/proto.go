@@ -1,0 +1,95 @@
+// Package proto defines the protocol-composition framework of §3 of the
+// paper: a protocol is a module with a top and a bottom side; applications
+// submit Send events at the top, the network delivers at the bottom, and
+// the symmetry makes protocols "closed under composition — a stack of
+// protocols is another protocol", composable like Lego blocks.
+//
+// A Layer exchanges raw byte payloads with its neighbours: going down it
+// prepends its own header (package wire), going up it strips it. Every
+// process in a group runs the same stack.
+package proto
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// ErrUnsupported is returned by layers asked for an operation they do not
+// provide (e.g. point-to-point send through a multicast-only layer).
+var ErrUnsupported = errors.New("proto: operation not supported by this layer")
+
+// Timer is a cancellable scheduled callback, satisfied by both the
+// discrete-event and the real-time runtimes.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the call prevented the
+	// timer from firing.
+	Stop() bool
+	// Active reports whether the timer is still pending.
+	Active() bool
+}
+
+// Env provides the runtime services available to a layer at one process.
+// Implementations exist for the discrete-event simulator (deterministic)
+// and for a goroutine-based real-time runtime; protocol code cannot tell
+// which it runs on.
+type Env interface {
+	// Self returns this process's identity.
+	Self() ids.ProcID
+	// Members returns the group membership (stable for an execution).
+	Members() []ids.ProcID
+	// Ring returns the logical ring over the membership.
+	Ring() *ids.Ring
+	// Now returns the current time (virtual or wall-clock) since start.
+	Now() time.Duration
+	// After schedules fn to run once after d.
+	After(d time.Duration, fn func()) Timer
+	// Rand returns the process's random stream (seeded in simulation).
+	Rand() *rand.Rand
+}
+
+// Down is a layer's handle to the layer beneath it (ultimately the
+// network).
+type Down interface {
+	// Cast multicasts payload to the whole group, including the caller's
+	// own process (protocols rely on hearing their own multicasts).
+	Cast(payload []byte) error
+	// Send sends payload point-to-point to dst.
+	Send(dst ids.ProcID, payload []byte) error
+}
+
+// Up is a layer's handle to the layer above it (ultimately the
+// application).
+type Up interface {
+	// Deliver passes a payload up. src is the message's original sender
+	// as reconstructed by the delivering layer.
+	Deliver(src ids.ProcID, payload []byte)
+}
+
+// UpFunc adapts a function to the Up interface.
+type UpFunc func(src ids.ProcID, payload []byte)
+
+// Deliver implements Up.
+func (f UpFunc) Deliver(src ids.ProcID, payload []byte) { f(src, payload) }
+
+var _ Up = UpFunc(nil)
+
+// Layer is one protocol in a stack. Lifecycle: construct, Init exactly
+// once, then any number of Cast/Send (from above) and Recv (from below)
+// calls, then Stop.
+type Layer interface {
+	// Init wires the layer between its neighbours.
+	Init(env Env, down Down, up Up) error
+	// Cast handles a multicast request from the layer above.
+	Cast(payload []byte) error
+	// Send handles a point-to-point request from the layer above.
+	// Layers without point-to-point semantics return ErrUnsupported.
+	Send(dst ids.ProcID, payload []byte) error
+	// Recv handles a payload arriving from the layer below; src is the
+	// sender as reported by that layer.
+	Recv(src ids.ProcID, payload []byte)
+	// Stop cancels timers and releases resources. Idempotent.
+	Stop()
+}

@@ -1,0 +1,117 @@
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// Stack composes layers top-to-bottom at one process, wiring each
+// layer's Down to the layer beneath and each layer's Up to the layer
+// above. The composition is itself Layer-shaped — the paper's "a stack
+// of protocols is another protocol".
+type Stack struct {
+	layers []Layer // layers[0] is the top
+	// passApp/passTransport carry the endpoints for the degenerate
+	// zero-layer stack, which is a pure passthrough.
+	passApp       Up
+	passTransport Down
+}
+
+// layerDown adapts the layer beneath into the Down interface.
+type layerDown struct{ l Layer }
+
+func (d layerDown) Cast(payload []byte) error                 { return d.l.Cast(payload) }
+func (d layerDown) Send(dst ids.ProcID, payload []byte) error { return d.l.Send(dst, payload) }
+
+var _ Down = layerDown{}
+
+// layerUp adapts the layer above into the Up interface.
+type layerUp struct{ l Layer }
+
+func (u layerUp) Deliver(src ids.ProcID, payload []byte) { u.l.Recv(src, payload) }
+
+var _ Up = layerUp{}
+
+// Build initializes layers (given top-first) between the application
+// (app, receiving final deliveries) and the transport (the Down at the
+// very bottom). An empty layer list yields a passthrough stack that
+// casts straight to the transport and delivers straight to the app —
+// useful as a degenerate case in tests.
+func Build(env Env, app Up, transport Down, layers ...Layer) (*Stack, error) {
+	if env == nil || app == nil || transport == nil {
+		return nil, fmt.Errorf("proto: Build requires env, app and transport")
+	}
+	s := &Stack{layers: layers}
+	for i, l := range layers {
+		var down Down
+		if i == len(layers)-1 {
+			down = transport
+		} else {
+			down = layerDown{layers[i+1]}
+		}
+		var up Up
+		if i == 0 {
+			up = app
+		} else {
+			up = layerUp{layers[i-1]}
+		}
+		if err := l.Init(env, down, up); err != nil {
+			return nil, fmt.Errorf("proto: init layer %d: %w", i, err)
+		}
+	}
+	if len(layers) == 0 {
+		s.passApp, s.passTransport = app, transport
+	}
+	return s, nil
+}
+
+func (s *Stack) top() Layer {
+	if len(s.layers) == 0 {
+		return nil
+	}
+	return s.layers[0]
+}
+
+func (s *Stack) bottom() Layer {
+	if len(s.layers) == 0 {
+		return nil
+	}
+	return s.layers[len(s.layers)-1]
+}
+
+// Cast multicasts an application payload through the stack.
+func (s *Stack) Cast(payload []byte) error {
+	if t := s.top(); t != nil {
+		return t.Cast(payload)
+	}
+	return s.passTransport.Cast(payload)
+}
+
+// Send sends point-to-point through the stack.
+func (s *Stack) Send(dst ids.ProcID, payload []byte) error {
+	if t := s.top(); t != nil {
+		return t.Send(dst, payload)
+	}
+	return s.passTransport.Send(dst, payload)
+}
+
+// Recv injects a payload arriving from the transport; runtimes bind the
+// network handler to this method.
+func (s *Stack) Recv(src ids.ProcID, payload []byte) {
+	if b := s.bottom(); b != nil {
+		b.Recv(src, payload)
+		return
+	}
+	s.passApp.Deliver(src, payload)
+}
+
+// Stop stops every layer, top first.
+func (s *Stack) Stop() {
+	for _, l := range s.layers {
+		l.Stop()
+	}
+}
+
+// Len returns the number of layers.
+func (s *Stack) Len() int { return len(s.layers) }

@@ -1,0 +1,104 @@
+// Package amoeba implements the Amoeba property of Table 1 of the paper
+// — "a process is blocked from sending while it is awaiting its own
+// messages" [8]. A process with an outstanding multicast queues
+// subsequent sends until it has delivered its own message.
+//
+// Amoeba is the paper's example of a property that is neither
+// *delayable* nor *send enabled* (§5.3–5.4): layering delays reorder a
+// process's local Send/Deliver interleaving, and appending new Send
+// events violates the blocking discipline outright. It is therefore not
+// preserved by the switching protocol; the switching package's tests
+// demonstrate the violation.
+package amoeba
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Layer enforces the Amoeba send-blocking discipline.
+type Layer struct {
+	env  proto.Env
+	down proto.Down
+	up   proto.Up
+
+	// nextSeq numbers this process's own casts so their loopback
+	// deliveries can be recognized.
+	nextSeq uint64
+	// outstanding is the seq of the own cast currently awaited, if any.
+	outstanding uint64
+	waiting     bool
+	// queue holds payloads blocked behind the outstanding cast.
+	queue [][]byte
+}
+
+var _ proto.Layer = (*Layer)(nil)
+
+// New creates an Amoeba-discipline layer.
+func New() *Layer { return &Layer{} }
+
+// Init implements proto.Layer.
+func (l *Layer) Init(env proto.Env, down proto.Down, up proto.Up) error {
+	if env == nil || down == nil || up == nil {
+		return fmt.Errorf("amoeba: nil wiring")
+	}
+	l.env, l.down, l.up = env, down, up
+	return nil
+}
+
+// Stop implements proto.Layer.
+func (l *Layer) Stop() {}
+
+// Blocked reports whether the process is currently blocked from sending.
+func (l *Layer) Blocked() bool { return l.waiting }
+
+// QueueLen returns the number of casts waiting behind the outstanding
+// message.
+func (l *Layer) QueueLen() int { return len(l.queue) }
+
+// Cast implements proto.Layer: block while awaiting our own message.
+func (l *Layer) Cast(payload []byte) error {
+	if l.waiting {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		l.queue = append(l.queue, buf)
+		return nil
+	}
+	return l.castNow(payload)
+}
+
+func (l *Layer) castNow(payload []byte) error {
+	seq := l.nextSeq
+	l.nextSeq++
+	l.outstanding = seq
+	l.waiting = true
+	e := wire.NewEncoder(12)
+	e.Uvarint(seq)
+	return l.down.Cast(e.Prepend(payload))
+}
+
+// Send implements proto.Layer: not part of this protocol.
+func (l *Layer) Send(ids.ProcID, []byte) error { return proto.ErrUnsupported }
+
+// Recv implements proto.Layer.
+func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
+	d := wire.NewDecoder(pkt)
+	seq := d.Uvarint()
+	if d.Err() != nil {
+		return
+	}
+	payload := d.Remaining()
+	l.up.Deliver(src, payload)
+	if src == l.env.Self() && l.waiting && seq == l.outstanding {
+		// Our own message came back: unblock and drain one queued cast.
+		l.waiting = false
+		if len(l.queue) > 0 {
+			next := l.queue[0]
+			l.queue = l.queue[1:]
+			_ = l.castNow(next)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package amoeba
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/ptest"
+	"repro/internal/simnet"
+)
+
+func newUnit(t *testing.T, self ids.ProcID) (*Layer, *ptest.RecordDown, *ptest.RecordUp) {
+	t.Helper()
+	l := New()
+	down := &ptest.RecordDown{}
+	up := &ptest.RecordUp{}
+	if err := l.Init(ptest.NewFakeEnv(self, 2), down, up); err != nil {
+		t.Fatal(err)
+	}
+	return l, down, up
+}
+
+func TestFirstCastGoesOut(t *testing.T) {
+	l, down, _ := newUnit(t, 0)
+	if err := l.Cast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if len(down.Casts) != 1 {
+		t.Fatal("first cast did not go out")
+	}
+	if !l.Blocked() {
+		t.Error("sender should be blocked awaiting its own message")
+	}
+}
+
+func TestSecondCastBlocksUntilOwnDelivery(t *testing.T) {
+	l, down, _ := newUnit(t, 0)
+	if err := l.Cast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Cast([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if len(down.Casts) != 1 {
+		t.Fatalf("second cast escaped while blocked: %d casts", len(down.Casts))
+	}
+	if l.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d, want 1", l.QueueLen())
+	}
+	// Own message loops back: unblocks and drains the queue head.
+	l.Recv(0, down.Casts[0])
+	if len(down.Casts) != 2 {
+		t.Fatal("queued cast not sent after unblock")
+	}
+	if !l.Blocked() {
+		t.Error("should re-block for the drained cast")
+	}
+}
+
+func TestOthersMessagesDoNotUnblock(t *testing.T) {
+	l, down, _ := newUnit(t, 0)
+	if err := l.Cast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// A message from p1 (same wire format) must not unblock p0.
+	other, otherDown, _ := newUnit(t, 1)
+	if err := other.Cast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	l.Recv(1, otherDown.Casts[0])
+	if !l.Blocked() {
+		t.Error("unblocked by someone else's message")
+	}
+	_ = down
+}
+
+func TestDeliveriesPassThroughWhileBlocked(t *testing.T) {
+	l, _, up := newUnit(t, 0)
+	if err := l.Cast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	other, otherDown, _ := newUnit(t, 1)
+	if err := other.Cast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	l.Recv(1, otherDown.Casts[0])
+	if len(up.Deliveries) != 1 || string(up.Deliveries[0].Payload) != "x" {
+		t.Error("blocked sender failed to deliver others' messages")
+	}
+}
+
+func TestEndToEndDiscipline(t *testing.T) {
+	cfg := simnet.Config{Nodes: 3, PropDelay: time.Millisecond}
+	var layers []*Layer
+	c, err := ptest.New(1, cfg, 3, func(proto.Env) []proto.Layer {
+		l := New()
+		layers = append(layers, l)
+		return []proto.Layer{l, fifo.New(fifo.Config{})}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All queued behind the first: only one in flight at a time.
+	if layers[0].QueueLen() != 4 {
+		t.Fatalf("QueueLen = %d, want 4", layers[0].QueueLen())
+	}
+	c.Run(5 * time.Second)
+	for p := 0; p < 3; p++ {
+		got := c.Bodies(ids.ProcID(p))
+		if len(got) != 5 {
+			t.Fatalf("member %d delivered %d, want 5: %v", p, len(got), got)
+		}
+	}
+	if layers[0].Blocked() || layers[0].QueueLen() != 0 {
+		t.Error("sender did not fully drain")
+	}
+}
+
+func TestQueueCopiesPayload(t *testing.T) {
+	l, down, _ := newUnit(t, 0)
+	if err := l.Cast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("queued")
+	if err := l.Cast(payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X'
+	l.Recv(0, down.Casts[0])
+	if string(down.Casts[1][1:]) != "queued" { // skip 1-byte varint seq header
+		t.Errorf("queued payload aliased: %q", down.Casts[1])
+	}
+}
+
+func TestSendUnsupported(t *testing.T) {
+	if err := New().Send(1, nil); err != proto.ErrUnsupported {
+		t.Error("Send should be unsupported")
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	if err := New().Init(nil, nil, nil); err == nil {
+		t.Error("Init accepted nil wiring")
+	}
+}
+
+func TestGarbageIgnored(t *testing.T) {
+	l, _, up := newUnit(t, 0)
+	l.Recv(1, nil)
+	if len(up.Deliveries) != 0 {
+		t.Error("garbage delivered")
+	}
+}

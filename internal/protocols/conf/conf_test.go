@@ -1,0 +1,158 @@
+package conf
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/ptest"
+	"repro/internal/simnet"
+)
+
+var groupKey = []byte("0123456789abcdef") // AES-128
+
+func mustNew(t *testing.T, key []byte) *Layer {
+	t.Helper()
+	l, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestKeyValidation(t *testing.T) {
+	if _, err := New([]byte("short")); err == nil {
+		t.Error("New accepted an invalid AES key length")
+	}
+	for _, n := range []int{16, 24, 32} {
+		if _, err := New(make([]byte, n)); err != nil {
+			t.Errorf("New rejected %d-byte key: %v", n, err)
+		}
+	}
+}
+
+func TestEncryptedCastDelivers(t *testing.T) {
+	c, err := ptest.New(1, simnet.Config{Nodes: 3, PropDelay: time.Millisecond}, 3,
+		func(proto.Env) []proto.Layer {
+			l, err := New(groupKey)
+			if err != nil {
+				panic(err)
+			}
+			return []proto.Layer{l}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cast(0, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	for p := 0; p < 3; p++ {
+		if got := c.Bodies(ids.ProcID(p)); len(got) != 1 || got[0] != "secret" {
+			t.Fatalf("member %d got %v", p, got)
+		}
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	l := mustNew(t, groupKey)
+	down := &ptest.RecordDown{}
+	if err := l.Init(ptest.NewFakeEnv(0, 2), down, &ptest.RecordUp{}); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("attack at dawn")
+	if err := l.Cast(secret); err != nil {
+		t.Fatal(err)
+	}
+	if len(down.Casts) != 1 {
+		t.Fatal("no cast recorded")
+	}
+	if bytes.Contains(down.Casts[0], secret) {
+		t.Error("ciphertext contains the plaintext — confidentiality broken")
+	}
+}
+
+func TestWrongKeyYieldsGarbage(t *testing.T) {
+	// "Non-trusted processes cannot see messages from trusted
+	// processes": a receiver with the wrong key gets bytes that do not
+	// match the plaintext.
+	sender := mustNew(t, groupKey)
+	down := &ptest.RecordDown{}
+	if err := sender.Init(ptest.NewFakeEnv(0, 2), down, &ptest.RecordUp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Cast([]byte("attack at dawn")); err != nil {
+		t.Fatal(err)
+	}
+	eavesdropper := mustNew(t, []byte("ffffffffffffffff"))
+	up := &ptest.RecordUp{}
+	if err := eavesdropper.Init(ptest.NewFakeEnv(1, 2), &ptest.RecordDown{}, up); err != nil {
+		t.Fatal(err)
+	}
+	eavesdropper.Recv(0, down.Casts[0])
+	if len(up.Deliveries) != 1 {
+		t.Fatal("CTR decryption always produces bytes; expected a delivery")
+	}
+	if string(up.Deliveries[0].Payload) == "attack at dawn" {
+		t.Error("eavesdropper recovered the plaintext")
+	}
+}
+
+func TestSendPathEncrypts(t *testing.T) {
+	l := mustNew(t, groupKey)
+	down := &ptest.RecordDown{}
+	if err := l.Init(ptest.NewFakeEnv(0, 2), down, &ptest.RecordUp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Send(1, []byte("p2p-secret")); err != nil {
+		t.Fatal(err)
+	}
+	if len(down.Sends) != 1 || down.Sends[0].Dst != 1 {
+		t.Fatal("send not forwarded")
+	}
+	if bytes.Contains(down.Sends[0].Payload, []byte("p2p-secret")) {
+		t.Error("send path leaked plaintext")
+	}
+}
+
+func TestNoncesAreFresh(t *testing.T) {
+	l := mustNew(t, groupKey)
+	down := &ptest.RecordDown{}
+	if err := l.Init(ptest.NewFakeEnv(0, 2), down, &ptest.RecordUp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Cast([]byte("same")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Cast([]byte("same")); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(down.Casts[0], down.Casts[1]) {
+		t.Error("identical plaintexts produced identical ciphertexts (nonce reuse)")
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	l := mustNew(t, groupKey)
+	up := &ptest.RecordUp{}
+	if err := l.Init(ptest.NewFakeEnv(0, 2), &ptest.RecordDown{}, up); err != nil {
+		t.Fatal(err)
+	}
+	l.Recv(0, nil)
+	l.Recv(0, []byte{3, 1, 2, 3}) // nonce length 3: invalid
+	if len(up.Deliveries) != 0 {
+		t.Error("garbage delivered")
+	}
+	if l.Rejected() != 2 {
+		t.Errorf("Rejected = %d, want 2", l.Rejected())
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	l := mustNew(t, groupKey)
+	if err := l.Init(nil, nil, nil); err == nil {
+		t.Error("Init accepted nil wiring")
+	}
+}

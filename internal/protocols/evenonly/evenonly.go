@@ -1,0 +1,71 @@
+// Package evenonly materializes the paper's §5.1 thought experiment: a
+// protocol whose only guarantee is that "every second message is
+// eventually delivered". Odd-numbered casts (per sender) are dropped
+// deliberately; even-numbered ones ride the reliable layer below.
+//
+// The §5.1 point, demonstrated live in the switching tests: each
+// instance counts "second" within its own stream, so when the switching
+// protocol splits a sender's stream across two instances, a globally
+// even-numbered message can land as a locally odd-numbered one — and
+// neither protocol owes it delivery. The property is not safe, not
+// send-enabled, not memoryless and not composable (see
+// property.EverySecondDelivered and the metaprop extension matrix);
+// the SP preserves none of the guarantees it would need.
+package evenonly
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+)
+
+// Layer drops each sender's odd-numbered casts.
+type Layer struct {
+	env  proto.Env
+	down proto.Down
+	up   proto.Up
+	// sent counts this process's casts; odd ones are dropped.
+	sent uint64
+	// dropped counts deliberately dropped casts.
+	dropped uint64
+}
+
+var _ proto.Layer = (*Layer)(nil)
+
+// New creates an every-second-only layer.
+func New() *Layer { return &Layer{} }
+
+// Init implements proto.Layer.
+func (l *Layer) Init(env proto.Env, down proto.Down, up proto.Up) error {
+	if env == nil || down == nil || up == nil {
+		return fmt.Errorf("evenonly: nil wiring")
+	}
+	l.env, l.down, l.up = env, down, up
+	return nil
+}
+
+// Stop implements proto.Layer.
+func (l *Layer) Stop() {}
+
+// Dropped returns the number of odd-numbered casts discarded.
+func (l *Layer) Dropped() uint64 { return l.dropped }
+
+// Cast implements proto.Layer: forward even-numbered casts, drop the
+// rest — precisely the §5.1 contract, nothing more.
+func (l *Layer) Cast(payload []byte) error {
+	l.sent++
+	if l.sent%2 != 0 {
+		l.dropped++
+		return nil
+	}
+	return l.down.Cast(payload)
+}
+
+// Send implements proto.Layer: not part of this protocol.
+func (l *Layer) Send(ids.ProcID, []byte) error { return proto.ErrUnsupported }
+
+// Recv implements proto.Layer (passthrough).
+func (l *Layer) Recv(src ids.ProcID, payload []byte) {
+	l.up.Deliver(src, payload)
+}

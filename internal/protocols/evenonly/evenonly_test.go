@@ -1,0 +1,82 @@
+package evenonly
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/ptest"
+	"repro/internal/simnet"
+)
+
+func TestOddDroppedEvenDelivered(t *testing.T) {
+	var layers []*Layer
+	c, err := ptest.New(1, simnet.Config{Nodes: 3, PropDelay: time.Millisecond}, 3,
+		func(proto.Env) []proto.Layer {
+			l := New()
+			layers = append(layers, l)
+			return []proto.Layer{l, fifo.New(fifo.Config{})}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(2 * time.Second)
+	c.Stop()
+	for p := 0; p < 3; p++ {
+		got := c.Bodies(ids.ProcID(p))
+		want := []string{"m2", "m4", "m6"}
+		if len(got) != len(want) {
+			t.Fatalf("member %d delivered %v, want %v", p, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("member %d delivered %v, want %v", p, got, want)
+			}
+		}
+	}
+	if layers[0].Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", layers[0].Dropped())
+	}
+}
+
+func TestPerSenderCounting(t *testing.T) {
+	c, err := ptest.New(1, simnet.Config{Nodes: 2, PropDelay: time.Millisecond}, 2,
+		func(proto.Env) []proto.Layer {
+			return []proto.Layer{New(), fifo.New(fifo.Config{})}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cast per member: both are their sender's #1 — dropped.
+	if err := c.Cast(0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cast(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	c.Stop()
+	if got := c.Bodies(0); len(got) != 0 {
+		t.Errorf("delivered %v, want nothing (both odd)", got)
+	}
+}
+
+func TestSendUnsupported(t *testing.T) {
+	if err := New().Send(1, nil); err != proto.ErrUnsupported {
+		t.Error("Send should be unsupported")
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	if err := New().Init(nil, nil, nil); err == nil {
+		t.Error("nil wiring accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package fd implements a heartbeat failure detector — the substrate
+// that lets the view-change switching mechanism of §8 evict crashed
+// members at run time. (The paper's token-ring SP assumes crash-free
+// members: a single crash-stop failure silently wedges its token ring,
+// which the switching tests demonstrate; the view switch with this
+// detector reconfigures around the crash instead.)
+//
+// Each member multicasts a heartbeat every Interval on the detector's
+// private channel; a member not heard from for Timeout becomes
+// *suspected*. The detector is eventually perfect in this crash-stop
+// model without network partitions: every crashed member is eventually
+// suspected, and a live member is only mis-suspected while messages are
+// delayed beyond Timeout (suspicion is withdrawn when a heartbeat
+// arrives).
+package fd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Interval between heartbeats. Defaults to 20ms.
+	Interval time.Duration
+	// Timeout without a heartbeat before suspecting a member.
+	// Defaults to 5× Interval.
+	Timeout time.Duration
+	// OnSuspect fires (once per transition) when a member becomes
+	// suspected.
+	OnSuspect func(p ids.ProcID)
+	// OnRestore fires when a suspected member is heard from again.
+	OnRestore func(p ids.ProcID)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 20 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * c.Interval
+	}
+	return c
+}
+
+// Detector is one member's failure-detector endpoint. It is not a
+// protocol layer: it sits on its own multiplex channel beside the
+// protocol stacks and only consumes heartbeats.
+type Detector struct {
+	cfg  Config
+	env  proto.Env
+	down proto.Down
+
+	lastSeen  map[ids.ProcID]time.Duration
+	suspected map[ids.ProcID]bool
+
+	timers  []proto.Timer
+	stopped bool
+}
+
+// New creates a detector.
+func New(cfg Config) *Detector {
+	return &Detector{
+		cfg:       cfg.withDefaults(),
+		lastSeen:  make(map[ids.ProcID]time.Duration),
+		suspected: make(map[ids.ProcID]bool),
+	}
+}
+
+// Init wires the detector to its channel and starts heartbeating.
+func (d *Detector) Init(env proto.Env, down proto.Down) error {
+	if env == nil || down == nil {
+		return fmt.Errorf("fd: nil wiring")
+	}
+	d.env, d.down = env, down
+	// Everyone starts un-suspected with a fresh grace period.
+	for _, p := range env.Members() {
+		d.lastSeen[p] = env.Now()
+	}
+	d.tick(d.cfg.Interval, d.beat)
+	d.tick(d.cfg.Interval, d.check)
+	return nil
+}
+
+func (d *Detector) tick(every time.Duration, fn func()) {
+	var arm func()
+	arm = func() {
+		if d.stopped {
+			return
+		}
+		t := d.env.After(every, func() {
+			if d.stopped {
+				return
+			}
+			fn()
+			arm()
+		})
+		d.timers = append(d.timers, t)
+	}
+	arm()
+}
+
+// Stop halts heartbeating and checking.
+func (d *Detector) Stop() {
+	d.stopped = true
+	for _, t := range d.timers {
+		t.Stop()
+	}
+	d.timers = nil
+}
+
+// Recv consumes a heartbeat; wire the detector's multiplex channel
+// here.
+func (d *Detector) Recv(src ids.ProcID, _ []byte) {
+	if d.stopped {
+		return
+	}
+	d.lastSeen[src] = d.env.Now()
+	if d.suspected[src] {
+		delete(d.suspected, src)
+		if d.cfg.OnRestore != nil {
+			d.cfg.OnRestore(src)
+		}
+	}
+}
+
+// Suspected reports whether p is currently suspected.
+func (d *Detector) Suspected(p ids.ProcID) bool { return d.suspected[p] }
+
+// Suspects returns the currently suspected members, in ring order.
+func (d *Detector) Suspects() []ids.ProcID {
+	var out []ids.ProcID
+	for _, p := range d.env.Members() {
+		if d.suspected[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Live returns the members not currently suspected, in ring order.
+func (d *Detector) Live() []ids.ProcID {
+	var out []ids.ProcID
+	for _, p := range d.env.Members() {
+		if !d.suspected[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// beat multicasts one heartbeat.
+func (d *Detector) beat() {
+	_ = d.down.Cast([]byte{1})
+}
+
+// check suspects members whose heartbeats stopped.
+func (d *Detector) check() {
+	now := d.env.Now()
+	for _, p := range d.env.Members() {
+		if p == d.env.Self() || d.suspected[p] {
+			continue
+		}
+		if now-d.lastSeen[p] > d.cfg.Timeout {
+			d.suspected[p] = true
+			if d.cfg.OnSuspect != nil {
+				d.cfg.OnSuspect(p)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package fd_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/ids"
+	"repro/internal/protocols/fd"
+	"repro/internal/runtime/simenv"
+	"repro/internal/simnet"
+)
+
+// harness builds n detectors over a simulated network.
+type harness struct {
+	sim  *des.Sim
+	net  *simnet.Network
+	dets []*fd.Detector
+	// suspectedBy[watcher] accumulates suspicion callbacks.
+	suspectedBy map[ids.ProcID][]ids.ProcID
+	restoredBy  map[ids.ProcID][]ids.ProcID
+}
+
+func build(t *testing.T, n int, cfg fd.Config) *harness {
+	t.Helper()
+	sim := des.New(1)
+	net, err := simnet.New(sim, simnet.Config{Nodes: n, PropDelay: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := simenv.NewGroup(sim, net, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{
+		sim:         sim,
+		net:         net,
+		suspectedBy: make(map[ids.ProcID][]ids.ProcID),
+		restoredBy:  make(map[ids.ProcID][]ids.ProcID),
+	}
+	for _, node := range group.Nodes() {
+		self := node.Self()
+		c := cfg
+		c.OnSuspect = func(p ids.ProcID) { h.suspectedBy[self] = append(h.suspectedBy[self], p) }
+		c.OnRestore = func(p ids.ProcID) { h.restoredBy[self] = append(h.restoredBy[self], p) }
+		det := fd.New(c)
+		if err := det.Init(node, node.Transport()); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.BindStack(det.Recv); err != nil {
+			t.Fatal(err)
+		}
+		h.dets = append(h.dets, det)
+	}
+	return h
+}
+
+func (h *harness) stop() {
+	for _, d := range h.dets {
+		d.Stop()
+	}
+}
+
+func TestNoFalseSuspicionsWhenHealthy(t *testing.T) {
+	h := build(t, 4, fd.Config{Interval: 10 * time.Millisecond})
+	h.sim.RunUntil(2 * time.Second)
+	h.stop()
+	for w, s := range h.suspectedBy {
+		if len(s) != 0 {
+			t.Errorf("healthy group: %v suspected %v", w, s)
+		}
+	}
+	for p, d := range h.dets {
+		if got := d.Live(); len(got) != 4 {
+			t.Errorf("detector %d Live() = %v", p, got)
+		}
+	}
+}
+
+func TestCrashedMemberSuspectedByAll(t *testing.T) {
+	h := build(t, 4, fd.Config{Interval: 10 * time.Millisecond})
+	h.sim.RunUntil(200 * time.Millisecond)
+	h.net.Crash(2)
+	h.sim.RunUntil(2 * time.Second)
+	h.stop()
+	for w := 0; w < 4; w++ {
+		if w == 2 {
+			continue // the dead don't testify
+		}
+		if !h.dets[w].Suspected(2) {
+			t.Errorf("member %d never suspected the crashed p2", w)
+		}
+		if got := h.dets[w].Suspects(); len(got) != 1 || got[0] != 2 {
+			t.Errorf("member %d Suspects() = %v", w, got)
+		}
+		if got := h.dets[w].Live(); len(got) != 3 {
+			t.Errorf("member %d Live() = %v", w, got)
+		}
+	}
+}
+
+func TestSuspicionWithdrawnOnRecovery(t *testing.T) {
+	// A partition (not a crash) heals: suspicion must be withdrawn.
+	h := build(t, 3, fd.Config{Interval: 10 * time.Millisecond})
+	h.sim.RunUntil(100 * time.Millisecond)
+	h.net.Block(1, 0) // p0 stops hearing p1
+	h.sim.RunUntil(500 * time.Millisecond)
+	if !h.dets[0].Suspected(1) {
+		t.Fatal("p0 never suspected the partitioned p1")
+	}
+	h.net.Unblock(1, 0)
+	h.sim.RunUntil(time.Second)
+	h.stop()
+	if h.dets[0].Suspected(1) {
+		t.Error("suspicion not withdrawn after the partition healed")
+	}
+	if len(h.restoredBy[0]) == 0 {
+		t.Error("OnRestore never fired")
+	}
+}
+
+func TestSuspectFiresOncePerTransition(t *testing.T) {
+	h := build(t, 2, fd.Config{Interval: 10 * time.Millisecond})
+	h.sim.RunUntil(100 * time.Millisecond)
+	h.net.Crash(1)
+	h.sim.RunUntil(3 * time.Second)
+	h.stop()
+	if got := len(h.suspectedBy[0]); got != 1 {
+		t.Errorf("OnSuspect fired %d times, want 1", got)
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	if err := fd.New(fd.Config{}).Init(nil, nil); err == nil {
+		t.Error("nil wiring accepted")
+	}
+}
+
+func TestStopSilences(t *testing.T) {
+	h := build(t, 2, fd.Config{Interval: 10 * time.Millisecond})
+	h.stop()
+	// After Stop the simulator must drain (timers cancelled).
+	if err := h.sim.Run(10000); err != nil {
+		t.Errorf("timers kept rearming after Stop: %v", err)
+	}
+}

@@ -1,0 +1,485 @@
+// Package fifo implements reliable FIFO multicast and unicast — the
+// substrate both total-order protocols of the paper sit on. It provides
+// exactly the guarantees the switching protocol assumes of its underlying
+// protocols (§2): no spurious deliveries, at-most-once delivery, and —
+// for liveness — exactly-once delivery even across message loss.
+//
+// Mechanism: per-stream sequence numbers with receiver-side reordering,
+// NACK-based retransmission for gap repair, sender heartbeats for
+// tail-loss detection, and cumulative acknowledgements for send-buffer
+// garbage collection.
+package fifo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Packet kinds on the wire.
+const (
+	kindCast      uint8 = iota + 1 // multicast data: seq, payload
+	kindSend                       // unicast data: seq, payload
+	kindNack                       // repair request: stream kind, seq
+	kindAck                        // cumulative acks: castNext, sendNext
+	kindHeartbeat                  // sender's next cast seq (tail-loss probe)
+)
+
+// Config tunes the reliability machinery. The zero value is completed by
+// DefaultConfig.
+type Config struct {
+	// ResendInterval is how often a receiver re-requests missing
+	// packets while it has gaps.
+	ResendInterval time.Duration
+	// AckInterval is how often a receiver sends cumulative acks (which
+	// garbage-collect the sender's retransmission buffers).
+	AckInterval time.Duration
+	// HeartbeatInterval is how often a sender with unacknowledged data
+	// announces its stream position so receivers can detect tail loss.
+	HeartbeatInterval time.Duration
+	// CastWindow bounds the number of unacknowledged outgoing casts
+	// (flow control): further casts queue locally until acks free
+	// window space. Zero means unlimited.
+	CastWindow int
+}
+
+// DefaultConfig returns production-ish defaults for the simulated
+// environment.
+func DefaultConfig() Config {
+	return Config{
+		ResendInterval:    20 * time.Millisecond,
+		AckInterval:       50 * time.Millisecond,
+		HeartbeatInterval: 25 * time.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ResendInterval <= 0 {
+		c.ResendInterval = d.ResendInterval
+	}
+	if c.AckInterval <= 0 {
+		c.AckInterval = d.AckInterval
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = d.HeartbeatInterval
+	}
+	return c
+}
+
+// Stats counts protocol activity, exported for tests and benchmarks.
+type Stats struct {
+	CastsSent      uint64
+	SendsSent      uint64
+	Retransmits    uint64
+	NacksSent      uint64
+	DupsSuppressed uint64
+	// CastsQueued counts casts delayed by the flow-control window.
+	CastsQueued uint64
+}
+
+// Layer is one process's instance of the protocol.
+type Layer struct {
+	cfg  Config
+	env  proto.Env
+	down proto.Down
+	up   proto.Up
+
+	// Outgoing multicast stream.
+	castSeq uint64            // next seq to assign
+	castOut map[uint64][]byte // unacked sent casts, for repair
+	// Outgoing unicast streams, per destination.
+	sendSeq map[ids.ProcID]uint64
+	sendOut map[ids.ProcID]map[uint64][]byte
+
+	// Incoming streams, per peer.
+	castIn map[ids.ProcID]*reorderBuf
+	sendIn map[ids.ProcID]*reorderBuf
+
+	// Cumulative acks received, per peer, for GC of castOut.
+	castAcked map[ids.ProcID]uint64
+
+	// castQueue holds casts awaiting flow-control window space.
+	castQueue [][]byte
+
+	timers  []proto.Timer
+	stopped bool
+	stats   Stats
+}
+
+var _ proto.Layer = (*Layer)(nil)
+
+// New creates a fifo layer.
+func New(cfg Config) *Layer {
+	return &Layer{
+		cfg:       cfg.withDefaults(),
+		castOut:   make(map[uint64][]byte),
+		sendSeq:   make(map[ids.ProcID]uint64),
+		sendOut:   make(map[ids.ProcID]map[uint64][]byte),
+		castIn:    make(map[ids.ProcID]*reorderBuf),
+		sendIn:    make(map[ids.ProcID]*reorderBuf),
+		castAcked: make(map[ids.ProcID]uint64),
+	}
+}
+
+// reorderBuf reassembles one FIFO stream.
+type reorderBuf struct {
+	next    uint64            // next seq to deliver
+	pending map[uint64][]byte // out-of-order arrivals
+	// highest is the largest seq we know exists (from data or
+	// heartbeats); used to detect tail gaps.
+	highest uint64
+	hasHigh bool
+}
+
+func newReorderBuf() *reorderBuf {
+	return &reorderBuf{pending: make(map[uint64][]byte)}
+}
+
+// gaps returns the missing sequence numbers below the known horizon.
+func (r *reorderBuf) gaps() []uint64 {
+	if !r.hasHigh {
+		return nil
+	}
+	var out []uint64
+	for s := r.next; s <= r.highest; s++ {
+		if _, ok := r.pending[s]; !ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Init implements proto.Layer.
+func (l *Layer) Init(env proto.Env, down proto.Down, up proto.Up) error {
+	if env == nil || down == nil || up == nil {
+		return fmt.Errorf("fifo: nil wiring")
+	}
+	l.env, l.down, l.up = env, down, up
+	l.scheduleTick(l.cfg.ResendInterval, l.resendTick)
+	l.scheduleTick(l.cfg.AckInterval, l.ackTick)
+	l.scheduleTick(l.cfg.HeartbeatInterval, l.heartbeatTick)
+	return nil
+}
+
+// scheduleTick arms a self-rearming timer.
+func (l *Layer) scheduleTick(d time.Duration, fn func()) {
+	var arm func()
+	arm = func() {
+		if l.stopped {
+			return
+		}
+		t := l.env.After(d, func() {
+			if l.stopped {
+				return
+			}
+			fn()
+			arm()
+		})
+		l.timers = append(l.timers, t)
+	}
+	arm()
+}
+
+// Stop implements proto.Layer.
+func (l *Layer) Stop() {
+	l.stopped = true
+	for _, t := range l.timers {
+		t.Stop()
+	}
+	l.timers = nil
+}
+
+// Stats returns a copy of the counters.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// Cast implements proto.Layer: reliable FIFO multicast, subject to the
+// flow-control window.
+func (l *Layer) Cast(payload []byte) error {
+	if l.cfg.CastWindow > 0 && len(l.castOut) >= l.cfg.CastWindow {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		l.castQueue = append(l.castQueue, buf)
+		l.stats.CastsQueued++
+		return nil
+	}
+	return l.castNow(payload)
+}
+
+func (l *Layer) castNow(payload []byte) error {
+	seq := l.castSeq
+	l.castSeq++
+	pkt := encodeData(kindCast, seq, payload)
+	l.castOut[seq] = pkt
+	l.stats.CastsSent++
+	return l.down.Cast(pkt)
+}
+
+// drainCastQueue sends queued casts as window space frees up.
+func (l *Layer) drainCastQueue() {
+	for len(l.castQueue) > 0 {
+		if l.cfg.CastWindow > 0 && len(l.castOut) >= l.cfg.CastWindow {
+			return
+		}
+		payload := l.castQueue[0]
+		l.castQueue = l.castQueue[1:]
+		_ = l.castNow(payload)
+	}
+}
+
+// QueuedCasts returns the number of casts waiting for window space.
+func (l *Layer) QueuedCasts() int { return len(l.castQueue) }
+
+// Send implements proto.Layer: reliable FIFO unicast.
+func (l *Layer) Send(dst ids.ProcID, payload []byte) error {
+	seq := l.sendSeq[dst]
+	l.sendSeq[dst] = seq + 1
+	pkt := encodeData(kindSend, seq, payload)
+	out := l.sendOut[dst]
+	if out == nil {
+		out = make(map[uint64][]byte)
+		l.sendOut[dst] = out
+	}
+	out[seq] = pkt
+	l.stats.SendsSent++
+	return l.down.Send(dst, pkt)
+}
+
+func encodeData(kind uint8, seq uint64, payload []byte) []byte {
+	e := wire.NewEncoder(12 + len(payload))
+	e.U8(kind).Uvarint(seq)
+	return e.Prepend(payload)
+}
+
+// Recv implements proto.Layer.
+func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
+	d := wire.NewDecoder(pkt)
+	kind := d.U8()
+	switch kind {
+	case kindCast:
+		seq := d.Uvarint()
+		if d.Err() != nil {
+			return
+		}
+		l.onData(l.streamIn(l.castIn, src), src, seq, d.Remaining())
+	case kindSend:
+		seq := d.Uvarint()
+		if d.Err() != nil {
+			return
+		}
+		l.onData(l.streamIn(l.sendIn, src), src, seq, d.Remaining())
+	case kindNack:
+		stream := d.U8()
+		seq := d.Uvarint()
+		if d.Err() != nil {
+			return
+		}
+		l.onNack(src, stream, seq)
+	case kindAck:
+		castNext := d.Uvarint()
+		sendNext := d.Uvarint()
+		if d.Err() != nil {
+			return
+		}
+		l.onAck(src, castNext, sendNext)
+	case kindHeartbeat:
+		stream := d.U8()
+		next := d.Uvarint()
+		if d.Err() != nil {
+			return
+		}
+		l.onHeartbeat(src, stream, next)
+	}
+}
+
+func (l *Layer) streamIn(m map[ids.ProcID]*reorderBuf, src ids.ProcID) *reorderBuf {
+	r := m[src]
+	if r == nil {
+		r = newReorderBuf()
+		m[src] = r
+	}
+	return r
+}
+
+// onData stores an arrival and delivers any in-order run.
+func (l *Layer) onData(r *reorderBuf, src ids.ProcID, seq uint64, payload []byte) {
+	if seq < r.next {
+		l.stats.DupsSuppressed++
+		return // already delivered
+	}
+	if _, dup := r.pending[seq]; dup {
+		l.stats.DupsSuppressed++
+		return
+	}
+	r.pending[seq] = payload
+	if !r.hasHigh || seq > r.highest {
+		r.highest, r.hasHigh = seq, true
+	}
+	for {
+		p, ok := r.pending[r.next]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.next)
+		r.next++
+		l.up.Deliver(src, p)
+	}
+	// Immediate gap repair: if this arrival exposed a hole, ask now
+	// rather than waiting for the resend tick.
+	if len(r.pending) > 0 {
+		l.requestRepairs(src, r)
+	}
+}
+
+// requestRepairs NACKs every missing seq of one peer's streams.
+func (l *Layer) requestRepairs(src ids.ProcID, r *reorderBuf) {
+	stream := kindCast
+	if r == l.sendIn[src] {
+		stream = kindSend
+	}
+	for _, seq := range r.gaps() {
+		e := wire.NewEncoder(12)
+		e.U8(kindNack).U8(stream).Uvarint(seq)
+		l.stats.NacksSent++
+		// Best effort: the resend tick retries if this NACK is lost.
+		_ = l.down.Send(src, e.Bytes())
+	}
+}
+
+// onNack retransmits the requested packet to the requester.
+func (l *Layer) onNack(src ids.ProcID, stream uint8, seq uint64) {
+	var pkt []byte
+	switch stream {
+	case kindCast:
+		pkt = l.castOut[seq]
+	case kindSend:
+		pkt = l.sendOut[src][seq]
+	}
+	if pkt == nil {
+		return // GCed or never existed
+	}
+	l.stats.Retransmits++
+	_ = l.down.Send(src, pkt)
+}
+
+// onAck garbage-collects acknowledged packets.
+func (l *Layer) onAck(src ids.ProcID, castNext, sendNext uint64) {
+	if castNext > l.castAcked[src] {
+		l.castAcked[src] = castNext
+	}
+	// A cast packet is reclaimable once every member — including this
+	// process's own loopback stream, whose delivery can also be lost —
+	// has progressed past it.
+	min := l.castSeq
+	if r := l.castIn[l.env.Self()]; r != nil {
+		if r.next < min {
+			min = r.next
+		}
+	} else if min > 0 {
+		min = 0
+	}
+	for _, m := range l.env.Members() {
+		if m == l.env.Self() {
+			continue
+		}
+		if l.castAcked[m] < min {
+			min = l.castAcked[m]
+		}
+	}
+	for seq := range l.castOut {
+		if seq < min {
+			delete(l.castOut, seq)
+		}
+	}
+	for seq := range l.sendOut[src] {
+		if seq < sendNext {
+			delete(l.sendOut[src], seq)
+		}
+	}
+	l.drainCastQueue()
+}
+
+// onHeartbeat learns the sender's stream horizon and repairs tail loss.
+// stream says which of the peer's streams the horizon describes.
+func (l *Layer) onHeartbeat(src ids.ProcID, stream uint8, next uint64) {
+	if next == 0 {
+		return
+	}
+	var r *reorderBuf
+	switch stream {
+	case kindCast:
+		r = l.streamIn(l.castIn, src)
+	case kindSend:
+		r = l.streamIn(l.sendIn, src)
+	default:
+		return
+	}
+	top := next - 1
+	if !r.hasHigh || top > r.highest {
+		r.highest, r.hasHigh = top, true
+	}
+	if len(r.gaps()) > 0 {
+		l.requestRepairs(src, r)
+	}
+}
+
+// resendTick re-requests all outstanding gaps (NACKs may be lost too).
+func (l *Layer) resendTick() {
+	for src, r := range l.castIn {
+		if len(r.gaps()) > 0 {
+			l.requestRepairs(src, r)
+		}
+	}
+	for src, r := range l.sendIn {
+		if len(r.gaps()) > 0 {
+			l.requestRepairs(src, r)
+		}
+	}
+}
+
+// ackTick sends cumulative acks to every peer we have streams from.
+func (l *Layer) ackTick() {
+	peers := map[ids.ProcID]bool{}
+	for p := range l.castIn {
+		peers[p] = true
+	}
+	for p := range l.sendIn {
+		peers[p] = true
+	}
+	for p := range peers {
+		if p == l.env.Self() {
+			continue
+		}
+		var castNext, sendNext uint64
+		if r := l.castIn[p]; r != nil {
+			castNext = r.next
+		}
+		if r := l.sendIn[p]; r != nil {
+			sendNext = r.next
+		}
+		e := wire.NewEncoder(16)
+		e.U8(kindAck).Uvarint(castNext).Uvarint(sendNext)
+		_ = l.down.Send(p, e.Bytes())
+	}
+}
+
+// heartbeatTick announces stream horizons while data is unacked, so
+// receivers can detect tail loss on both multicast and unicast streams.
+func (l *Layer) heartbeatTick() {
+	if len(l.castOut) > 0 {
+		e := wire.NewEncoder(12)
+		e.U8(kindHeartbeat).U8(kindCast).Uvarint(l.castSeq)
+		_ = l.down.Cast(e.Bytes())
+	}
+	for dst, out := range l.sendOut {
+		if len(out) == 0 {
+			continue
+		}
+		e := wire.NewEncoder(12)
+		e.U8(kindHeartbeat).U8(kindSend).Uvarint(l.sendSeq[dst])
+		_ = l.down.Send(dst, e.Bytes())
+	}
+}

@@ -1,0 +1,351 @@
+package fifo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/ptest"
+	"repro/internal/simnet"
+)
+
+func cluster(t *testing.T, seed int64, cfg simnet.Config, n int) *ptest.Cluster {
+	t.Helper()
+	c, err := ptest.New(seed, cfg, n, func(proto.Env) []proto.Layer {
+		return []proto.Layer{New(Config{})}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCastDeliversToAllInOrder(t *testing.T) {
+	cfg := simnet.Config{Nodes: 4, PropDelay: time.Millisecond}
+	c := cluster(t, 1, cfg, 4)
+	for i := 0; i < 5; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(time.Second)
+	for p := 0; p < 4; p++ {
+		got := c.Bodies(ids.ProcID(p))
+		if len(got) != 5 {
+			t.Fatalf("member %d delivered %d, want 5: %v", p, len(got), got)
+		}
+		for i, b := range got {
+			if b != fmt.Sprintf("m%d", i) {
+				t.Fatalf("member %d out of FIFO order: %v", p, got)
+			}
+		}
+	}
+}
+
+func TestSenderHearsOwnCast(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2}
+	c := cluster(t, 1, cfg, 2)
+	if err := c.Cast(1, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	if got := c.Bodies(1); len(got) != 1 || got[0] != "self" {
+		t.Fatalf("sender's own delivery = %v", got)
+	}
+}
+
+func TestUnicastSend(t *testing.T) {
+	cfg := simnet.Config{Nodes: 3}
+	c := cluster(t, 1, cfg, 3)
+	for i := 0; i < 3; i++ {
+		if err := c.Members[0].Stack.Send(2, []byte(fmt.Sprintf("u%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(time.Second)
+	if got := c.Bodies(2); len(got) != 3 || got[0] != "u0" || got[2] != "u2" {
+		t.Fatalf("unicast stream at p2 = %v", got)
+	}
+	if got := c.Bodies(1); len(got) != 0 {
+		t.Fatalf("bystander received unicast: %v", got)
+	}
+}
+
+func TestRecoveryFromLoss(t *testing.T) {
+	cfg := simnet.Config{Nodes: 3, PropDelay: time.Millisecond, DropProb: 0.3}
+	c := cluster(t, 7, cfg, 3)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(20 * time.Second)
+	for p := 0; p < 3; p++ {
+		got := c.Bodies(ids.ProcID(p))
+		if len(got) != n {
+			t.Fatalf("member %d delivered %d/%d under loss", p, len(got), n)
+		}
+		for i, b := range got {
+			if b != fmt.Sprintf("m%03d", i) {
+				t.Fatalf("member %d order violated at %d: %v", p, i, got[:i+1])
+			}
+		}
+	}
+	// Loss recovery must have actually exercised retransmission.
+	var retx uint64
+	for range c.Members {
+		// Stats live on the layer; fish them out via the stack is not
+		// exposed, so recompute from network stats instead.
+		break
+	}
+	_ = retx
+	if c.Net.Stats().Dropped == 0 {
+		t.Error("test network dropped nothing; loss path unexercised")
+	}
+}
+
+func TestRecoveryFromDuplication(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2, DupProb: 0.5}
+	c := cluster(t, 3, cfg, 2)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(5 * time.Second)
+	if got := c.Bodies(1); len(got) != n {
+		t.Fatalf("delivered %d, want exactly %d (duplicates suppressed)", len(got), n)
+	}
+}
+
+func TestRecoveryFromReordering(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2, Jitter: 10 * time.Millisecond}
+	c := cluster(t, 5, cfg, 2)
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("m%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(5 * time.Second)
+	got := c.Bodies(1)
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	for i, b := range got {
+		if b != fmt.Sprintf("m%02d", i) {
+			t.Fatalf("order violated under jitter: %v", got)
+		}
+	}
+}
+
+func TestMultipleSimultaneousSenders(t *testing.T) {
+	cfg := simnet.Config{Nodes: 3, PropDelay: time.Millisecond, DropProb: 0.2}
+	c := cluster(t, 11, cfg, 3)
+	const per = 10
+	for i := 0; i < per; i++ {
+		for s := 0; s < 3; s++ {
+			if err := c.Cast(ids.ProcID(s), []byte(fmt.Sprintf("s%d-%02d", s, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Run(20 * time.Second)
+	for p := 0; p < 3; p++ {
+		got := c.Bodies(ids.ProcID(p))
+		if len(got) != 3*per {
+			t.Fatalf("member %d delivered %d, want %d", p, len(got), 3*per)
+		}
+		// Per-sender FIFO must hold even though streams interleave.
+		next := map[byte]int{}
+		for _, b := range got {
+			s := b[1]
+			var idx int
+			if _, err := fmt.Sscanf(b[3:], "%d", &idx); err != nil {
+				t.Fatal(err)
+			}
+			if idx != next[s] {
+				t.Fatalf("member %d: sender %c out of order: got %s want index %d", p, s, b, next[s])
+			}
+			next[s]++
+		}
+	}
+}
+
+func TestGarbageCollection(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2, PropDelay: time.Millisecond}
+	var layers []*Layer
+	c, err := ptest.New(1, cfg, 2, func(proto.Env) []proto.Layer {
+		l := New(Config{AckInterval: 10 * time.Millisecond})
+		layers = append(layers, l)
+		return []proto.Layer{l}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Cast(0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(2 * time.Second)
+	sender := layers[0]
+	if n := len(sender.castOut); n != 0 {
+		t.Errorf("castOut retained %d packets after acks; GC failed", n)
+	}
+}
+
+func TestHeartbeatRepairsTailLoss(t *testing.T) {
+	// Drop the initial transmissions deterministically via Block, then
+	// heal: only heartbeats can reveal the missing tail.
+	cfg := simnet.Config{Nodes: 2, PropDelay: time.Millisecond}
+	c := cluster(t, 1, cfg, 2)
+	c.Net.Block(0, 1)
+	if err := c.Cast(0, []byte("lost-tail")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10 * time.Millisecond) // transmission dropped
+	c.Net.Unblock(0, 1)
+	c.Run(time.Second)
+	if got := c.Bodies(1); len(got) != 1 || got[0] != "lost-tail" {
+		t.Fatalf("tail loss not repaired: %v", got)
+	}
+}
+
+func TestFlowControlWindow(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2, PropDelay: time.Millisecond}
+	var layers []*Layer
+	c, err := ptest.New(1, cfg, 2, func(proto.Env) []proto.Layer {
+		l := New(Config{CastWindow: 3, AckInterval: 5 * time.Millisecond})
+		layers = append(layers, l)
+		return []proto.Layer{l}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender := layers[0]
+	// Only the window's worth went out immediately; the rest queued.
+	if got := sender.Stats().CastsSent; got != 3 {
+		t.Fatalf("CastsSent = %d immediately, want 3 (window)", got)
+	}
+	if sender.QueuedCasts() != n-3 {
+		t.Fatalf("QueuedCasts = %d, want %d", sender.QueuedCasts(), n-3)
+	}
+	if sender.Stats().CastsQueued != n-3 {
+		t.Fatalf("CastsQueued stat = %d, want %d", sender.Stats().CastsQueued, n-3)
+	}
+	// Acks open the window; everything drains in order.
+	c.Run(5 * time.Second)
+	got := c.Bodies(1)
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d with flow control", len(got), n)
+	}
+	for i, b := range got {
+		if b != fmt.Sprintf("m%d", i) {
+			t.Fatalf("order violated under flow control: %v", got)
+		}
+	}
+	if sender.QueuedCasts() != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+func TestFlowControlUnderLoss(t *testing.T) {
+	cfg := simnet.Config{Nodes: 3, PropDelay: time.Millisecond, DropProb: 0.25}
+	c, err := ptest.New(5, cfg, 3, func(proto.Env) []proto.Layer {
+		return []proto.Layer{New(Config{CastWindow: 2})}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 15
+	for i := 0; i < n; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("m%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(30 * time.Second)
+	for p := 1; p < 3; p++ {
+		got := c.Bodies(ids.ProcID(p))
+		if len(got) != n {
+			t.Fatalf("member %d delivered %d/%d under loss with window 2", p, len(got), n)
+		}
+	}
+}
+
+func TestStopCancelsTimers(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2}
+	c := cluster(t, 1, cfg, 2)
+	if err := c.Cast(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100 * time.Millisecond)
+	c.Stop()
+	// After Stop, the simulator must drain: no self-rearming timers.
+	if err := c.Sim.Run(100000); err != nil {
+		t.Errorf("timers kept rearming after Stop: %v", err)
+	}
+}
+
+func TestRecvIgnoresGarbage(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2}
+	c := cluster(t, 1, cfg, 2)
+	// Inject junk straight into member 1's stack.
+	c.Members[1].Stack.Recv(0, []byte{})
+	c.Members[1].Stack.Recv(0, []byte{99, 1, 2})
+	c.Members[1].Stack.Recv(0, []byte{kindCast}) // truncated seq
+	c.Run(time.Second)
+	if got := c.Bodies(1); len(got) != 0 {
+		t.Errorf("garbage produced deliveries: %v", got)
+	}
+}
+
+func TestInitNilWiring(t *testing.T) {
+	l := New(Config{})
+	if err := l.Init(nil, nil, nil); err == nil {
+		t.Error("Init accepted nil wiring")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ResendInterval <= 0 || c.AckInterval <= 0 || c.HeartbeatInterval <= 0 {
+		t.Errorf("withDefaults left zero intervals: %+v", c)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2, DropProb: 0.3, PropDelay: time.Millisecond}
+	var layers []*Layer
+	c, err := ptest.New(13, cfg, 2, func(proto.Env) []proto.Layer {
+		l := New(Config{})
+		layers = append(layers, l)
+		return []proto.Layer{l}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := c.Cast(0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(10 * time.Second)
+	if got := layers[0].Stats(); got.CastsSent != 30 {
+		t.Errorf("CastsSent = %d, want 30", got.CastsSent)
+	}
+	totalRetx := layers[0].Stats().Retransmits + layers[1].Stats().Retransmits
+	if totalRetx == 0 {
+		t.Error("no retransmissions under 30% loss")
+	}
+}

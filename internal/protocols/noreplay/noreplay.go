@@ -1,0 +1,89 @@
+// Package noreplay implements the No Replay property of Table 1 of the
+// paper — "a message body can be delivered at most once to a process" —
+// by remembering a digest of every delivered payload and suppressing
+// repeats.
+//
+// No Replay is the paper's canonical example of a *memoryless but not
+// composable* property (§6.2): each instance of this layer enforces the
+// property within its own execution, yet gluing two executions together
+// — exactly what the switching protocol does — can deliver the same body
+// once per protocol. The switching package's tests demonstrate the
+// violation live.
+//
+// The paper also notes (§6.1) that a memoryless property need not have a
+// stateless implementation: this layer keeps state for every body it has
+// ever delivered.
+package noreplay
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+)
+
+// Layer suppresses repeated payload bodies.
+type Layer struct {
+	env  proto.Env
+	down proto.Down
+	up   proto.Up
+	seen map[[sha256.Size]byte]bool
+	// key extracts the "body" replay protection applies to.
+	key func([]byte) []byte
+	// suppressed counts dropped replays (metrics/test hook).
+	suppressed uint64
+}
+
+var _ proto.Layer = (*Layer)(nil)
+
+// New creates a no-replay layer with an empty history, keyed on the
+// whole payload.
+func New() *Layer {
+	return NewKeyed(nil)
+}
+
+// NewKeyed creates a no-replay layer whose replay key is key(payload)
+// instead of the whole payload — e.g. the application body extracted
+// from a framed message, so that transport framing (sequence numbers,
+// epoch tags) does not defeat suppression. A nil key means identity.
+func NewKeyed(key func([]byte) []byte) *Layer {
+	if key == nil {
+		key = func(b []byte) []byte { return b }
+	}
+	return &Layer{seen: make(map[[sha256.Size]byte]bool), key: key}
+}
+
+// Init implements proto.Layer.
+func (l *Layer) Init(env proto.Env, down proto.Down, up proto.Up) error {
+	if env == nil || down == nil || up == nil {
+		return fmt.Errorf("noreplay: nil wiring")
+	}
+	l.env, l.down, l.up = env, down, up
+	return nil
+}
+
+// Stop implements proto.Layer.
+func (l *Layer) Stop() {}
+
+// Suppressed returns the number of replayed bodies dropped.
+func (l *Layer) Suppressed() uint64 { return l.suppressed }
+
+// Cast implements proto.Layer (passthrough).
+func (l *Layer) Cast(payload []byte) error { return l.down.Cast(payload) }
+
+// Send implements proto.Layer (passthrough).
+func (l *Layer) Send(dst ids.ProcID, payload []byte) error {
+	return l.down.Send(dst, payload)
+}
+
+// Recv implements proto.Layer: deliver each distinct body at most once.
+func (l *Layer) Recv(src ids.ProcID, payload []byte) {
+	key := sha256.Sum256(l.key(payload))
+	if l.seen[key] {
+		l.suppressed++
+		return
+	}
+	l.seen[key] = true
+	l.up.Deliver(src, payload)
+}

@@ -1,0 +1,138 @@
+// Package seqorder implements sequencer-based total order, the first of
+// the two total-ordering mechanisms compared in §7 of the paper
+// (Kaashoek et al.'s Amoeba-style protocol [8]): messages are sent in
+// FIFO order to a centralized sequencer, which assigns global sequence
+// numbers and forwards them by multicast, again in FIFO order.
+//
+// Its trade-off, visible in Figure 2: low latency — essentially two
+// network hops — but the sequencer becomes a bottleneck as the number of
+// active senders grows.
+//
+// The layer expects a reliable FIFO layer beneath it (package fifo).
+package seqorder
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+const (
+	// kindSubmit carries a message from an origin to the sequencer.
+	kindSubmit uint8 = iota + 1
+	// kindOrder carries a sequenced message from the sequencer to all.
+	kindOrder
+)
+
+// Layer is one process's instance of the protocol.
+type Layer struct {
+	sequencer ids.ProcID
+	env       proto.Env
+	down      proto.Down
+	up        proto.Up
+
+	// Sequencer state: next global sequence number to assign.
+	nextSeq uint64
+
+	// Receiver state: next global seq to deliver and the reordering
+	// buffer (defensive — the fifo below already delivers the
+	// sequencer's stream in order, but the layer does not rely on it).
+	nextDeliver uint64
+	pending     map[uint64]orderedMsg
+}
+
+type orderedMsg struct {
+	origin  ids.ProcID
+	payload []byte
+}
+
+var _ proto.Layer = (*Layer)(nil)
+
+// New creates a sequencer-ordered layer. sequencer designates the member
+// acting as the sequencer (conventionally member 0).
+func New(sequencer ids.ProcID) *Layer {
+	return &Layer{
+		sequencer: sequencer,
+		pending:   make(map[uint64]orderedMsg),
+	}
+}
+
+// Init implements proto.Layer.
+func (l *Layer) Init(env proto.Env, down proto.Down, up proto.Up) error {
+	if env == nil || down == nil || up == nil {
+		return fmt.Errorf("seqorder: nil wiring")
+	}
+	if !env.Ring().Contains(l.sequencer) {
+		return fmt.Errorf("seqorder: sequencer %v is not a group member", l.sequencer)
+	}
+	l.env, l.down, l.up = env, down, up
+	return nil
+}
+
+// Stop implements proto.Layer.
+func (l *Layer) Stop() {}
+
+// Cast implements proto.Layer: route the payload through the sequencer.
+func (l *Layer) Cast(payload []byte) error {
+	if l.env.Self() == l.sequencer {
+		// The sequencer orders its own messages directly.
+		return l.order(l.env.Self(), payload)
+	}
+	e := wire.NewEncoder(4)
+	e.U8(kindSubmit)
+	return l.down.Send(l.sequencer, e.Prepend(payload))
+}
+
+// Send implements proto.Layer. Point-to-point traffic has no total-order
+// semantics; it is not part of this protocol.
+func (l *Layer) Send(ids.ProcID, []byte) error { return proto.ErrUnsupported }
+
+// order assigns the next global sequence number and multicasts. Only the
+// sequencer calls this.
+func (l *Layer) order(origin ids.ProcID, payload []byte) error {
+	seq := l.nextSeq
+	l.nextSeq++
+	e := wire.NewEncoder(16)
+	e.U8(kindOrder).Uvarint(seq).Proc(origin)
+	return l.down.Cast(e.Prepend(payload))
+}
+
+// Recv implements proto.Layer.
+func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
+	if l.env == nil {
+		return // not initialized
+	}
+	d := wire.NewDecoder(pkt)
+	switch d.U8() {
+	case kindSubmit:
+		if d.Err() != nil || l.env.Self() != l.sequencer {
+			return
+		}
+		// src is the origin: the fifo below reports the true sender.
+		_ = l.order(src, d.Remaining())
+	case kindOrder:
+		seq := d.Uvarint()
+		origin := d.Proc()
+		if d.Err() != nil {
+			return
+		}
+		if seq < l.nextDeliver {
+			return // duplicate
+		}
+		if _, dup := l.pending[seq]; dup {
+			return
+		}
+		l.pending[seq] = orderedMsg{origin: origin, payload: d.Remaining()}
+		for {
+			m, ok := l.pending[l.nextDeliver]
+			if !ok {
+				break
+			}
+			delete(l.pending, l.nextDeliver)
+			l.nextDeliver++
+			l.up.Deliver(m.origin, m.payload)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package tokenorder
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/ptest"
+	"repro/internal/simnet"
+)
+
+func cluster(t *testing.T, seed int64, cfg simnet.Config, n int, lcfg Config) *ptest.Cluster {
+	t.Helper()
+	c, err := ptest.New(seed, cfg, n, func(proto.Env) []proto.Layer {
+		return []proto.Layer{New(lcfg), fifo.New(fifo.Config{})}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func assertTotalOrder(t *testing.T, c *ptest.Cluster, wantCount int) {
+	t.Helper()
+	ref := c.Bodies(0)
+	if len(ref) != wantCount {
+		t.Fatalf("member 0 delivered %d, want %d: %v", len(ref), wantCount, ref)
+	}
+	for p := 1; p < len(c.Members); p++ {
+		got := c.Bodies(ids.ProcID(p))
+		if len(got) != len(ref) {
+			t.Fatalf("member %d delivered %d, member 0 delivered %d", p, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("member %d disagrees at %d: %q vs %q", p, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSingleSenderTotalOrder(t *testing.T) {
+	cfg := simnet.Config{Nodes: 4, PropDelay: time.Millisecond}
+	c := cluster(t, 1, cfg, 4, Config{HoldDelay: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if err := c.Cast(2, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(2 * time.Second)
+	c.Stop()
+	assertTotalOrder(t, c, 10)
+}
+
+func TestConcurrentSendersAgree(t *testing.T) {
+	cfg := simnet.Config{Nodes: 5, PropDelay: time.Millisecond, Jitter: 2 * time.Millisecond}
+	c := cluster(t, 3, cfg, 5, Config{HoldDelay: time.Millisecond})
+	for i := 0; i < 8; i++ {
+		for s := 0; s < 5; s++ {
+			if err := c.Cast(ids.ProcID(s), []byte(fmt.Sprintf("s%d-%d", s, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Run(10 * time.Second)
+	c.Stop()
+	assertTotalOrder(t, c, 40)
+}
+
+func TestTotalOrderUnderLoss(t *testing.T) {
+	cfg := simnet.Config{Nodes: 4, PropDelay: time.Millisecond, DropProb: 0.15}
+	c := cluster(t, 9, cfg, 4, Config{HoldDelay: time.Millisecond})
+	for i := 0; i < 8; i++ {
+		for s := 0; s < 4; s++ {
+			if err := c.Cast(ids.ProcID(s), []byte(fmt.Sprintf("s%d-%d", s, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Run(60 * time.Second)
+	c.Stop()
+	assertTotalOrder(t, c, 32)
+}
+
+func TestPerSenderFIFOWithinTotalOrder(t *testing.T) {
+	cfg := simnet.Config{Nodes: 3, PropDelay: time.Millisecond}
+	c := cluster(t, 5, cfg, 3, Config{HoldDelay: time.Millisecond})
+	for i := 0; i < 5; i++ {
+		if err := c.Cast(1, []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(2 * time.Second)
+	c.Stop()
+	got := c.Bodies(2)
+	if len(got) != 5 {
+		t.Fatalf("delivered %d, want 5", len(got))
+	}
+	for i, b := range got {
+		if b != fmt.Sprintf("%d", i) {
+			t.Fatalf("per-sender FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestOriginIsReported(t *testing.T) {
+	cfg := simnet.Config{Nodes: 3, PropDelay: time.Millisecond}
+	c := cluster(t, 1, cfg, 3, Config{HoldDelay: time.Millisecond})
+	if err := c.Cast(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Second)
+	c.Stop()
+	d := c.Members[1].Delivered
+	if len(d) != 1 || d[0].Src != 2 {
+		t.Fatalf("delivery = %+v, want src p2", d)
+	}
+}
+
+func TestSenderWaitsForToken(t *testing.T) {
+	// With a 5ms hold delay and 4 members, a member that just released
+	// the token waits ~a full rotation before its next cast goes out.
+	cfg := simnet.Config{Nodes: 4, PropDelay: time.Millisecond}
+	c := cluster(t, 1, cfg, 4, Config{HoldDelay: 5 * time.Millisecond})
+	// Warm up the rotation, then cast from member 3.
+	c.Run(100 * time.Millisecond)
+	start := c.Sim.Now()
+	if err := c.Cast(3, []byte("waited")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(start + time.Second)
+	c.Stop()
+	d := c.Members[0].Delivered
+	if len(d) != 1 {
+		t.Fatal("no delivery")
+	}
+	lat := d[0].At - start
+	// Must be at least one hold delay (token elsewhere), typically ~half
+	// a rotation (4 members * ~6ms/hop = 24ms rotation).
+	if lat < 2*time.Millisecond {
+		t.Errorf("token-order latency %v suspiciously low — sender did not wait for token", lat)
+	}
+	if lat > 50*time.Millisecond {
+		t.Errorf("token-order latency %v too high for a healthy rotation", lat)
+	}
+}
+
+func TestMaxPerTokenFairness(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2, PropDelay: time.Millisecond}
+	c, err := ptest.New(1, cfg, 2, func(proto.Env) []proto.Layer {
+		return []proto.Layer{New(Config{HoldDelay: time.Millisecond, MaxPerToken: 2}), fifo.New(fifo.Config{})}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := c.Cast(1, []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(2 * time.Second)
+	c.Stop()
+	got := c.Bodies(0)
+	if len(got) != 6 {
+		t.Fatalf("delivered %d, want 6 (bounded flush must still drain)", len(got))
+	}
+}
+
+func TestSingletonGroup(t *testing.T) {
+	cfg := simnet.Config{Nodes: 1}
+	c := cluster(t, 1, cfg, 1, Config{HoldDelay: time.Millisecond})
+	for i := 0; i < 3; i++ {
+		if err := c.Cast(0, []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(time.Second)
+	c.Stop()
+	got := c.Bodies(0)
+	if len(got) != 3 {
+		t.Fatalf("singleton delivered %d, want 3: %v", len(got), got)
+	}
+}
+
+func TestSendUnsupported(t *testing.T) {
+	l := New(Config{})
+	if err := l.Send(1, nil); err != proto.ErrUnsupported {
+		t.Errorf("Send = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	l := New(Config{})
+	if err := l.Init(nil, nil, nil); err == nil {
+		t.Error("Init accepted nil wiring")
+	}
+}
+
+func TestRecvIgnoresGarbage(t *testing.T) {
+	l := New(Config{})
+	l.Recv(0, nil)
+	l.Recv(0, []byte{kindData}) // truncated
+	l.Recv(0, []byte{99})       // unknown kind
+	if l.QueueLen() != 0 || l.Holding() {
+		t.Error("garbage affected layer state")
+	}
+}
+
+func TestCastCopiesPayload(t *testing.T) {
+	cfg := simnet.Config{Nodes: 2, PropDelay: time.Millisecond}
+	c := cluster(t, 1, cfg, 2, Config{HoldDelay: time.Millisecond})
+	payload := []byte("orig")
+	if err := c.Cast(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X'
+	c.Run(time.Second)
+	c.Stop()
+	if got := c.Bodies(0); len(got) != 1 || got[0] != "orig" {
+		t.Errorf("queued payload aliased caller slice: %v", got)
+	}
+}

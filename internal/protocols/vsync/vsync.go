@@ -1,0 +1,129 @@
+// Package vsync implements a virtual-synchrony view layer in the style
+// of Table 1 of the paper: "a process only delivers messages from
+// processes in some common view". View changes are themselves messages
+// carrying the new membership; a process's current view is the
+// membership of the last view message it delivered, and data from
+// senders outside the current view is discarded.
+//
+// Virtual Synchrony is the paper's example of a property that is *not
+// memoryless* (§6.1): erase the view-change message from the history and
+// deliveries that were legal become illegal. Accordingly, switching
+// between two virtually synchronous protocol instances does not yield a
+// virtually synchronous execution — but, as §8 anticipates, performing
+// the switch *as part of a view change* does. Both facts are
+// demonstrated in this package's and the switching package's tests.
+//
+// The layer must run above a total-order protocol so all members observe
+// views and data in a single order.
+package vsync
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+const (
+	// kindData carries an application payload.
+	kindData uint8 = iota + 1
+	// kindView installs a new view: {members, payload}.
+	kindView
+)
+
+// Layer gates deliveries on view membership.
+type Layer struct {
+	env  proto.Env
+	down proto.Down
+	up   proto.Up
+
+	// view is the current membership (last delivered view message; the
+	// initial view is the full group).
+	view map[ids.ProcID]bool
+	// viewSeq counts installed views (initial view is 0).
+	viewSeq uint64
+	// rejected counts data dropped for out-of-view senders.
+	rejected uint64
+}
+
+var _ proto.Layer = (*Layer)(nil)
+
+// New creates a vsync layer.
+func New() *Layer { return &Layer{} }
+
+// Init implements proto.Layer.
+func (l *Layer) Init(env proto.Env, down proto.Down, up proto.Up) error {
+	if env == nil || down == nil || up == nil {
+		return fmt.Errorf("vsync: nil wiring")
+	}
+	l.env, l.down, l.up = env, down, up
+	l.view = make(map[ids.ProcID]bool)
+	for _, m := range env.Members() {
+		l.view[m] = true
+	}
+	return nil
+}
+
+// Stop implements proto.Layer.
+func (l *Layer) Stop() {}
+
+// ViewSeq returns the number of views installed so far.
+func (l *Layer) ViewSeq() uint64 { return l.viewSeq }
+
+// InView reports whether p is in the current view.
+func (l *Layer) InView(p ids.ProcID) bool { return l.view[p] }
+
+// Rejected returns the number of out-of-view data messages dropped.
+func (l *Layer) Rejected() uint64 { return l.rejected }
+
+// Cast implements proto.Layer.
+func (l *Layer) Cast(payload []byte) error {
+	e := wire.NewEncoder(2)
+	e.U8(kindData)
+	return l.down.Cast(e.Prepend(payload))
+}
+
+// Send implements proto.Layer: not part of this protocol.
+func (l *Layer) Send(ids.ProcID, []byte) error { return proto.ErrUnsupported }
+
+// InstallView multicasts a view change. members is the new membership;
+// payload is the application-level view message delivered to every
+// member (typically an encoded AppMsg with IsView set, so traces record
+// the view change).
+func (l *Layer) InstallView(members []ids.ProcID, payload []byte) error {
+	if len(members) == 0 {
+		return fmt.Errorf("vsync: empty view")
+	}
+	e := wire.NewEncoder(16)
+	e.U8(kindView).Procs(members)
+	return l.down.Cast(e.Prepend(payload))
+}
+
+// Recv implements proto.Layer.
+func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
+	d := wire.NewDecoder(pkt)
+	switch d.U8() {
+	case kindData:
+		if d.Err() != nil {
+			return
+		}
+		if !l.view[src] {
+			l.rejected++
+			return
+		}
+		l.up.Deliver(src, d.Remaining())
+	case kindView:
+		members := d.Procs()
+		if d.Err() != nil || len(members) == 0 {
+			return
+		}
+		next := make(map[ids.ProcID]bool, len(members))
+		for _, m := range members {
+			next[m] = true
+		}
+		l.view = next
+		l.viewSeq++
+		l.up.Deliver(src, d.Remaining())
+	}
+}

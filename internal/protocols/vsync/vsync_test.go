@@ -1,0 +1,151 @@
+package vsync
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/ptest"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/simnet"
+)
+
+func newUnit(t *testing.T, self ids.ProcID, n int) (*Layer, *ptest.RecordDown, *ptest.RecordUp) {
+	t.Helper()
+	l := New()
+	down := &ptest.RecordDown{}
+	up := &ptest.RecordUp{}
+	if err := l.Init(ptest.NewFakeEnv(self, n), down, up); err != nil {
+		t.Fatal(err)
+	}
+	return l, down, up
+}
+
+func TestInitialViewIsFullGroup(t *testing.T) {
+	l, _, _ := newUnit(t, 0, 3)
+	for p := 0; p < 3; p++ {
+		if !l.InView(ids.ProcID(p)) {
+			t.Errorf("p%d missing from initial view", p)
+		}
+	}
+	if l.ViewSeq() != 0 {
+		t.Errorf("ViewSeq = %d, want 0", l.ViewSeq())
+	}
+}
+
+func TestDataFromViewMemberDelivers(t *testing.T) {
+	recv, _, up := newUnit(t, 0, 3)
+	sender, down, _ := newUnit(t, 1, 3)
+	if err := sender.Cast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recv.Recv(1, down.Casts[0])
+	if len(up.Deliveries) != 1 {
+		t.Fatal("in-view data not delivered")
+	}
+}
+
+func TestViewInstallAndExclusion(t *testing.T) {
+	recv, _, up := newUnit(t, 0, 3)
+	installer, insDown, _ := newUnit(t, 1, 3)
+	// Install view {0, 1}, excluding p2.
+	if err := installer.InstallView([]ids.ProcID{0, 1}, []byte("view-msg")); err != nil {
+		t.Fatal(err)
+	}
+	recv.Recv(1, insDown.Casts[0])
+	if recv.ViewSeq() != 1 {
+		t.Fatalf("ViewSeq = %d, want 1", recv.ViewSeq())
+	}
+	if len(up.Deliveries) != 1 || string(up.Deliveries[0].Payload) != "view-msg" {
+		t.Fatal("view message not delivered to app")
+	}
+	if recv.InView(2) {
+		t.Error("p2 still in view after exclusion")
+	}
+	// Data from the excluded member is dropped.
+	outsider, outDown, _ := newUnit(t, 2, 3)
+	if err := outsider.Cast([]byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	recv.Recv(2, outDown.Casts[0])
+	if len(up.Deliveries) != 1 {
+		t.Error("out-of-view data delivered")
+	}
+	if recv.Rejected() != 1 {
+		t.Errorf("Rejected = %d, want 1", recv.Rejected())
+	}
+}
+
+func TestEmptyViewRejected(t *testing.T) {
+	l, _, _ := newUnit(t, 0, 2)
+	if err := l.InstallView(nil, nil); err == nil {
+		t.Error("InstallView accepted empty view")
+	}
+}
+
+func TestEndToEndOverTotalOrder(t *testing.T) {
+	// vsync above sequencer total order: all members observe the view
+	// change at the same point in the delivery order.
+	var layers []*Layer
+	cfg := simnet.Config{Nodes: 3, PropDelay: time.Millisecond}
+	c, err := ptest.New(1, cfg, 3, func(proto.Env) []proto.Layer {
+		l := New()
+		layers = append(layers, l)
+		return []proto.Layer{l, seqorder.New(0), fifo.New(fifo.Config{})}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cast(2, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100 * time.Millisecond)
+	if err := layers[0].InstallView([]ids.ProcID{0, 1}, []byte("VIEW")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(200 * time.Millisecond)
+	// p2 is now out of the view: its casts are dropped at receivers.
+	if err := c.Cast(2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cast(1, []byte("legit")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Second)
+	for p := 0; p < 2; p++ {
+		got := c.Bodies(ids.ProcID(p))
+		want := []string{"before", "VIEW", "legit"}
+		if len(got) != len(want) {
+			t.Fatalf("member %d delivered %v, want %v", p, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("member %d delivered %v, want %v", p, got, want)
+			}
+		}
+	}
+}
+
+func TestSendUnsupported(t *testing.T) {
+	if err := New().Send(1, nil); err != proto.ErrUnsupported {
+		t.Error("Send should be unsupported")
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	if err := New().Init(nil, nil, nil); err == nil {
+		t.Error("Init accepted nil wiring")
+	}
+}
+
+func TestGarbageIgnored(t *testing.T) {
+	l, _, up := newUnit(t, 0, 2)
+	l.Recv(1, nil)
+	l.Recv(1, []byte{kindView}) // truncated members
+	l.Recv(1, []byte{99})
+	if len(up.Deliveries) != 0 || l.ViewSeq() != 0 {
+		t.Error("garbage affected state")
+	}
+}

@@ -1,0 +1,281 @@
+// Package realtime drives the same protocol layers as the simulator,
+// but on goroutines and the wall clock: every member runs an event loop
+// goroutine (layers are single-threaded by design, exactly as in the
+// discrete-event runtime), and the in-memory network delivers packets
+// after real delays. This is the runtime the runnable examples use to
+// show the stack working outside the simulator; experiments use the
+// deterministic DES runtime instead.
+package realtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+)
+
+// Config describes the in-memory network.
+type Config struct {
+	// Nodes is the group size.
+	Nodes int
+	// PropDelay is the one-way delivery delay.
+	PropDelay time.Duration
+	// Jitter adds a uniform [0, Jitter) extra delay per packet.
+	Jitter time.Duration
+	// Seed seeds the per-group random source (jitter, layer RNGs).
+	Seed int64
+	// MailboxDepth bounds each member's pending-event queue.
+	MailboxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Group is a set of real-time nodes.
+type Group struct {
+	cfg   Config
+	ring  *ids.Ring
+	nodes []*Node
+	start time.Time
+
+	mu      sync.Mutex
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// NewGroup creates and starts n event-loop nodes.
+func NewGroup(cfg Config) (*Group, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("realtime: need at least one node")
+	}
+	ring, err := ids.NewRing(ids.Procs(cfg.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{cfg: cfg, ring: ring, start: time.Now()}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			group:   g,
+			self:    ids.ProcID(i),
+			mailbox: make(chan func(), cfg.MailboxDepth),
+			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			done:    make(chan struct{}),
+		}
+		g.nodes = append(g.nodes, n)
+		g.wg.Add(1)
+		go n.loop(&g.wg)
+	}
+	return g, nil
+}
+
+// Node returns member p.
+func (g *Group) Node(p ids.ProcID) *Node { return g.nodes[p] }
+
+// Nodes returns all members.
+func (g *Group) Nodes() []*Node {
+	out := make([]*Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Stop shuts down every node's event loop and waits for them to exit.
+func (g *Group) Stop() {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	g.stopped = true
+	g.mu.Unlock()
+	for _, n := range g.nodes {
+		close(n.done)
+	}
+	g.wg.Wait()
+}
+
+func (g *Group) isStopped() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stopped
+}
+
+// Node is one real-time member: a proto.Env whose handlers all run on
+// its own event-loop goroutine.
+type Node struct {
+	group   *Group
+	self    ids.ProcID
+	mailbox chan func()
+	rng     *rand.Rand
+	done    chan struct{}
+
+	// recv is the bound packet receiver (the stack's Recv).
+	recv func(src ids.ProcID, payload []byte)
+}
+
+var _ proto.Env = (*Node)(nil)
+
+// loop runs queued events until the node is stopped.
+func (n *Node) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case fn := <-n.mailbox:
+			fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// post enqueues fn on the node's event loop, dropping it if the node
+// has stopped or the mailbox is full (overload behaves like loss, which
+// the fifo layer repairs).
+func (n *Node) post(fn func()) {
+	select {
+	case n.mailbox <- fn:
+	case <-n.done:
+	default:
+		// Mailbox full: drop.
+	}
+}
+
+// Self implements proto.Env.
+func (n *Node) Self() ids.ProcID { return n.self }
+
+// Members implements proto.Env.
+func (n *Node) Members() []ids.ProcID { return n.group.ring.Members() }
+
+// Ring implements proto.Env.
+func (n *Node) Ring() *ids.Ring { return n.group.ring }
+
+// Now implements proto.Env (wall time since group start).
+func (n *Node) Now() time.Duration { return time.Since(n.group.start) }
+
+// Rand implements proto.Env. It is only touched from the node's own
+// loop, so no locking is needed.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// rtTimer adapts time.Timer to proto.Timer.
+type rtTimer struct {
+	t       *time.Timer
+	mu      sync.Mutex
+	stopped bool
+	fired   bool
+}
+
+// Stop implements proto.Timer.
+func (t *rtTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	t.t.Stop()
+	return true
+}
+
+// Active implements proto.Timer.
+func (t *rtTimer) Active() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.stopped && !t.fired
+}
+
+// After implements proto.Env: the callback is posted to the node's
+// event loop, preserving the single-threaded layer discipline.
+func (n *Node) After(d time.Duration, fn func()) proto.Timer {
+	rt := &rtTimer{}
+	rt.t = time.AfterFunc(d, func() {
+		rt.mu.Lock()
+		if rt.stopped {
+			rt.mu.Unlock()
+			return
+		}
+		rt.fired = true
+		rt.mu.Unlock()
+		n.post(fn)
+	})
+	return rt
+}
+
+// Transport returns the node's bottom-of-stack network endpoint.
+func (n *Node) Transport() proto.Down {
+	return rtTransport{n: n}
+}
+
+// Bind routes incoming packets into recv (normally a Stack.Recv or
+// Switch.Recv). Must be called before traffic flows.
+func (n *Node) Bind(recv func(src ids.ProcID, payload []byte)) {
+	n.recv = recv
+}
+
+// Run executes fn on the node's event loop and waits for it — the safe
+// way for external code (main goroutine, tests) to call into a stack.
+func (n *Node) Run(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	n.post(func() {
+		defer wg.Done()
+		fn()
+	})
+	wg.Wait()
+}
+
+type rtTransport struct {
+	n *Node
+}
+
+var _ proto.Down = rtTransport{}
+
+func (t rtTransport) delay() time.Duration {
+	d := t.n.group.cfg.PropDelay
+	if j := t.n.group.cfg.Jitter; j > 0 {
+		d += time.Duration(t.n.rng.Int63n(int64(j)))
+	}
+	return d
+}
+
+// deliver schedules a packet at dst after the network delay.
+func (t rtTransport) deliver(dst *Node, src ids.ProcID, payload []byte) {
+	if t.n.group.isStopped() {
+		return
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	time.AfterFunc(t.delay(), func() {
+		dst.post(func() {
+			if dst.recv != nil {
+				dst.recv(src, buf)
+			}
+		})
+	})
+}
+
+// Cast implements proto.Down.
+func (t rtTransport) Cast(payload []byte) error {
+	for _, dst := range t.n.group.nodes {
+		t.deliver(dst, t.n.self, payload)
+	}
+	return nil
+}
+
+// Send implements proto.Down.
+func (t rtTransport) Send(dst ids.ProcID, payload []byte) error {
+	if dst < 0 || int(dst) >= len(t.n.group.nodes) {
+		return fmt.Errorf("realtime: send to unknown node %v", dst)
+	}
+	t.deliver(t.n.group.nodes[dst], t.n.self, payload)
+	return nil
+}

@@ -1,0 +1,383 @@
+// Package simnet models the paper's experimental network — a group of
+// workstations on a shared 10 Mbit Ethernet — on top of the discrete
+// event simulator. It is the substrate substitution documented in
+// DESIGN.md §2: per-message transmission time on a shared medium,
+// per-hop propagation delay, per-node CPU service time, and fault
+// injection (loss, duplication, jitter/reordering, replay) so that
+// protocol correctness can be exercised under adversity.
+//
+// The model is intentionally simple but captures the two effects that
+// produce Figure 2 of the paper:
+//
+//   - a *shared medium*: transmissions serialize on the wire, so total
+//     offered load degrades everybody;
+//   - *per-node CPU queues*: a centralized sequencer saturates as the
+//     number of active senders grows, while a rotating token spreads
+//     work evenly.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/ids"
+)
+
+// Config describes the simulated network.
+type Config struct {
+	// Nodes is the number of attached processes (group size).
+	Nodes int
+	// PropDelay is the one-way propagation delay of the medium.
+	PropDelay time.Duration
+	// BitsPerSecond is the medium bandwidth; transmissions occupy the
+	// shared wire for size*8/BitsPerSecond. Zero disables the
+	// transmission-time/shared-medium model entirely.
+	BitsPerSecond float64
+	// FrameOverhead is added to every packet's size on the wire
+	// (headers, preamble).
+	FrameOverhead int
+	// RecvCPU is the per-packet processing time charged to the
+	// receiving node's CPU queue before its handler runs.
+	RecvCPU time.Duration
+	// SendCPU is the per-packet processing time charged to the sending
+	// node's CPU queue before the packet reaches the wire.
+	SendCPU time.Duration
+	// Jitter adds a uniform [0, Jitter) extra delay per receiver,
+	// allowing reordering between packets from different transmissions.
+	Jitter time.Duration
+	// DropProb is the per-receiver probability that a packet is lost.
+	DropProb float64
+	// DupProb is the per-receiver probability that a packet is
+	// delivered twice.
+	DupProb float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("simnet: need at least one node, got %d", c.Nodes)
+	}
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("simnet: drop probability %v out of [0,1)", c.DropProb)
+	}
+	if c.DupProb < 0 || c.DupProb >= 1 {
+		return fmt.Errorf("simnet: dup probability %v out of [0,1)", c.DupProb)
+	}
+	if c.PropDelay < 0 || c.RecvCPU < 0 || c.SendCPU < 0 || c.Jitter < 0 {
+		return fmt.Errorf("simnet: negative delay in config")
+	}
+	if c.BitsPerSecond < 0 || c.FrameOverhead < 0 {
+		return fmt.Errorf("simnet: negative bandwidth or frame overhead")
+	}
+	return nil
+}
+
+// Ethernet10Mbit returns the calibrated configuration used for the
+// paper-reproduction experiments: a 10 Mbit/s shared medium with early
+// 1990s-workstation protocol-processing costs. The CPU costs are the
+// knob that locates the Figure 2 crossover; see EXPERIMENTS.md.
+func Ethernet10Mbit(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		PropDelay:     50 * time.Microsecond,
+		BitsPerSecond: 10e6,
+		FrameOverhead: 64,
+		RecvCPU:       600 * time.Microsecond,
+		SendCPU:       400 * time.Microsecond,
+	}
+}
+
+// Handler receives packets addressed to a node. src is the sending node.
+type Handler func(src ids.ProcID, payload []byte)
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Unicasts   uint64
+	Multicasts uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+	WireBytes  uint64
+}
+
+// frame is one queued transmission.
+type frame struct {
+	src       ids.ProcID
+	dst       ids.ProcID // unicast destination (ignored for multicast)
+	multicast bool
+	payload   []byte
+	tx        time.Duration
+}
+
+// Network is the simulated medium plus the per-node CPU model.
+//
+// Medium arbitration: each node has its own egress queue and the shared
+// wire serves the queues round-robin, one frame at a time. This
+// approximates CSMA fairness on a real Ethernet: a node with a deep
+// backlog (a saturated sequencer) delays *its own* frames unboundedly,
+// but other hosts still get the medium within roughly one frame time
+// per contender — which is what keeps the switching protocol's control
+// token live even when the protocol being switched away from is
+// overloaded (§7).
+type Network struct {
+	sim      *des.Sim
+	cfg      Config
+	handlers []Handler
+	// egress[i] is node i's queued frames; the wire serves queues
+	// round-robin starting after lastServed.
+	egress     [][]frame
+	wireBusy   bool
+	lastServed int
+	// cpuFree[i] is when node i's CPU becomes idle.
+	cpuFree []time.Duration
+	// blocked[src][dst] suppresses delivery (partition injection).
+	blocked map[ids.ProcID]map[ids.ProcID]bool
+	// crashed nodes neither send nor receive (crash-stop injection).
+	crashed map[ids.ProcID]bool
+	stats   Stats
+}
+
+// New creates a network over the given simulator.
+func New(sim *des.Sim, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		sim:      sim,
+		cfg:      cfg,
+		handlers: make([]Handler, cfg.Nodes),
+		egress:   make([][]frame, cfg.Nodes),
+		cpuFree:  make([]time.Duration, cfg.Nodes),
+		blocked:  make(map[ids.ProcID]map[ids.ProcID]bool),
+		crashed:  make(map[ids.ProcID]bool),
+	}, nil
+}
+
+// Crash fails node p crash-stop: everything it sends from now on is
+// discarded (including frames already queued on its egress), and
+// nothing is delivered to it. There is no recovery in this model.
+func (n *Network) Crash(p ids.ProcID) {
+	if !n.valid(p) {
+		return
+	}
+	n.crashed[p] = true
+	n.egress[p] = nil
+}
+
+// Crashed reports whether p has been crash-stopped.
+func (n *Network) Crashed(p ids.ProcID) bool { return n.crashed[p] }
+
+// Bind installs the packet handler for node p. It returns an error for
+// an unknown node; rebinding replaces the handler.
+func (n *Network) Bind(p ids.ProcID, h Handler) error {
+	if !n.valid(p) {
+		return fmt.Errorf("simnet: bind to unknown node %v", p)
+	}
+	n.handlers[p] = h
+	return nil
+}
+
+// Stats returns a copy of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Nodes returns the group size.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Block suppresses packets from src to dst (partition injection).
+func (n *Network) Block(src, dst ids.ProcID) {
+	m := n.blocked[src]
+	if m == nil {
+		m = make(map[ids.ProcID]bool)
+		n.blocked[src] = m
+	}
+	m[dst] = true
+}
+
+// Unblock re-enables packets from src to dst.
+func (n *Network) Unblock(src, dst ids.ProcID) {
+	delete(n.blocked[src], dst)
+}
+
+func (n *Network) isBlocked(src, dst ids.ProcID) bool {
+	return n.blocked[src][dst]
+}
+
+func (n *Network) valid(p ids.ProcID) bool {
+	return p >= 0 && int(p) < n.cfg.Nodes
+}
+
+// txTime returns how long a payload of the given size occupies the wire.
+func (n *Network) txTime(size int) time.Duration {
+	if n.cfg.BitsPerSecond <= 0 {
+		return 0
+	}
+	bits := float64(size+n.cfg.FrameOverhead) * 8
+	return time.Duration(bits / n.cfg.BitsPerSecond * float64(time.Second))
+}
+
+// acquireCPU charges d of CPU time on node p starting no earlier than t,
+// returning the completion time.
+func (n *Network) acquireCPU(p ids.ProcID, t time.Duration, d time.Duration) time.Duration {
+	start := t
+	if n.cpuFree[p] > start {
+		start = n.cpuFree[p]
+	}
+	done := start + d
+	n.cpuFree[p] = done
+	return done
+}
+
+// enqueueFrame places a frame on src's egress queue at virtual time t
+// (after the sender's CPU cost) and kicks the medium if idle.
+func (n *Network) enqueueFrame(src ids.ProcID, f frame, t time.Duration) {
+	n.sim.At(t, func() {
+		n.egress[src] = append(n.egress[src], f)
+		if !n.wireBusy {
+			n.serveNext()
+		}
+	})
+}
+
+// serveNext grants the medium to the next node, round-robin, with a
+// non-empty egress queue.
+func (n *Network) serveNext() {
+	for i := 1; i <= n.cfg.Nodes; i++ {
+		idx := (n.lastServed + i) % n.cfg.Nodes
+		if len(n.egress[idx]) == 0 {
+			continue
+		}
+		f := n.egress[idx][0]
+		n.egress[idx] = n.egress[idx][1:]
+		n.lastServed = idx
+		n.wireBusy = true
+		n.stats.WireBytes += uint64(len(f.payload) + n.cfg.FrameOverhead)
+		n.sim.After(f.tx, func() {
+			n.wireBusy = false
+			n.completeFrame(f)
+			n.serveNext()
+		})
+		return
+	}
+}
+
+// completeFrame fans a finished transmission out to its receivers.
+func (n *Network) completeFrame(f frame) {
+	now := n.sim.Now()
+	if !f.multicast {
+		n.scheduleDelivery(f.src, f.dst, f.payload, now+n.cfg.PropDelay)
+		return
+	}
+	for i := 0; i < n.cfg.Nodes; i++ {
+		dst := ids.ProcID(i)
+		if dst == f.src {
+			// Sender loops its own multicast back without re-crossing
+			// the wire (but after the transmission completes, as a real
+			// interface would).
+			n.scheduleDelivery(f.src, dst, f.payload, now)
+			continue
+		}
+		n.scheduleDelivery(f.src, dst, f.payload, now+n.cfg.PropDelay)
+	}
+}
+
+// Unicast sends payload from src to dst. Passing an unknown node is a
+// programming error and returns an error. Delivery is asynchronous,
+// subject to the fault model; self-sends are delivered locally without
+// touching the wire.
+func (n *Network) Unicast(src, dst ids.ProcID, payload []byte) error {
+	if !n.valid(src) || !n.valid(dst) {
+		return fmt.Errorf("simnet: unicast %v -> %v out of range", src, dst)
+	}
+	if n.crashed[src] {
+		n.stats.Dropped++
+		return nil // a dead process's residual timers send into the void
+	}
+	n.stats.Unicasts++
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	sent := n.acquireCPU(src, n.sim.Now(), n.cfg.SendCPU)
+	if src == dst {
+		// Local loopback: costs send CPU only.
+		n.scheduleDelivery(src, dst, buf, sent)
+		return nil
+	}
+	f := frame{src: src, dst: dst, payload: buf, tx: n.txTime(len(payload))}
+	n.enqueueFrame(src, f, sent)
+	return nil
+}
+
+// Multicast sends payload from src to every node, including src itself
+// (local loopback). On the simulated Ethernet a multicast is a single
+// transmission heard by all receivers — this asymmetry versus n unicasts
+// is essential to the sequencer protocol's economics.
+func (n *Network) Multicast(src ids.ProcID, payload []byte) error {
+	if !n.valid(src) {
+		return fmt.Errorf("simnet: multicast from unknown node %v", src)
+	}
+	if n.crashed[src] {
+		n.stats.Dropped++
+		return nil
+	}
+	n.stats.Multicasts++
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	sent := n.acquireCPU(src, n.sim.Now(), n.cfg.SendCPU)
+	f := frame{src: src, multicast: true, payload: buf, tx: n.txTime(len(payload))}
+	n.enqueueFrame(src, f, sent)
+	return nil
+}
+
+// Inject delivers a raw packet to dst appearing to come from src,
+// bypassing the sender-side model. It exists for adversarial tests
+// (replay attacks against the No Replay property).
+func (n *Network) Inject(src, dst ids.ProcID, payload []byte) error {
+	if !n.valid(src) || !n.valid(dst) {
+		return fmt.Errorf("simnet: inject %v -> %v out of range", src, dst)
+	}
+	n.scheduleDelivery(src, dst, payload, n.sim.Now()+n.cfg.PropDelay)
+	return nil
+}
+
+// scheduleDelivery applies the per-receiver fault model and queues the
+// handler invocation behind dst's CPU.
+func (n *Network) scheduleDelivery(src, dst ids.ProcID, payload []byte, arrival time.Duration) {
+	if n.isBlocked(src, dst) || n.crashed[src] || n.crashed[dst] {
+		n.stats.Dropped++
+		return
+	}
+	rng := n.sim.Rand()
+	if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
+		n.stats.Dropped++
+		return
+	}
+	copies := 1
+	if n.cfg.DupProb > 0 && rng.Float64() < n.cfg.DupProb {
+		copies = 2
+		n.stats.Duplicated++
+	}
+	for c := 0; c < copies; c++ {
+		at := arrival
+		if n.cfg.Jitter > 0 {
+			at += time.Duration(rng.Int63n(int64(n.cfg.Jitter)))
+		}
+		// Copy the payload per delivery: receivers own their bytes.
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		n.sim.At(at, func() {
+			h := n.handlers[dst]
+			if h == nil || n.crashed[dst] {
+				return
+			}
+			// Charge receive processing to dst's CPU queue; the handler
+			// logically runs when processing completes.
+			doneAt := n.acquireCPU(dst, n.sim.Now(), n.cfg.RecvCPU)
+			n.stats.Delivered++
+			if doneAt == n.sim.Now() {
+				h(src, buf)
+				return
+			}
+			n.sim.At(doneAt, func() { h(src, buf) })
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ids"
+)
+
+// JSON wire format for traces, consumed and produced by cmd/tracecheck.
+// Events are encoded as flat records so that traces can be produced by
+// external tooling (or by hand) without knowledge of internal types.
+
+type jsonMessage struct {
+	ID     uint64  `json:"id"`
+	Sender int32   `json:"sender"`
+	Body   string  `json:"body,omitempty"`
+	IsView bool    `json:"isView,omitempty"`
+	View   []int32 `json:"view,omitempty"`
+}
+
+type jsonEvent struct {
+	Kind string      `json:"kind"` // "send" | "deliver"
+	Proc int32       `json:"proc,omitempty"`
+	Msg  jsonMessage `json:"msg"`
+}
+
+func toJSONEvent(e Event) jsonEvent {
+	je := jsonEvent{
+		Msg: jsonMessage{
+			ID:     uint64(e.Msg.ID),
+			Sender: int32(e.Msg.Sender),
+			Body:   e.Msg.Body,
+			IsView: e.Msg.IsView,
+		},
+	}
+	for _, p := range e.Msg.View {
+		je.Msg.View = append(je.Msg.View, int32(p))
+	}
+	switch e.Kind {
+	case SendKind:
+		je.Kind = "send"
+	case DeliverKind:
+		je.Kind = "deliver"
+		je.Proc = int32(e.Deliverer)
+	}
+	return je
+}
+
+func fromJSONEvent(je jsonEvent) (Event, error) {
+	m := Message{
+		ID:     ids.MsgID(je.Msg.ID),
+		Sender: ids.ProcID(je.Msg.Sender),
+		Body:   je.Msg.Body,
+		IsView: je.Msg.IsView,
+	}
+	for _, p := range je.Msg.View {
+		m.View = append(m.View, ids.ProcID(p))
+	}
+	switch je.Kind {
+	case "send":
+		return Send(m), nil
+	case "deliver":
+		return Deliver(ids.ProcID(je.Proc), m), nil
+	default:
+		return Event{}, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+	}
+}
+
+// MarshalJSON encodes the trace as a JSON array of event records.
+func (tr Trace) MarshalJSON() ([]byte, error) {
+	out := make([]jsonEvent, len(tr))
+	for i, e := range tr {
+		out[i] = toJSONEvent(e)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a JSON array of event records.
+func (tr *Trace) UnmarshalJSON(data []byte) error {
+	var raw []jsonEvent
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(Trace, 0, len(raw))
+	for i, je := range raw {
+		e, err := fromJSONEvent(je)
+		if err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		out = append(out, e)
+	}
+	*tr = out
+	return nil
+}
+
+// WriteJSON writes the trace to w as indented JSON.
+func (tr Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadJSON reads a trace from r.
+func ReadJSON(r io.Reader) (Trace, error) {
+	var tr Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return tr, nil
+}

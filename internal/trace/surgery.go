@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// This file implements the trace transformations underlying the
+// meta-property relations of §5 and §6 of the paper. Each relation R on
+// traces is realized as a family of elementary rewrites; the relation
+// itself is the reflexive-transitive closure of the rewrites, so applying
+// any sequence of them to tr_below yields a tr_above with
+// tr_above R tr_below.
+
+// Prefix returns the first k events of the trace (R_safety: tr_above is a
+// prefix of tr_below). k is clamped to [0, len(tr)].
+func (tr Trace) Prefix(k int) Trace {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(tr) {
+		k = len(tr)
+	}
+	return tr[:k].Clone()
+}
+
+// CanSwapAsync reports whether events i and i+1 may be swapped under
+// R_asynchrony: the events must be adjacent and belong to *different*
+// processes ("events belonging to the same process may not be swapped").
+func (tr Trace) CanSwapAsync(i int) bool {
+	if i < 0 || i+1 >= len(tr) {
+		return false
+	}
+	return tr[i].Proc() != tr[i+1].Proc()
+}
+
+// CanSwapDelayable reports whether events i and i+1 may be swapped under
+// R_delayable: the events must be adjacent, belong to the *same* process,
+// and be one Send and one Deliver (a layer delays Sends going down and
+// Delivers going up, so their local interleaving is not preserved).
+// Swapping a Deliver past the Send *of the same message* at the sending
+// process is excluded: no layer can deliver a message before the
+// application has handed it over.
+func (tr Trace) CanSwapDelayable(i int) bool {
+	if i < 0 || i+1 >= len(tr) {
+		return false
+	}
+	a, b := tr[i], tr[i+1]
+	if a.Proc() != b.Proc() {
+		return false
+	}
+	if a.Kind == b.Kind {
+		return false
+	}
+	if a.Msg.ID == b.Msg.ID {
+		// Would reorder a message's Send against its own local Deliver.
+		return false
+	}
+	return true
+}
+
+// SwapAdjacent returns a copy of the trace with events i and i+1
+// exchanged. It returns an error if i is out of range. Callers enforce
+// the relation-specific side conditions via CanSwapAsync /
+// CanSwapDelayable.
+func (tr Trace) SwapAdjacent(i int) (Trace, error) {
+	if i < 0 || i+1 >= len(tr) {
+		return nil, fmt.Errorf("trace: swap index %d out of range (len %d)", i, len(tr))
+	}
+	out := tr.Clone()
+	out[i], out[i+1] = out[i+1], out[i]
+	return out, nil
+}
+
+// AppendSends returns the trace extended with Send events for the given
+// messages (R_send_enabled: tr_above adds only Send events at the end).
+func (tr Trace) AppendSends(msgs ...Message) Trace {
+	out := tr.Clone()
+	for _, m := range msgs {
+		out = append(out, Send(m.Clone()))
+	}
+	return out
+}
+
+// EraseMessages returns the trace with *all* events pertaining to the
+// given message IDs removed (R_memoryless: whether such a message was
+// ever sent or delivered is no longer of importance).
+func (tr Trace) EraseMessages(doomed map[ids.MsgID]bool) Trace {
+	out := make(Trace, 0, len(tr))
+	for _, e := range tr {
+		if doomed[e.Msg.ID] {
+			continue
+		}
+		out = append(out, e.Clone())
+	}
+	return out
+}
+
+// Concat returns the concatenation tr ++ other (used by the Composable
+// meta-property of §6.2). It returns an error if the two traces share a
+// message ID — composability is only defined for traces with no messages
+// in common.
+func (tr Trace) Concat(other Trace) (Trace, error) {
+	mine := make(map[ids.MsgID]bool, len(tr))
+	for _, e := range tr {
+		mine[e.Msg.ID] = true
+	}
+	for _, e := range other {
+		if mine[e.Msg.ID] {
+			return nil, fmt.Errorf("trace: concat operands share message %v", e.Msg.ID)
+		}
+	}
+	out := make(Trace, 0, len(tr)+len(other))
+	out = append(out, tr.Clone()...)
+	out = append(out, other.Clone()...)
+	return out, nil
+}
+
+// DisjointMessages reports whether the two traces have no message IDs in
+// common.
+func (tr Trace) DisjointMessages(other Trace) bool {
+	mine := make(map[ids.MsgID]bool, len(tr))
+	for _, e := range tr {
+		mine[e.Msg.ID] = true
+	}
+	for _, e := range other {
+		if mine[e.Msg.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+// RenumberFrom returns a copy of the trace whose message IDs are shifted
+// by delta. It is used to make two generated traces message-disjoint
+// before concatenation.
+func (tr Trace) RenumberFrom(delta uint64) Trace {
+	out := tr.Clone()
+	for i := range out {
+		out[i].Msg.ID += ids.MsgID(delta)
+	}
+	return out
+}
+
+// MaxMsgID returns the largest message ID in the trace (0 for an empty
+// trace).
+func (tr Trace) MaxMsgID() ids.MsgID {
+	var max ids.MsgID
+	for _, e := range tr {
+		if e.Msg.ID > max {
+			max = e.Msg.ID
+		}
+	}
+	return max
+}

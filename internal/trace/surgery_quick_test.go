@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+// genTrace builds a random well-formed trace from fuzz bytes.
+func genTrace(seed int64, n int) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	if n <= 0 {
+		n = 1
+	}
+	if n > 12 {
+		n = 12
+	}
+	var tr Trace
+	var sent []Message
+	nextID := uint64(1)
+	for i := 0; i < n; i++ {
+		if len(sent) == 0 || rng.Float64() < 0.4 {
+			m := Message{
+				ID:     ids.MsgID(nextID),
+				Sender: ids.ProcID(rng.Intn(3)),
+				Body:   string(rune('a' + rng.Intn(3))),
+			}
+			nextID++
+			sent = append(sent, m)
+			tr = append(tr, Send(m))
+			continue
+		}
+		m := sent[rng.Intn(len(sent))]
+		tr = append(tr, Deliver(ids.ProcID(rng.Intn(3)), m))
+	}
+	return tr
+}
+
+// Property: surgery operations never produce an invalid trace from a
+// valid one.
+func TestSurgeryPreservesValidityProperty(t *testing.T) {
+	f := func(seed int64, n uint8, k uint8) bool {
+		tr := genTrace(seed, int(n%16))
+		if tr.Validate() != nil {
+			return false // generator bug
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		// Prefix.
+		if tr.Prefix(int(k)%(len(tr)+1)).Validate() != nil {
+			return false
+		}
+		// Any legal adjacent swap.
+		for i := 0; i+1 < len(tr); i++ {
+			if tr.CanSwapAsync(i) || tr.CanSwapDelayable(i) {
+				out, err := tr.SwapAdjacent(i)
+				if err != nil || out.Validate() != nil {
+					return false
+				}
+			}
+		}
+		// Erasure of a random subset.
+		doomed := map[ids.MsgID]bool{}
+		for _, id := range tr.MessageIDs() {
+			if rng.Float64() < 0.5 {
+				doomed[id] = true
+			}
+		}
+		if tr.EraseMessages(doomed).Validate() != nil {
+			return false
+		}
+		// Appending fresh sends.
+		fresh := Message{ID: tr.MaxMsgID() + 1, Sender: 0, Body: "z"}
+		return tr.AppendSends(fresh).Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: erasure actually removes every event of the doomed messages
+// and nothing else.
+func TestEraseExactnessProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		tr := genTrace(seed, int(n%16))
+		idsAll := tr.MessageIDs()
+		if len(idsAll) == 0 {
+			return true
+		}
+		doomed := map[ids.MsgID]bool{idsAll[0]: true}
+		out := tr.EraseMessages(doomed)
+		kept := 0
+		for _, e := range tr {
+			if !doomed[e.Msg.ID] {
+				kept++
+			}
+		}
+		if len(out) != kept {
+			return false
+		}
+		for _, e := range out {
+			if doomed[e.Msg.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: renumbered traces concatenate cleanly and the result
+// contains exactly the sum of events.
+func TestConcatRenumberProperty(t *testing.T) {
+	f := func(s1, s2 int64, n1, n2 uint8) bool {
+		a := genTrace(s1, int(n1%12))
+		b := genTrace(s2, int(n2%12)).RenumberFrom(uint64(a.MaxMsgID()))
+		if !a.DisjointMessages(b) {
+			return false
+		}
+		out, err := a.Concat(b)
+		if err != nil {
+			return false
+		}
+		return len(out) == len(a)+len(b) && out.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON round-trips arbitrary generated traces.
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		tr := genTrace(seed, int(n%16))
+		data, err := tr.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		var back Trace
+		if err := back.UnmarshalJSON(data); err != nil {
+			return false
+		}
+		if len(back) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if tr[i].String() != back[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
