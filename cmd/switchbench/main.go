@@ -3,6 +3,7 @@
 //	switchbench -experiment figure2     # Figure 2: latency vs. active senders
 //	switchbench -experiment overhead    # switch overhead near the crossover (~31 ms in the paper)
 //	switchbench -experiment hysteresis  # oscillation with and without hysteresis
+//	switchbench -experiment chaos       # E13: fault-schedule sweep vs. the self-healing SP
 //	switchbench -experiment all
 //
 // All experiments run on the deterministic discrete-event simulator, so
@@ -28,8 +29,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("switchbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "figure2 | overhead | hysteresis | p2p | all")
+		experiment = fs.String("experiment", "all", "figure2 | overhead | hysteresis | p2p | chaos | all")
 		seed       = fs.Int64("seed", 1, "simulation seed")
+		schedules  = fs.Int("schedules", 200, "fault schedules for the chaos sweep")
 		senders    = fs.Int("senders", 10, "maximum active senders for figure2")
 		measure    = fs.Duration("measure", 10*time.Second, "virtual measurement window per point")
 		warmup     = fs.Duration("warmup", 2*time.Second, "virtual warmup discarded from statistics")
@@ -96,6 +98,22 @@ func run(args []string) error {
 		fmt.Println(harness.RenderHysteresis(rows))
 		return nil
 	}
+	doChaos := func() error {
+		fmt.Println("=== E13: chaos sweep ===")
+		cfg := harness.DefaultChaosSweepConfig()
+		cfg.Seed = *seed
+		cfg.Schedules = *schedules
+		cfg.Progress = progress
+		res, err := harness.RunChaosSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if len(res.Failures) > 0 {
+			return fmt.Errorf("%d of %d schedules violated invariants", len(res.Failures), res.Schedules)
+		}
+		return nil
+	}
 	doP2P := func() error {
 		fmt.Println("=== E11: point-to-point specialization ===")
 		cfg := harness.DefaultP2PConfig()
@@ -117,6 +135,8 @@ func run(args []string) error {
 		return doHysteresis()
 	case "p2p":
 		return doP2P()
+	case "chaos":
+		return doChaos()
 	case "all":
 		if err := doFigure2(); err != nil {
 			return err
@@ -127,7 +147,10 @@ func run(args []string) error {
 		if err := doHysteresis(); err != nil {
 			return err
 		}
-		return doP2P()
+		if err := doP2P(); err != nil {
+			return err
+		}
+		return doChaos()
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}

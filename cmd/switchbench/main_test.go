@@ -59,3 +59,9 @@ func TestP2PExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChaosExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "chaos", "-schedules", "8", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,11 +1,16 @@
-// Failover: the capability boundary between the paper's two switching
-// mechanisms, live. The token-ring switching protocol (§2) assumes
-// crash-free members — a single crash silently kills its control token.
-// The §8 view-change mechanism, paired with a heartbeat failure
-// detector, evicts the crashed member and the group keeps multicasting.
+// Failover: how the paper's switching mechanisms cope with a crash,
+// live. The token-ring switching protocol (§2) assumes crash-free
+// members — a bare SP's control token silently dies with a crashed
+// member. Two mechanisms in this repo survive the crash instead:
 //
-// This example crashes a member mid-traffic and shows the group
-// reconfigure with no operator intervention.
+//  1. The §8 view-change mechanism, paired with a heartbeat failure
+//     detector, evicts the crashed member and installs a smaller view.
+//  2. The SP's own recovery extension (Config.Recovery): survivors
+//     detect the token's silence, regenerate it, route the ring around
+//     the dead member, and can still switch protocols.
+//
+// This example crashes a member mid-traffic under each mechanism and
+// shows both groups keep multicasting with no operator intervention.
 //
 //	go run ./examples/failover
 package main
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core/switching"
+	"repro/internal/core/switching/swtest"
 	"repro/internal/core/viewswitch"
 	"repro/internal/des"
 	"repro/internal/ids"
@@ -37,6 +43,15 @@ func main() {
 }
 
 func run() error {
+	if err := viewChangeFailover(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return selfHealingFailover()
+}
+
+// viewChangeFailover is the §8 answer: evict the crashed member.
+func viewChangeFailover() error {
 	const members = 4
 	sim := des.New(42)
 	net, err := simnet.New(sim, simnet.Ethernet10Mbit(members))
@@ -91,6 +106,7 @@ func run() error {
 		}
 	}
 
+	fmt.Println("=== view change (§8): evict the crashed member ===")
 	fmt.Println("t=0      4-member group multicasting")
 	sim.At(5*time.Millisecond, func() { cast(1, "tick-1") })
 	sim.At(20*time.Millisecond, func() { cast(2, "tick-2") })
@@ -123,7 +139,95 @@ func run() error {
 	}
 	fmt.Println("\nthe failure detector suspected the silent member, the coordinator")
 	fmt.Println("flushed and installed a 3-member view, and traffic continued —")
-	fmt.Println("no restarts, no operator. (The token-ring SP cannot do this: its")
-	fmt.Println("token dies with the crashed member; see the crash tests.)")
+	fmt.Println("no restarts, no operator.")
+	return nil
+}
+
+// selfHealingFailover is the recovery extension's answer: keep the same
+// ring, regenerate the token, and route around the dead member. The
+// same crash used to wedge the token-ring SP forever (see
+// viewswitch's crash tests); with Config.Recovery it does not.
+func selfHealingFailover() error {
+	const members = 4
+	const ti = 2 * time.Millisecond
+	swCfg := switching.Config{
+		Protocols: []switching.ProtocolFactory{
+			func(proto.Env) []proto.Layer {
+				return []proto.Layer{seqorder.New(0), fifo.New(fifo.Config{})}
+			},
+			func(proto.Env) []proto.Layer {
+				return []proto.Layer{seqorder.New(1), fifo.New(fifo.Config{})}
+			},
+		},
+		TokenInterval: ti,
+		Recovery: &switching.RecoveryConfig{
+			Detector: fd.Config{Interval: 5 * time.Millisecond},
+		},
+	}
+	c, err := swtest.NewSwitched(42, simnet.Config{Nodes: members, PropDelay: 300 * time.Microsecond}, members, swCfg)
+	if err != nil {
+		return err
+	}
+
+	seq := uint32(0)
+	cast := func(p ids.ProcID, body string) {
+		seq++
+		sw := c.Members[p].Switch
+		m := proto.AppMsg{
+			ID:     proto.MakeMsgID(p, seq),
+			Sender: p,
+			Body:   []byte(fmt.Sprintf("%s (epoch %d)", body, sw.SendEpoch())),
+		}
+		if err := sw.Cast(m.Encode()); err != nil {
+			fmt.Fprintf(os.Stderr, "cast %q: %v\n", body, err)
+		}
+	}
+
+	fmt.Println("=== self-healing SP: same crash, same ring, token regenerated ===")
+	fmt.Println("t=0      4-member token ring multicasting")
+	c.Sim.At(5*time.Millisecond, func() { cast(1, "tick-1") })
+	c.Sim.At(20*time.Millisecond, func() { cast(2, "tick-2") })
+	c.Sim.At(50*time.Millisecond, func() {
+		fmt.Println("t=50ms   member 3 crashes — the control token dies with it")
+		c.Net.Crash(3)
+	})
+	c.Sim.At(200*time.Millisecond, func() {
+		fmt.Println("t=200ms  survivors request a protocol switch anyway")
+		c.Members[0].Switch.RequestSwitch()
+	})
+	c.Sim.At(400*time.Millisecond, func() { cast(1, "tick-3 (after recovery)") })
+	c.Run(5 * time.Second)
+	c.Stop()
+
+	fmt.Println("\nmember 0's delivery log:")
+	bodies, err := c.AppBodies(0)
+	if err != nil {
+		return err
+	}
+	for _, b := range bodies {
+		fmt.Println("   ", b)
+	}
+	var regen, wedges uint64
+	for _, p := range []ids.ProcID{0, 1, 2} {
+		sw := c.Members[p].Switch
+		if sw.Epoch() != 1 {
+			return fmt.Errorf("member %v stuck at epoch %d — switch did not survive the crash", p, sw.Epoch())
+		}
+		st := sw.Stats()
+		regen += st.TokensRegenerated
+		wedges += st.WedgeTimeouts
+		peer, err := c.AppBodies(p)
+		if err != nil {
+			return err
+		}
+		if len(peer) != len(bodies) {
+			return fmt.Errorf("member %v diverged: %v", p, peer)
+		}
+	}
+	fmt.Printf("\nwedge timeouts fired: %d, tokens regenerated: %d\n", wedges, regen)
+	fmt.Println("the survivors detected the token's silence, regenerated it one")
+	fmt.Println("generation up, skipped the suspected member in ring order, and")
+	fmt.Println("completed the protocol switch — the ring healed itself without a")
+	fmt.Println("view change. (A bare SP without Config.Recovery wedges here.)")
 	return nil
 }

@@ -1,0 +1,210 @@
+// Package chaos is a seeded fault-injection harness for the switching
+// protocol's recovery layer (E13). A generator expands a seed into a
+// deterministic schedule of faults — crash-stop failures, partitions,
+// and drop/duplicate/reorder bursts — at random virtual times over an
+// internal/simnet run. The runner replays a schedule against a cluster
+// of recovery-enabled switches, drives background traffic and switch
+// requests through it, heals all faults, and then checks the system's
+// invariants: the ring is not deadlocked (post-heal probes reach every
+// live member), the preserved Table 1 properties hold on the survivors'
+// traces (pairwise common delivery order, old-before-new epoch
+// boundary), and every live member converged to one epoch.
+//
+// Everything is deterministic per seed: the same seed generates the
+// same schedule and the same simulation, which makes every sweep
+// failure replayable.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Kind labels a fault event.
+type Kind uint8
+
+const (
+	// KindCrash crash-stops the target member (never repaired).
+	KindCrash Kind = iota + 1
+	// KindPartition cuts the target member off from the rest of the
+	// group from At until Until.
+	KindPartition
+	// KindBurst subjects the whole medium to message drops, duplicates
+	// and reordering jitter from At until Until.
+	KindBurst
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindPartition:
+		return "partition"
+	case KindBurst:
+		return "burst"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one fault in a schedule.
+type Event struct {
+	At   time.Duration
+	Kind Kind
+	// Target is the afflicted member (crash, partition).
+	Target ids.ProcID
+	// Until ends a partition or burst window.
+	Until time.Duration
+	// Drop/Dup/Jitter parameterize a burst.
+	Drop   float64
+	Dup    float64
+	Jitter time.Duration
+}
+
+// SwitchReq schedules a protocol-switch request.
+type SwitchReq struct {
+	At time.Duration
+	By ids.ProcID
+}
+
+// Send schedules one background application multicast.
+type Send struct {
+	At   time.Duration
+	From ids.ProcID
+}
+
+// Schedule is a deterministic fault plan for one run.
+type Schedule struct {
+	Seed     int64
+	N        int
+	Horizon  time.Duration
+	Events   []Event
+	Switches []SwitchReq
+	Traffic  []Send
+}
+
+// Kinds returns the distinct fault kinds present, in order.
+func (s Schedule) Kinds() []Kind {
+	seen := map[Kind]bool{}
+	var out []Kind
+	for _, e := range s.Events {
+		if !seen[e.Kind] {
+			seen[e.Kind] = true
+			out = append(out, e.Kind)
+		}
+	}
+	return out
+}
+
+// GenConfig tunes the schedule generator.
+type GenConfig struct {
+	// N is the group size (default 4; minimum 4 so that one member can
+	// crash and another partition while both sequencer members stay
+	// up).
+	N int
+	// Horizon is the window in which faults, traffic and switch
+	// requests are placed (default 400ms). All partitions and bursts
+	// heal before the horizon.
+	Horizon time.Duration
+	// CrashProb / PartitionProb / BurstProb are the independent
+	// probabilities of each fault class appearing in a schedule
+	// (defaults 0.6 / 0.5 / 0.5). A schedule that rolls none of them is
+	// given a crash so every schedule exercises recovery.
+	CrashProb     float64
+	PartitionProb float64
+	BurstProb     float64
+	// Messages is how many background multicasts to schedule
+	// (default 14).
+	Messages int
+}
+
+func (c *GenConfig) defaults() {
+	if c.N == 0 {
+		c.N = 4
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 400 * time.Millisecond
+	}
+	if c.CrashProb == 0 {
+		c.CrashProb = 0.6
+	}
+	if c.PartitionProb == 0 {
+		c.PartitionProb = 0.5
+	}
+	if c.BurstProb == 0 {
+		c.BurstProb = 0.5
+	}
+	if c.Messages == 0 {
+		c.Messages = 14
+	}
+}
+
+// Generate expands a seed into a deterministic fault schedule. Faults
+// only target members ≥ 2: members 0 and 1 act as the sequencers of the
+// two sub-protocols, and killing a sub-protocol's own coordinator tests
+// that protocol's (absent) fault tolerance, not the switching layer's.
+func Generate(seed int64, cfg GenConfig) (Schedule, error) {
+	cfg.defaults()
+	if cfg.N < 4 {
+		return Schedule{}, fmt.Errorf("chaos: need N >= 4, got %d", cfg.N)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := cfg.Horizon
+	s := Schedule{Seed: seed, N: cfg.N, Horizon: h}
+
+	window := func(lo, hi float64) (time.Duration, time.Duration) {
+		a := time.Duration((lo + rng.Float64()*(hi-lo-0.1)) * float64(h))
+		b := a + time.Duration((0.1+rng.Float64()*0.3)*float64(h))
+		if b > h {
+			b = h
+		}
+		return a, b
+	}
+	victim := func() ids.ProcID { return ids.ProcID(2 + rng.Intn(cfg.N-2)) }
+
+	if rng.Float64() < cfg.CrashProb {
+		at, _ := window(0.2, 0.8)
+		s.Events = append(s.Events, Event{At: at, Kind: KindCrash, Target: victim()})
+	}
+	if rng.Float64() < cfg.PartitionProb {
+		at, until := window(0.1, 0.8)
+		s.Events = append(s.Events, Event{At: at, Kind: KindPartition, Target: victim(), Until: until})
+	}
+	if rng.Float64() < cfg.BurstProb {
+		at, until := window(0.1, 0.8)
+		s.Events = append(s.Events, Event{
+			At: at, Kind: KindBurst, Until: until,
+			Drop:   0.05 + 0.3*rng.Float64(),
+			Dup:    0.2 * rng.Float64(),
+			Jitter: time.Duration(rng.Intn(2000)) * time.Microsecond,
+		})
+	}
+	if len(s.Events) == 0 {
+		at, _ := window(0.2, 0.8)
+		s.Events = append(s.Events, Event{At: at, Kind: KindCrash, Target: victim()})
+	}
+	sort.Slice(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+
+	// One or two switch requests from the never-faulted members.
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		s.Switches = append(s.Switches, SwitchReq{
+			At: time.Duration((0.1 + 0.7*rng.Float64()) * float64(h)),
+			By: ids.ProcID(rng.Intn(2)),
+		})
+	}
+	sort.Slice(s.Switches, func(i, j int) bool { return s.Switches[i].At < s.Switches[j].At })
+
+	for i := 0; i < cfg.Messages; i++ {
+		s.Traffic = append(s.Traffic, Send{
+			At:   time.Duration(rng.Float64() * float64(h)),
+			From: ids.ProcID(rng.Intn(cfg.N)),
+		})
+	}
+	sort.Slice(s.Traffic, func(i, j int) bool { return s.Traffic[i].At < s.Traffic[j].At })
+	return s, nil
+}

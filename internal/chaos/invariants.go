@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/core/switching/swtest"
+	"repro/internal/ids"
+	"repro/internal/protocols/fd"
+	"repro/internal/simnet"
+)
+
+// checkConverged asserts the no-deadlock end state: every live member
+// finished every switch round it entered and all live members agree on
+// the protocol epoch.
+func checkConverged(c *swtest.SwitchedCluster, live []ids.ProcID) []string {
+	var v []string
+	ref := c.Members[live[0]].Switch.Epoch()
+	for _, p := range live {
+		sw := c.Members[p].Switch
+		if sw.Switching() {
+			v = append(v, fmt.Sprintf("deadlock: member %v still mid-switch at end of run", p))
+		}
+		if got := sw.Epoch(); got != ref {
+			v = append(v, fmt.Sprintf("epoch divergence: member %v at epoch %d, member %v at %d", p, got, live[0], ref))
+		}
+	}
+	return v
+}
+
+// checkLiveness asserts that every live member delivered every live
+// member's post-heal probe — the ring and both sub-protocols are still
+// moving traffic after the faults.
+func checkLiveness(bodies map[ids.ProcID][]string, live []ids.ProcID) []string {
+	var v []string
+	for _, m := range live {
+		for _, p := range live {
+			want := fmt.Sprintf("-probe%d", p)
+			found := false
+			for _, b := range bodies[m] {
+				if strings.HasSuffix(b, want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				v = append(v, fmt.Sprintf("liveness: member %v never delivered member %v's post-heal probe", m, p))
+			}
+		}
+	}
+	return v
+}
+
+// checkCommonOrder asserts the preserved Table 1 ordering property on
+// the survivors' traces: for every pair of live members, the messages
+// both delivered appear in the same relative order. (Messages a member
+// missed entirely — stale-dropped after a round closed without counting
+// a faulty sender — are excluded: total order is only claimed over
+// common deliveries, exactly property.TotalOrder's pairwise rule.)
+func checkCommonOrder(bodies map[ids.ProcID][]string, live []ids.ProcID) []string {
+	var v []string
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			a, b := live[i], live[j]
+			if msg, ok := commonOrderAgrees(bodies[a], bodies[b]); !ok {
+				v = append(v, fmt.Sprintf("common order: members %v and %v disagree at %q", a, b, msg))
+			}
+		}
+	}
+	return v
+}
+
+// commonOrderAgrees filters both sequences to their common elements and
+// compares. Bodies are unique per message, so set membership is enough.
+func commonOrderAgrees(a, b []string) (string, bool) {
+	inA := make(map[string]bool, len(a))
+	for _, m := range a {
+		inA[m] = true
+	}
+	inB := make(map[string]bool, len(b))
+	for _, m := range b {
+		inB[m] = true
+	}
+	var fa, fb []string
+	for _, m := range a {
+		if inB[m] {
+			fa = append(fa, m)
+		}
+	}
+	for _, m := range b {
+		if inA[m] {
+			fb = append(fb, m)
+		}
+	}
+	for k := range fa {
+		if fa[k] != fb[k] {
+			return fa[k], false
+		}
+	}
+	return "", true
+}
+
+// checkEpochBoundary asserts the SP's §2 guarantee per member: all
+// old-protocol messages are delivered before any new-protocol ones, so
+// the "e<epoch>" tags are nondecreasing in each member's trace.
+func checkEpochBoundary(bodies map[ids.ProcID][]string) []string {
+	var v []string
+	for p, got := range bodies {
+		maxEpoch := -1
+		for i, b := range got {
+			var e int
+			if _, err := fmt.Sscanf(b, "e%d-", &e); err != nil {
+				v = append(v, fmt.Sprintf("epoch boundary: member %v delivered untagged body %q", p, b))
+				continue
+			}
+			if e < maxEpoch {
+				v = append(v, fmt.Sprintf("epoch boundary: member %v delivered epoch-%d %q at index %d after epoch-%d traffic", p, e, b, i, maxEpoch))
+			}
+			if e > maxEpoch {
+				maxEpoch = e
+			}
+		}
+	}
+	return v
+}
+
+// MeasureRecovery runs the bounded-recovery experiment: a clean network
+// (no drops), a switch round started at a random time, and a crash of a
+// non-initiator member at a random point while the round is in flight.
+// It returns the virtual time from the crash until every survivor has
+// completed the switch (epoch advanced, not mid-round). The recovery
+// layer's worst-case detection is SwitchTimeout (3×TokenInterval) plus
+// the ring-position stagger, and the retried round completes in a few
+// propagation delays, so the paper-facing bound asserted by the tests
+// is 10×TokenInterval.
+func MeasureRecovery(seed int64, n int, ti time.Duration) (time.Duration, error) {
+	swCfg := switching.Config{
+		Protocols:     pair(),
+		TokenInterval: ti,
+		Recovery: &switching.RecoveryConfig{
+			Detector: fd.Config{Interval: ti / 2, Timeout: 2 * ti},
+		},
+	}
+	c, err := swtest.NewSwitched(seed, simnet.Config{Nodes: n, PropDelay: 200 * time.Microsecond}, n, swCfg)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: build cluster: %w", err)
+	}
+	victim := ids.ProcID(n - 1)
+	rng := c.Sim.Rand()
+	reqAt := 4*ti + time.Duration(rng.Int63n(int64(2*ti)))
+	c.Sim.At(reqAt, func() { c.Members[0].Switch.RequestSwitch() })
+	// Old-protocol traffic in flight around the request so the FLUSH
+	// round has to drain.
+	for i := 0; i < 6; i++ {
+		i := i
+		c.Sim.At(reqAt+time.Duration(i)*300*time.Microsecond, func() {
+			cast(c, ids.ProcID(i%(n-1)), uint32(i), fmt.Sprintf("pre%d", i))
+		})
+	}
+
+	// Crash the victim at a random delay after the initiator starts the
+	// round. The window is sized to the round's own span (three ring
+	// traversals), so across seeds the crash lands in every phase:
+	// PREPARE in flight, SWITCH, holding FLUSH, or round already done.
+	crashWindow := time.Duration(3*n+3) * 200 * time.Microsecond
+	delay := time.Duration(rng.Int63n(int64(crashWindow)))
+	var crashedAt time.Duration
+	var watch func()
+	watch = func() {
+		if crashedAt != 0 {
+			return
+		}
+		if c.Members[0].Switch.Switching() {
+			c.Sim.After(delay, func() {
+				crashedAt = c.Sim.Now()
+				c.Net.Crash(victim)
+			})
+			return
+		}
+		c.Sim.After(ti/20, watch)
+	}
+	c.Sim.At(reqAt, watch)
+
+	// Poll for the recovered state: every survivor at epoch 1 and out
+	// of the round.
+	var recoveredAt time.Duration
+	var poll func()
+	poll = func() {
+		if recoveredAt != 0 {
+			return
+		}
+		if crashedAt == 0 {
+			c.Sim.After(ti/10, poll)
+			return
+		}
+		for p := 0; p < n-1; p++ {
+			sw := c.Members[p].Switch
+			if sw.Epoch() != 1 || sw.Switching() {
+				c.Sim.After(ti/10, poll)
+				return
+			}
+		}
+		recoveredAt = c.Sim.Now()
+	}
+	c.Sim.At(reqAt, poll)
+
+	c.Run(reqAt + 200*ti)
+	c.Stop()
+	if crashedAt == 0 {
+		return 0, fmt.Errorf("chaos: seed %d: switch round never started", seed)
+	}
+	if recoveredAt == 0 {
+		return 0, fmt.Errorf("chaos: seed %d: survivors never recovered (wedged)", seed)
+	}
+	if recoveredAt < crashedAt {
+		return 0, nil // round finished before the crash landed — nothing to recover
+	}
+	return recoveredAt - crashedAt, nil
+}

@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/core/switching/swtest"
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fd"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/simnet"
+)
+
+// RunConfig tunes the schedule runner.
+type RunConfig struct {
+	// TokenInterval is the switching layer's idle rotation pace
+	// (default 5ms). Recovery timeouts scale from it.
+	TokenInterval time.Duration
+	// PropDelay is the simulated one-way network delay (default 300µs).
+	PropDelay time.Duration
+	// Settle is how long after the horizon (all faults healed) the
+	// system gets to converge before the liveness probes are sent
+	// (default 400ms — dozens of token rotations and several failure
+	// detector periods).
+	Settle time.Duration
+	// Drain is how long the probes get to arrive (default 1s; FIFO
+	// retransmission may need several of its resend intervals after a
+	// heavy drop burst).
+	Drain time.Duration
+}
+
+func (c *RunConfig) defaults() {
+	if c.TokenInterval == 0 {
+		c.TokenInterval = 5 * time.Millisecond
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = 300 * time.Microsecond
+	}
+	if c.Settle == 0 {
+		c.Settle = 400 * time.Millisecond
+	}
+	if c.Drain == 0 {
+		c.Drain = time.Second
+	}
+}
+
+// Result is the outcome of one schedule replay.
+type Result struct {
+	Seed    int64
+	Kinds   []Kind
+	Crashed []ids.ProcID
+	Live    []ids.ProcID
+	// FinalEpoch is the epoch every live member converged to.
+	FinalEpoch uint64
+	// Delivered is the total number of application deliveries across
+	// live members.
+	Delivered int
+	// Stats aggregates the switching stats of the live members.
+	Stats switching.Stats
+	// Violations lists every invariant breach; empty means the run
+	// passed.
+	Violations []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// pair returns the two sub-protocols used under chaos: sequencer-based
+// total order anchored at members 0 and 1. Both sequencers are exempt
+// from generated faults, so post-heal liveness failures implicate the
+// switching layer rather than a sub-protocol that lost its coordinator.
+func pair() []switching.ProtocolFactory {
+	return []switching.ProtocolFactory{
+		func(proto.Env) []proto.Layer {
+			return []proto.Layer{seqorder.New(0), fifo.New(fifo.Config{})}
+		},
+		func(proto.Env) []proto.Layer {
+			return []proto.Layer{seqorder.New(1), fifo.New(fifo.Config{})}
+		},
+	}
+}
+
+// Run replays one schedule and checks the invariants. The simulation is
+// seeded from the schedule, so the whole run is deterministic.
+func Run(sched Schedule, cfg RunConfig) (*Result, error) {
+	cfg.defaults()
+	ti := cfg.TokenInterval
+	swCfg := switching.Config{
+		Protocols:     pair(),
+		TokenInterval: ti,
+		Recovery: &switching.RecoveryConfig{
+			Detector: fd.Config{Interval: ti},
+		},
+	}
+	c, err := swtest.NewSwitched(sched.Seed, simnet.Config{Nodes: sched.N, PropDelay: cfg.PropDelay}, sched.N, swCfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build cluster: %w", err)
+	}
+
+	res := &Result{Seed: sched.Seed, Kinds: sched.Kinds()}
+
+	// Faults.
+	for _, ev := range sched.Events {
+		ev := ev
+		switch ev.Kind {
+		case KindCrash:
+			c.Sim.At(ev.At, func() { c.Net.Crash(ev.Target) })
+			res.Crashed = append(res.Crashed, ev.Target)
+		case KindPartition:
+			rest := othersOf(sched.N, ev.Target)
+			c.Sim.At(ev.At, func() { c.Net.Partition([]ids.ProcID{ev.Target}, rest) })
+			c.Sim.At(ev.Until, func() { c.Net.Heal() })
+		case KindBurst:
+			c.Sim.At(ev.At, func() { _ = c.Net.SetFaults(ev.Drop, ev.Dup, ev.Jitter) })
+			c.Sim.At(ev.Until, func() { _ = c.Net.SetFaults(0, 0, 0) })
+		default:
+			return nil, fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
+		}
+	}
+
+	// Switch requests.
+	for _, req := range sched.Switches {
+		req := req
+		c.Sim.At(req.At, func() { c.Members[req.By].Switch.RequestSwitch() })
+	}
+
+	// Background traffic, tagged with the sender's send epoch at fire
+	// time so the epoch-boundary invariant can be checked on delivery
+	// order. Crashed senders are skipped.
+	for i, snd := range sched.Traffic {
+		i, snd := i, snd
+		c.Sim.At(snd.At, func() {
+			if c.Net.Crashed(snd.From) {
+				return
+			}
+			cast(c, snd.From, uint32(i), fmt.Sprintf("s%d.m%03d", snd.From, i))
+		})
+	}
+
+	// Liveness probes once everything has healed and settled.
+	probeAt := sched.Horizon + cfg.Settle
+	c.Sim.At(probeAt, func() {
+		for p := 0; p < sched.N; p++ {
+			if c.Net.Crashed(ids.ProcID(p)) {
+				continue
+			}
+			cast(c, ids.ProcID(p), uint32(1000+p), fmt.Sprintf("probe%d", p))
+		}
+	})
+
+	c.Run(probeAt + cfg.Drain)
+	c.Stop()
+
+	for p := 0; p < sched.N; p++ {
+		if !c.Net.Crashed(ids.ProcID(p)) {
+			res.Live = append(res.Live, ids.ProcID(p))
+		}
+	}
+	bodies := make(map[ids.ProcID][]string, len(res.Live))
+	for _, p := range res.Live {
+		b, err := c.AppBodies(p)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: member %v trace: %w", p, err)
+		}
+		bodies[p] = b
+		res.Delivered += len(b)
+		st := c.Members[p].Switch.Stats()
+		res.Stats.TokenPasses += st.TokenPasses
+		res.Stats.SwitchesCompleted += st.SwitchesCompleted
+		res.Stats.Buffered += st.Buffered
+		res.Stats.StaleDropped += st.StaleDropped
+		res.Stats.WedgeTimeouts += st.WedgeTimeouts
+		res.Stats.TokensRegenerated += st.TokensRegenerated
+		res.Stats.SwitchesAborted += st.SwitchesAborted
+		res.Stats.ForcedAdvances += st.ForcedAdvances
+	}
+	res.FinalEpoch = c.Members[res.Live[0]].Switch.Epoch()
+
+	res.Violations = append(res.Violations, checkConverged(c, res.Live)...)
+	res.Violations = append(res.Violations, checkLiveness(bodies, res.Live)...)
+	res.Violations = append(res.Violations, checkCommonOrder(bodies, res.Live)...)
+	res.Violations = append(res.Violations, checkEpochBoundary(bodies)...)
+	return res, nil
+}
+
+// cast multicasts an epoch-tagged application message from p.
+func cast(c *swtest.SwitchedCluster, p ids.ProcID, uniq uint32, body string) {
+	sw := c.Members[p].Switch
+	m := proto.AppMsg{
+		ID:     proto.MakeMsgID(p, uniq),
+		Sender: p,
+		Body:   []byte(fmt.Sprintf("e%d-%s", sw.SendEpoch(), body)),
+	}
+	_ = sw.Cast(m.Encode())
+}
+
+// othersOf lists every member except cut.
+func othersOf(n int, cut ids.ProcID) []ids.ProcID {
+	var out []ids.ProcID
+	for p := 0; p < n; p++ {
+		if ids.ProcID(p) != cut {
+			out = append(out, ids.ProcID(p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+package switching
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fd"
+)
+
+// detectorChannel is the failure detector's private multiplex channel.
+// It reuses the value of ids.AppChannel, which the switching stack never
+// multiplexes (sub-protocols use ids.ProtocolChannel).
+const detectorChannel = ids.AppChannel
+
+// RecoveryConfig enables the self-healing extensions to the token-ring
+// SP: a heartbeat failure detector whose suspects are skipped in ring
+// arithmetic, a wedge detector that regenerates a lost token, and
+// abort-and-retry of a switch round whose member set changed mid-flight.
+//
+// The paper's §2 protocol assumes crash-free members — a single
+// crash-stop failure silently wedges its token ring (the E10 boundary).
+// With recovery enabled the ring repairs itself instead: every member
+// arms a timeout whenever it sees the token, and a member whose timeout
+// expires regenerates the token one generation higher, seeded with the
+// highest epoch it has observed. Stale tokens of older generations are
+// absorbed wherever they surface, so the ring converges back to exactly
+// one token.
+//
+// Assumptions and limits (see DESIGN.md E10/E13): suspicion must be
+// eventually accurate. A falsely suspected member is routed around; when
+// it rejoins it fast-forwards to the ring's epoch, and any of its
+// messages still draining in an epoch the ring has already closed are
+// dropped as stale at the survivors — the classic non-atomic boundary
+// that only a full view-synchronous membership (internal/core/viewswitch)
+// removes.
+type RecoveryConfig struct {
+	// Detector tunes the heartbeat failure detector. The zero value
+	// uses fd defaults (20ms interval, 5x timeout).
+	Detector fd.Config
+	// WedgeTimeout is the base token-silence timeout while the ring is
+	// idle (NORMAL rotation). Defaults to 2*n*TokenInterval for an
+	// n-member group — one full rotation plus slack.
+	WedgeTimeout time.Duration
+	// SwitchTimeout is the base token-silence timeout while a switch
+	// round (PREPARE/SWITCH/FLUSH) is in flight. Rounds pass the token
+	// without holding it, so this can be much tighter than WedgeTimeout.
+	// Defaults to 3*TokenInterval.
+	SwitchTimeout time.Duration
+	// MaxBackoffShift caps the exponential backoff applied to the
+	// timeouts after consecutive regenerations that produced no token
+	// sighting (timeout << shift). Defaults to 6 (64x).
+	MaxBackoffShift int
+}
+
+// Validate checks the recovery configuration.
+func (c RecoveryConfig) Validate() error {
+	if c.WedgeTimeout < 0 || c.SwitchTimeout < 0 {
+		return fmt.Errorf("switching: negative recovery timeout")
+	}
+	if c.MaxBackoffShift < 0 {
+		return fmt.Errorf("switching: negative recovery backoff shift")
+	}
+	return nil
+}
+
+// recovery is one member's wedge detector and ring-repair state.
+type recovery struct {
+	s   *Switch
+	cfg RecoveryConfig
+	det *fd.Detector
+
+	// gen/origin are the watermark of the newest token lineage seen.
+	// Tokens ordered before the watermark are stale duplicates and are
+	// dropped on arrival.
+	gen    uint64
+	origin ids.ProcID
+	// maxEpoch is the highest epoch observed in any token — the seed
+	// for regenerated tokens.
+	maxEpoch uint64
+	// lastMode is the mode of the last token seen or passed; it selects
+	// the wedge timeout (rounds rotate much faster than idle NORMAL).
+	lastMode Mode
+	// strikes counts consecutive wedge firings with no token sighting
+	// in between; it drives the exponential backoff.
+	strikes int
+	timer   proto.Timer
+}
+
+// newRecovery wires the failure detector onto the switch's multiplex and
+// arms the initial wedge timer.
+func newRecovery(s *Switch, cfg RecoveryConfig) (*recovery, error) {
+	if cfg.WedgeTimeout <= 0 {
+		cfg.WedgeTimeout = 2 * time.Duration(s.env.Ring().Size()) * s.cfg.TokenInterval
+	}
+	if cfg.SwitchTimeout <= 0 {
+		cfg.SwitchTimeout = 3 * s.cfg.TokenInterval
+	}
+	if cfg.MaxBackoffShift == 0 {
+		cfg.MaxBackoffShift = 6
+	}
+	r := &recovery{s: s, cfg: cfg, lastMode: ModeNormal}
+	dcfg := cfg.Detector
+	userSuspect := dcfg.OnSuspect
+	dcfg.OnSuspect = func(p ids.ProcID) {
+		r.onSuspect(p)
+		if userSuspect != nil {
+			userSuspect(p)
+		}
+	}
+	det := fd.New(dcfg)
+	if err := det.Init(s.env, s.mux.Port(detectorChannel)); err != nil {
+		return nil, fmt.Errorf("switching: recovery detector: %w", err)
+	}
+	s.mux.Bind(detectorChannel, proto.UpFunc(det.Recv))
+	r.det = det
+	r.arm()
+	return r, nil
+}
+
+func (r *recovery) stop() {
+	r.det.Stop()
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+}
+
+// Detector exposes the recovery failure detector (nil when recovery is
+// disabled) for tests and management tools.
+func (s *Switch) Detector() *fd.Detector {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.det
+}
+
+// supersedes reports whether token t is ordered at or after the
+// watermark: a newer generation always wins; within a generation the
+// smaller origin wins, so concurrent regenerations converge to exactly
+// one surviving token.
+func (r *recovery) supersedes(t Token) bool {
+	if t.Gen != r.gen {
+		return t.Gen > r.gen
+	}
+	return t.Origin <= r.origin
+}
+
+// admit applies the generation filter to an arriving token. It returns
+// false for a stale token (drop it); otherwise it advances the
+// watermark, discards state belonging to superseded rounds, notes the
+// sighting, and re-arms the wedge timer.
+func (r *recovery) admit(t Token) bool {
+	if !r.supersedes(t) {
+		return false
+	}
+	s := r.s
+	advanced := t.Gen > r.gen || t.Origin < r.origin
+	r.gen, r.origin = t.Gen, t.Origin
+	if advanced {
+		// The watermark advanced: every token of the old lineage is
+		// dead. A FLUSH held from a superseded round must not be
+		// forwarded when this member completes.
+		if s.heldFlush != nil && !r.supersedes(*s.heldFlush) {
+			s.heldFlush = nil
+		}
+		// An initiator whose round was superseded by another member's
+		// regeneration relinquishes the round; if it is still draining
+		// it will rejoin the retry as an ordinary participant.
+		if s.initiating && t.Initiator != s.env.Self() {
+			s.initiating = false
+			s.stats.SwitchesAborted++
+		}
+	}
+	if t.Epoch > r.maxEpoch {
+		r.maxEpoch = t.Epoch
+	}
+	r.lastMode = t.Mode
+	r.strikes = 0
+	r.arm()
+	return true
+}
+
+// noteEpoch keeps the regeneration seed at the highest epoch this member
+// has reached locally.
+func (r *recovery) noteEpoch(e uint64) {
+	if e > r.maxEpoch {
+		r.maxEpoch = e
+	}
+}
+
+// successor returns the next unsuspected member after self on the ring,
+// or self when every other member is suspected (singleton behaviour).
+func (r *recovery) successor(self ids.ProcID) ids.ProcID {
+	ring := r.s.env.Ring()
+	next := self
+	for i := 0; i < ring.Size(); i++ {
+		succ, err := ring.Successor(next)
+		if err != nil {
+			return self
+		}
+		if succ == self || !r.det.Suspected(succ) {
+			return succ
+		}
+		next = succ
+	}
+	return self
+}
+
+// livePosition returns this member's rank among unsuspected members in
+// ring order — the stagger that makes concurrent regenerations unlikely.
+func (r *recovery) livePosition() int {
+	pos := 0
+	for _, p := range r.s.env.Ring().Members() {
+		if p == r.s.env.Self() {
+			return pos
+		}
+		if !r.det.Suspected(p) {
+			pos++
+		}
+	}
+	return pos
+}
+
+// timeout returns the current wedge timeout: the mode-dependent base,
+// doubled per strike, plus the live-position stagger.
+func (r *recovery) timeout() time.Duration {
+	base := r.cfg.WedgeTimeout
+	if r.lastMode != ModeNormal || r.s.Switching() {
+		base = r.cfg.SwitchTimeout
+	}
+	shift := r.strikes
+	if shift > r.cfg.MaxBackoffShift {
+		shift = r.cfg.MaxBackoffShift
+	}
+	return base<<shift + time.Duration(r.livePosition())*r.s.cfg.TokenInterval
+}
+
+// arm (re)starts the wedge timer.
+func (r *recovery) arm() {
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	r.timer = r.s.env.After(r.timeout(), r.onWedge)
+}
+
+// onSuspect aborts and retries an in-flight switch round when the member
+// set changes mid-round. Only the lowest-ranked live member reacts — the
+// others' generation filters absorb the superseded round's tokens.
+func (r *recovery) onSuspect(ids.ProcID) {
+	s := r.s
+	if s.stopped || !s.Switching() || r.livePosition() != 0 {
+		return
+	}
+	r.regenerate()
+}
+
+// onWedge fires when no token has been sighted for the timeout: the
+// token is presumed lost (its holder crashed, or the round it belongs to
+// stalled on a dead member's messages). Regenerate it.
+func (r *recovery) onWedge() {
+	s := r.s
+	if s.stopped {
+		return
+	}
+	s.stats.WedgeTimeouts++
+	if r.strikes < r.cfg.MaxBackoffShift {
+		r.strikes++
+	}
+	r.regenerate()
+}
+
+// regenerate creates a replacement token one generation up. An idle
+// member emits a NORMAL token seeded with the highest epoch seen; a
+// member caught mid-switch re-runs the round from PREPARE so the vector
+// is rebuilt over the live membership ("abort and retry").
+func (r *recovery) regenerate() {
+	s := r.s
+	r.gen++
+	r.origin = s.env.Self()
+	s.stats.TokensRegenerated++
+	if s.heldFlush != nil {
+		s.heldFlush = nil
+	}
+	if s.Switching() {
+		if s.initiating {
+			s.stats.SwitchesAborted++
+		}
+		r.retryRound(r.gen, s.env.Self())
+		r.arm()
+		return
+	}
+	r.noteEpoch(s.deliverEpoch)
+	r.lastMode = ModeNormal
+	s.onToken(Token{
+		Mode:      ModeNormal,
+		Epoch:     r.maxEpoch,
+		Initiator: s.env.Self(),
+		Gen:       r.gen,
+		Origin:    s.env.Self(),
+	})
+	r.arm()
+}
+
+// retryRound restarts the in-flight switch from PREPARE under the given
+// token lineage, with this member as the new initiator. Members that
+// already redirected their sends report their (now final) counts again;
+// slots of members that are gone stay zero, so completion waits only on
+// the live membership.
+func (r *recovery) retryRound(gen uint64, origin ids.ProcID) {
+	s := r.s
+	if !s.initiating {
+		s.initiating = true
+		s.started = s.env.Now()
+	}
+	s.expected = nil
+	prep := Token{
+		Mode:      ModePrepare,
+		Epoch:     s.deliverEpoch,
+		Initiator: s.env.Self(),
+		Vector:    make([]uint64, s.env.Ring().Size()),
+		Gen:       gen,
+		Origin:    origin,
+	}
+	s.applyPrepare(&prep)
+	r.lastMode = ModePrepare
+	s.passToken(prep)
+}

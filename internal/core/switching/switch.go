@@ -24,6 +24,10 @@ type Record struct {
 	// the switch overhead discussed in §7 of the paper (~31 ms near
 	// the Figure 2 crossover on the paper's testbed).
 	Started, Finished time.Duration
+	// Gen is the token generation the switch completed under — nonzero
+	// when crash recovery regenerated the token at least once before or
+	// during this switch.
+	Gen uint64
 }
 
 // Duration returns the switch's end-to-end duration.
@@ -42,6 +46,28 @@ type Config struct {
 	// OnSwitchComplete, if set, is invoked at the initiator when its
 	// FLUSH token returns.
 	OnSwitchComplete func(Record)
+	// Recovery, when non-nil, enables the self-healing extensions:
+	// failure-detector-driven ring repair, wedge detection and token
+	// regeneration, and abort-and-retry of switch rounds disrupted by a
+	// crash. Nil preserves the paper's crash-free §2 protocol exactly.
+	Recovery *RecoveryConfig
+}
+
+// Validate checks the configuration without building anything. New
+// validates implicitly; call this to reject a bad configuration early.
+func (c Config) Validate() error {
+	if len(c.Protocols) < 2 {
+		return fmt.Errorf("switching: need at least two protocols, got %d", len(c.Protocols))
+	}
+	if c.TokenInterval < 0 {
+		return fmt.Errorf("switching: negative token interval %v", c.TokenInterval)
+	}
+	if c.Recovery != nil {
+		if err := c.Recovery.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stats counts switch-layer activity at one member.
@@ -55,6 +81,21 @@ type Stats struct {
 	StaleDropped uint64
 	// TokenPasses counts tokens forwarded by this member.
 	TokenPasses uint64
+
+	// Recovery counters; all zero unless Config.Recovery is set.
+
+	// WedgeTimeouts counts wedge-detector expiries (token presumed
+	// lost) at this member.
+	WedgeTimeouts uint64
+	// TokensRegenerated counts replacement tokens this member created.
+	TokensRegenerated uint64
+	// SwitchesAborted counts switch rounds this member abandoned or
+	// re-ran because the token was lost or the member set changed
+	// mid-round.
+	SwitchesAborted uint64
+	// ForcedAdvances counts epochs this member adopted from a token
+	// after missing the switch round itself (rejoin fast-forward).
+	ForcedAdvances uint64
 }
 
 // Switch is one member's instance of the switching protocol. The
@@ -101,6 +142,10 @@ type Switch struct {
 	stopped bool
 	stats   Stats
 	records []Record
+
+	// rec is the crash-recovery state; nil unless Config.Recovery is
+	// set, in which case the §2 protocol runs unmodified.
+	rec *recovery
 }
 
 type bufEntry struct {
@@ -114,10 +159,10 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 	if env == nil || app == nil || transport == nil {
 		return nil, fmt.Errorf("switching: nil wiring")
 	}
-	if len(cfg.Protocols) < 2 {
-		return nil, fmt.Errorf("switching: need at least two protocols, got %d", len(cfg.Protocols))
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.TokenInterval <= 0 {
+	if cfg.TokenInterval == 0 {
 		cfg.TokenInterval = 5 * time.Millisecond
 	}
 	mux, err := NewMultiplex(transport)
@@ -156,6 +201,13 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 		s.protos = append(s.protos, stack)
 		mux.Bind(ch, proto.UpFunc(stack.Recv))
 	}
+	if cfg.Recovery != nil {
+		rec, err := newRecovery(s, *cfg.Recovery)
+		if err != nil {
+			return nil, err
+		}
+		s.rec = rec
+	}
 	// The first ring member injects the NORMAL token.
 	if env.Self() == env.Ring().Members()[0] {
 		s.timer = env.After(cfg.TokenInterval, func() {
@@ -177,6 +229,9 @@ func (s *Switch) Stop() {
 	s.stopped = true
 	if s.timer != nil {
 		s.timer.Stop()
+	}
+	if s.rec != nil {
+		s.rec.stop()
 	}
 	s.ctl.Stop()
 	for _, p := range s.protos {
@@ -303,6 +358,9 @@ func (s *Switch) onControl(src ids.ProcID, pkt []byte) {
 	if err != nil {
 		return
 	}
+	if s.rec != nil && !s.rec.admit(t) {
+		return // stale lineage: absorb the superseded duplicate token
+	}
 	s.onToken(t)
 }
 
@@ -311,6 +369,21 @@ func (s *Switch) onToken(t Token) {
 	self := s.env.Self()
 	switch t.Mode {
 	case ModeNormal:
+		if s.rec != nil {
+			if t.Epoch > s.deliverEpoch {
+				// The ring closed epochs while this member was out of
+				// rotation: adopt them.
+				s.forceAdvance(t.Epoch)
+			}
+			if s.Switching() {
+				// A regenerated NORMAL token reached a member whose
+				// switch round is still half-applied (the original
+				// round's token died): re-run the round from PREPARE.
+				s.stats.SwitchesAborted++
+				s.rec.retryRound(t.Gen, t.Origin)
+				return
+			}
+		}
 		if s.wantSwitch && !s.Switching() {
 			// Become the initiator: this is the only place a switch can
 			// start, so concurrent initiators are impossible (§2).
@@ -322,37 +395,64 @@ func (s *Switch) onToken(t Token) {
 				Epoch:     s.deliverEpoch,
 				Initiator: self,
 				Vector:    make([]uint64, s.env.Ring().Size()),
+				Gen:       t.Gen,
+				Origin:    t.Origin,
 			}
 			s.applyPrepare(&prep)
 			s.passToken(prep)
 			return
 		}
-		// Idle rotation: hold, then pass.
+		// Idle rotation: hold, then pass, advertising the current epoch
+		// so a lagging member can catch up.
+		t.Epoch = s.deliverEpoch
 		s.holdThenPass(t)
 
 	case ModePrepare:
 		if t.Initiator == self {
+			if s.rec != nil && !s.initiating {
+				return // disowned round: a newer lineage superseded it
+			}
 			// Vector complete: disseminate it.
 			t.Mode = ModeSwitch
 			s.learnVector(t.Vector, t.Epoch)
 			s.passToken(t)
 			return
 		}
+		if s.rec != nil && t.Epoch > s.deliverEpoch {
+			s.forceAdvance(t.Epoch)
+		}
 		s.applyPrepare(&t)
 		s.passToken(t)
 
 	case ModeSwitch:
 		if t.Initiator == self {
+			if s.rec != nil && !s.initiating {
+				return
+			}
 			// Everyone has the vector; start the flush round.
 			t.Mode = ModeFlush
 			s.forwardFlushWhenDone(t)
 			return
+		}
+		if s.rec != nil {
+			if t.Epoch > s.deliverEpoch {
+				s.forceAdvance(t.Epoch)
+			}
+			if t.Epoch == s.deliverEpoch && !s.Switching() {
+				// Late join: the round's PREPARE skipped this member
+				// (it was suspected). Redirect now; the vector is
+				// already fixed without its counts.
+				s.sendEpoch = t.Epoch + 1
+			}
 		}
 		s.learnVector(t.Vector, t.Epoch)
 		s.passToken(t)
 
 	case ModeFlush:
 		if t.Initiator == self {
+			if s.rec != nil && !s.initiating {
+				return
+			}
 			// The flush completed the full circle: every member has
 			// delivered all old-protocol messages.
 			rec := Record{
@@ -360,30 +460,82 @@ func (s *Switch) onToken(t Token) {
 				Epoch:     t.Epoch,
 				Started:   s.started,
 				Finished:  s.env.Now(),
+				Gen:       t.Gen,
 			}
 			s.records = append(s.records, rec)
 			s.initiating = false
 			if s.cfg.OnSwitchComplete != nil {
 				s.cfg.OnSwitchComplete(rec)
 			}
-			s.holdThenPass(Token{Mode: ModeNormal, Initiator: self})
+			s.holdThenPass(Token{
+				Mode:      ModeNormal,
+				Epoch:     s.deliverEpoch,
+				Initiator: self,
+				Gen:       t.Gen,
+				Origin:    t.Origin,
+			})
 			return
+		}
+		if s.rec != nil && !s.Switching() && s.deliverEpoch <= t.Epoch {
+			// This member missed the whole round (it was out of the
+			// ring): adopt the flushed epoch and forward.
+			s.forceAdvance(t.Epoch + 1)
 		}
 		s.forwardFlushWhenDone(t)
 	}
 }
 
-// applyPrepare redirects sending to the new epoch and records this
-// member's send count in the token's vector.
+// applyPrepare redirects sending to the new epoch (first PREPARE for the
+// current epoch) and records this member's send count in the token's
+// vector. On a recovery retry the member has already redirected — or
+// even completed — and simply reports its retained, now-final count.
 func (s *Switch) applyPrepare(t *Token) {
-	if s.Switching() || t.Epoch != s.deliverEpoch {
-		return // defensive: already prepared or epoch mismatch
+	if t.Epoch == s.deliverEpoch && !s.Switching() {
+		s.sendEpoch = t.Epoch + 1
+	}
+	if t.Epoch >= s.sendEpoch {
+		return // defensive: an epoch still open for sends; count not final
 	}
 	pos := s.env.Ring().Position(s.env.Self())
 	if pos >= 0 && pos < len(t.Vector) {
 		t.Vector[pos] = s.sent[t.Epoch]
 	}
-	s.sendEpoch = t.Epoch + 1
+}
+
+// forceAdvance abandons epochs this member can no longer close (it
+// missed their switch rounds while out of the ring) and adopts the
+// ring's epoch, releasing buffered future-epoch messages in epoch order.
+// Old-epoch messages still owed to this member are given up — the
+// non-atomic crash boundary documented in DESIGN.md E10/E13.
+func (s *Switch) forceAdvance(target uint64) {
+	for s.deliverEpoch < target {
+		old := s.deliverEpoch
+		s.deliverEpoch++
+		s.expected = nil
+		delete(s.recv, old)
+		s.stats.ForcedAdvances++
+		pend := s.buffer[s.deliverEpoch]
+		delete(s.buffer, s.deliverEpoch)
+		for _, b := range pend {
+			s.app.Deliver(b.src, b.payload)
+		}
+	}
+	for e := range s.sent {
+		if e+1 < s.deliverEpoch {
+			delete(s.sent, e)
+		}
+	}
+	if s.sendEpoch < s.deliverEpoch {
+		s.sendEpoch = s.deliverEpoch
+	}
+	if s.rec != nil {
+		s.rec.noteEpoch(s.deliverEpoch)
+	}
+	if s.heldFlush != nil {
+		t := *s.heldFlush
+		s.heldFlush = nil
+		s.forwardFlushWhenDone(t)
+	}
 }
 
 // learnVector records the closing epoch's expected counts and checks
@@ -414,13 +566,22 @@ func (s *Switch) checkComplete() {
 		}
 	}
 	// All old messages delivered: move to the new epoch and release the
-	// buffered messages in arrival order.
+	// buffered messages in arrival order. The closed epoch's send count
+	// is retained for one round so a recovery retry of the switch can
+	// still collect it.
 	old := s.deliverEpoch
 	s.deliverEpoch = s.sendEpoch
 	s.expected = nil
 	delete(s.recv, old)
-	delete(s.sent, old)
+	for e := range s.sent {
+		if e+1 < s.deliverEpoch {
+			delete(s.sent, e)
+		}
+	}
 	s.stats.SwitchesCompleted++
+	if s.rec != nil {
+		s.rec.noteEpoch(s.deliverEpoch)
+	}
 	pend := s.buffer[s.deliverEpoch]
 	delete(s.buffer, s.deliverEpoch)
 	for _, b := range pend {
@@ -459,12 +620,19 @@ func (s *Switch) holdThenPass(t Token) {
 	})
 }
 
-// passToken sends the token to the ring successor (or loops it back in
-// a singleton group).
+// passToken sends the token to the ring successor — skipping suspected
+// members when recovery is enabled — or loops it back when this member
+// is alone (singleton group, or sole survivor).
 func (s *Switch) passToken(t Token) {
-	succ, err := s.env.Ring().Successor(s.env.Self())
-	if err != nil {
-		return
+	var succ ids.ProcID
+	if s.rec != nil {
+		succ = s.rec.successor(s.env.Self())
+	} else {
+		var err error
+		succ, err = s.env.Ring().Successor(s.env.Self())
+		if err != nil {
+			return
+		}
 	}
 	s.stats.TokenPasses++
 	if succ == s.env.Self() {

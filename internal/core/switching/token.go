@@ -49,6 +49,8 @@ type Token struct {
 	Mode Mode
 	// Epoch is the protocol epoch being closed by this switch (the
 	// epoch whose messages must all be delivered before completion).
+	// NORMAL tokens carry the current delivery epoch instead, so a
+	// member that missed a switch round can catch up (recovery).
 	Epoch uint64
 	// Initiator is the member that turned the token to PREPARE.
 	Initiator ids.ProcID
@@ -56,12 +58,23 @@ type Token struct {
 	// member sent over the closing epoch. During PREPARE it fills up as
 	// the token travels; from SWITCH on it is complete.
 	Vector []uint64
+	// Gen is the token's regeneration generation. The original token is
+	// generation 0; every wedge-recovery regeneration increments it, so
+	// a superseded token is recognized and absorbed anywhere on the
+	// ring. Zero unless crash recovery is enabled.
+	Gen uint64
+	// Origin is the member that created this token lineage (the first
+	// ring member for generation 0, the regenerator afterwards). When
+	// two members regenerate concurrently with the same generation, the
+	// token with the smaller origin wins.
+	Origin ids.ProcID
 }
 
 // Encode marshals the token.
 func (t Token) Encode() []byte {
-	e := wire.NewEncoder(24 + 2*len(t.Vector))
+	e := wire.NewEncoder(32 + 2*len(t.Vector))
 	e.U8(uint8(t.Mode)).Uvarint(t.Epoch).Proc(t.Initiator).Counts(t.Vector)
+	e.Uvarint(t.Gen).Proc(t.Origin)
 	return e.Bytes()
 }
 
@@ -74,6 +87,8 @@ func DecodeToken(b []byte) (Token, error) {
 		Initiator: d.Proc(),
 		Vector:    d.Counts(),
 	}
+	t.Gen = d.Uvarint()
+	t.Origin = d.Proc()
 	if err := d.Err(); err != nil {
 		return Token{}, fmt.Errorf("switching: decode token: %w", err)
 	}

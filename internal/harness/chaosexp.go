@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core/switching"
+)
+
+// ChaosSweepConfig parameterizes E13: a sweep of seeded fault schedules
+// against the recovery-enabled switching protocol, plus the
+// bounded-recovery measurement for crash-during-round schedules.
+type ChaosSweepConfig struct {
+	// Schedules is how many seeded schedules to run (default 200).
+	Schedules int
+	// Seed offsets the schedule seeds (schedule i uses Seed+i).
+	Seed int64
+	// Gen tunes the fault-schedule generator.
+	Gen chaos.GenConfig
+	// Run tunes the schedule runner.
+	Run chaos.RunConfig
+	// RecoverySeeds is how many crash-during-round runs to measure for
+	// the recovery-time bound (default 25).
+	RecoverySeeds int
+	// Progress receives per-phase status lines (optional).
+	Progress func(string)
+}
+
+// DefaultChaosSweepConfig matches the E13 acceptance run.
+func DefaultChaosSweepConfig() ChaosSweepConfig {
+	return ChaosSweepConfig{Schedules: 200, Seed: 1, RecoverySeeds: 25}
+}
+
+// ChaosSweepResult aggregates a sweep.
+type ChaosSweepResult struct {
+	Schedules int
+	// KindCounts is how many schedules contained each fault class.
+	KindCounts map[chaos.Kind]int
+	// Failures holds every run with invariant violations (empty on a
+	// passing sweep).
+	Failures []*chaos.Result
+	// Stats sums the live members' switching stats over all runs.
+	Stats switching.Stats
+	// Delivered is the total application deliveries over all runs.
+	Delivered int
+	// WorstRecovery is the worst crash-during-round recovery time
+	// observed; Bound is the asserted limit (10× the token interval).
+	WorstRecovery time.Duration
+	Bound         time.Duration
+}
+
+// RunChaosSweep runs the sweep and the recovery-bound family.
+func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
+	if cfg.Schedules == 0 {
+		cfg.Schedules = 200
+	}
+	if cfg.RecoverySeeds == 0 {
+		cfg.RecoverySeeds = 25
+	}
+	ti := cfg.Run.TokenInterval
+	if ti == 0 {
+		ti = 5 * time.Millisecond
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	res := &ChaosSweepResult{
+		Schedules:  cfg.Schedules,
+		KindCounts: map[chaos.Kind]int{},
+		Bound:      10 * ti,
+	}
+	for i := 0; i < cfg.Schedules; i++ {
+		seed := cfg.Seed + int64(i)
+		sched, err := chaos.Generate(seed, cfg.Gen)
+		if err != nil {
+			return nil, err
+		}
+		r, err := chaos.Run(sched, cfg.Run)
+		if err != nil {
+			return nil, fmt.Errorf("harness: chaos seed %d: %w", seed, err)
+		}
+		for _, k := range r.Kinds {
+			res.KindCounts[k]++
+		}
+		if r.Failed() {
+			res.Failures = append(res.Failures, r)
+		}
+		res.Delivered += r.Delivered
+		res.Stats.TokenPasses += r.Stats.TokenPasses
+		res.Stats.SwitchesCompleted += r.Stats.SwitchesCompleted
+		res.Stats.Buffered += r.Stats.Buffered
+		res.Stats.StaleDropped += r.Stats.StaleDropped
+		res.Stats.WedgeTimeouts += r.Stats.WedgeTimeouts
+		res.Stats.TokensRegenerated += r.Stats.TokensRegenerated
+		res.Stats.SwitchesAborted += r.Stats.SwitchesAborted
+		res.Stats.ForcedAdvances += r.Stats.ForcedAdvances
+		if (i+1)%50 == 0 {
+			progress(fmt.Sprintf("chaos sweep %d/%d schedules", i+1, cfg.Schedules))
+		}
+	}
+
+	for i := 0; i < cfg.RecoverySeeds; i++ {
+		d, err := chaos.MeasureRecovery(cfg.Seed+int64(i), 4, ti)
+		if err != nil {
+			return nil, fmt.Errorf("harness: recovery bound seed %d: %w", cfg.Seed+int64(i), err)
+		}
+		if d > res.WorstRecovery {
+			res.WorstRecovery = d
+		}
+	}
+	progress("recovery bound family done")
+	return res, nil
+}
+
+// Render prints the E13 summary table.
+func (r *ChaosSweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Chaos sweep (E13): seeded fault schedules vs. the self-healing SP\n\n")
+	fmt.Fprintf(&b, "schedules run            %10d\n", r.Schedules)
+	fmt.Fprintf(&b, "  with crashes           %10d\n", r.KindCounts[chaos.KindCrash])
+	fmt.Fprintf(&b, "  with partitions        %10d\n", r.KindCounts[chaos.KindPartition])
+	fmt.Fprintf(&b, "  with drop/dup bursts   %10d\n", r.KindCounts[chaos.KindBurst])
+	fmt.Fprintf(&b, "invariant violations     %10d\n", len(r.Failures))
+	fmt.Fprintf(&b, "app deliveries           %10d\n", r.Delivered)
+	fmt.Fprintf(&b, "switches completed       %10d\n", r.Stats.SwitchesCompleted)
+	fmt.Fprintf(&b, "wedge timeouts           %10d\n", r.Stats.WedgeTimeouts)
+	fmt.Fprintf(&b, "tokens regenerated       %10d\n", r.Stats.TokensRegenerated)
+	fmt.Fprintf(&b, "switch rounds retried    %10d\n", r.Stats.SwitchesAborted)
+	fmt.Fprintf(&b, "forced epoch advances    %10d\n", r.Stats.ForcedAdvances)
+	fmt.Fprintf(&b, "worst in-round recovery  %10s (bound %s)\n",
+		FormatMillis(r.WorstRecovery), FormatMillis(r.Bound))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "\nFAIL seed %d (%v):\n", f.Seed, f.Kinds)
+		for _, v := range f.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -302,3 +302,25 @@ func TestP2PTable(t *testing.T) {
 		}
 	}
 }
+
+func TestChaosSweepSmall(t *testing.T) {
+	cfg := DefaultChaosSweepConfig()
+	cfg.Schedules = 5
+	cfg.RecoverySeeds = 3
+	res, err := RunChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("violations in small sweep:\n%s", res.Render())
+	}
+	if res.WorstRecovery > res.Bound {
+		t.Errorf("worst recovery %v exceeds bound %v", res.WorstRecovery, res.Bound)
+	}
+	out := res.Render()
+	for _, want := range []string{"schedules run", "tokens regenerated", "worst in-round recovery"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -427,30 +427,27 @@ func (l *Layer) onHeartbeat(src ids.ProcID, stream uint8, next uint64) {
 }
 
 // resendTick re-requests all outstanding gaps (NACKs may be lost too).
+// Peers are visited in ring order: map iteration order would vary run to
+// run, desynchronizing the network's seeded fault stream.
 func (l *Layer) resendTick() {
-	for src, r := range l.castIn {
-		if len(r.gaps()) > 0 {
+	for _, src := range l.env.Members() {
+		if r := l.castIn[src]; r != nil && len(r.gaps()) > 0 {
 			l.requestRepairs(src, r)
 		}
-	}
-	for src, r := range l.sendIn {
-		if len(r.gaps()) > 0 {
+		if r := l.sendIn[src]; r != nil && len(r.gaps()) > 0 {
 			l.requestRepairs(src, r)
 		}
 	}
 }
 
-// ackTick sends cumulative acks to every peer we have streams from.
+// ackTick sends cumulative acks to every peer we have streams from, in
+// ring order (determinism, as in resendTick).
 func (l *Layer) ackTick() {
-	peers := map[ids.ProcID]bool{}
-	for p := range l.castIn {
-		peers[p] = true
-	}
-	for p := range l.sendIn {
-		peers[p] = true
-	}
-	for p := range peers {
+	for _, p := range l.env.Members() {
 		if p == l.env.Self() {
+			continue
+		}
+		if l.castIn[p] == nil && l.sendIn[p] == nil {
 			continue
 		}
 		var castNext, sendNext uint64
@@ -474,8 +471,8 @@ func (l *Layer) heartbeatTick() {
 		e.U8(kindHeartbeat).U8(kindCast).Uvarint(l.castSeq)
 		_ = l.down.Cast(e.Bytes())
 	}
-	for dst, out := range l.sendOut {
-		if len(out) == 0 {
+	for _, dst := range l.env.Members() {
+		if len(l.sendOut[dst]) == 0 {
 			continue
 		}
 		e := wire.NewEncoder(12)

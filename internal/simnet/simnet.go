@@ -199,6 +199,48 @@ func (n *Network) Unblock(src, dst ids.ProcID) {
 	delete(n.blocked[src], dst)
 }
 
+// Partition splits the group: every pair crossing the cut between side a
+// and side b is blocked in both directions. Nodes named on neither side
+// keep talking to everyone. Partition composes with earlier Block calls;
+// Heal removes all of them.
+func (n *Network) Partition(a, b []ids.ProcID) {
+	for _, p := range a {
+		for _, q := range b {
+			n.Block(p, q)
+			n.Block(q, p)
+		}
+	}
+}
+
+// Heal removes every pairwise block, ending all partitions at once.
+func (n *Network) Heal() {
+	n.blocked = make(map[ids.ProcID]map[ids.ProcID]bool)
+}
+
+// Partitioned reports whether any pairwise block is currently in place.
+func (n *Network) Partitioned() bool {
+	for _, m := range n.blocked {
+		if len(m) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SetFaults replaces the per-receiver fault knobs at run time — the hook
+// the chaos harness uses to inject drop/duplicate/reorder bursts at
+// virtual times. It returns an error (changing nothing) for values the
+// static Config would reject.
+func (n *Network) SetFaults(dropProb, dupProb float64, jitter time.Duration) error {
+	probe := n.cfg
+	probe.DropProb, probe.DupProb, probe.Jitter = dropProb, dupProb, jitter
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	n.cfg = probe
+	return nil
+}
+
 func (n *Network) isBlocked(src, dst ids.ProcID) bool {
 	return n.blocked[src][dst]
 }

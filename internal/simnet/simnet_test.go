@@ -411,3 +411,115 @@ func TestStatsCounters(t *testing.T) {
 		t.Errorf("wire bytes = %d, want 220", st.WireBytes)
 	}
 }
+
+func TestPartitionAndHeal(t *testing.T) {
+	cfg := Config{Nodes: 4, PropDelay: time.Millisecond}
+	sim, net := newNet(t, cfg)
+	logs := make([]*[]rcvd, 4)
+	for p := 0; p < 4; p++ {
+		logs[p] = collect(t, sim, net, ids.ProcID(p))
+	}
+	net.Partition([]ids.ProcID{0, 1}, []ids.ProcID{2, 3})
+	if !net.Partitioned() {
+		t.Fatal("Partitioned() false after Partition")
+	}
+	if err := net.Multicast(0, []byte("cut")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Same side hears it, far side does not.
+	if len(*logs[0]) != 1 || len(*logs[1]) != 1 {
+		t.Fatalf("same-side deliveries: %d, %d (want 1, 1)", len(*logs[0]), len(*logs[1]))
+	}
+	if len(*logs[2]) != 0 || len(*logs[3]) != 0 {
+		t.Fatalf("cross-cut deliveries: %d, %d (want 0, 0)", len(*logs[2]), len(*logs[3]))
+	}
+	net.Heal()
+	if net.Partitioned() {
+		t.Fatal("Partitioned() true after Heal")
+	}
+	if err := net.Multicast(0, []byte("joined")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		want := 2
+		if p >= 2 {
+			want = 1
+		}
+		if len(*logs[p]) != want {
+			t.Errorf("node %d delivered %d, want %d", p, len(*logs[p]), want)
+		}
+	}
+}
+
+func TestPartitionLeavesThirdPartyAlone(t *testing.T) {
+	cfg := Config{Nodes: 3, PropDelay: time.Millisecond}
+	sim, net := newNet(t, cfg)
+	logs := make([]*[]rcvd, 3)
+	for p := 0; p < 3; p++ {
+		logs[p] = collect(t, sim, net, ids.ProcID(p))
+	}
+	net.Partition([]ids.ProcID{0}, []ids.ProcID{1})
+	if err := net.Multicast(2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Unicast(0, 2, []byte("p2p")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*logs[0]) != 1 || len(*logs[1]) != 1 {
+		t.Errorf("outsider multicast blocked: %d, %d", len(*logs[0]), len(*logs[1]))
+	}
+	if len(*logs[2]) != 2 { // own loopback + p0's unicast
+		t.Errorf("node 2 delivered %d, want 2", len(*logs[2]))
+	}
+}
+
+func TestSetFaults(t *testing.T) {
+	cfg := Config{Nodes: 2, PropDelay: time.Millisecond}
+	sim, net := newNet(t, cfg)
+	log := collect(t, sim, net, 1)
+	if err := net.SetFaults(0.5, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := net.Unicast(0, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	burst := len(*log)
+	if burst == 200 || burst == 0 {
+		t.Fatalf("drop burst ineffective: %d of 200 delivered", burst)
+	}
+	// Clearing the faults restores exact delivery.
+	if err := net.SetFaults(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := net.Unicast(0, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*log)-burst != 50 {
+		t.Errorf("after clearing faults %d of 50 delivered", len(*log)-burst)
+	}
+	if err := net.SetFaults(1.5, 0, 0); err == nil {
+		t.Error("SetFaults accepted drop probability 1.5")
+	}
+	if err := net.SetFaults(0, 0, -time.Second); err == nil {
+		t.Error("SetFaults accepted negative jitter")
+	}
+}
