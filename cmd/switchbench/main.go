@@ -7,16 +7,28 @@
 //	switchbench -experiment all
 //
 // All experiments run on the deterministic discrete-event simulator, so
-// results are reproducible for a given -seed.
+// results are reproducible for a given -seed. Sweeps execute their
+// independent DES runs on a worker pool (-parallel N, default
+// GOMAXPROCS); tables and artifacts are byte-identical for any worker
+// count — only the wall clock changes.
+//
+// With -json <dir>, each experiment also writes a machine-readable
+// BENCH_<experiment>.json artifact (schema "switchbench/<experiment>",
+// see internal/harness/benchjson.go): per-point latency statistics,
+// crossover, chaos pass/fail counts and recovery bounds, DES event
+// counts, and a wall-clock/throughput timing section.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/harness/engine"
 )
 
 func main() {
@@ -29,15 +41,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("switchbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "figure2 | overhead | hysteresis | p2p | chaos | all")
-		seed       = fs.Int64("seed", 1, "simulation seed")
-		schedules  = fs.Int("schedules", 200, "fault schedules for the chaos sweep")
-		senders    = fs.Int("senders", 10, "maximum active senders for figure2")
-		measure    = fs.Duration("measure", 10*time.Second, "virtual measurement window per point")
-		warmup     = fs.Duration("warmup", 2*time.Second, "virtual warmup discarded from statistics")
-		msgBytes   = fs.Int("msgbytes", 0, "application payload size (default: calibrated 2240)")
-		hybrid     = fs.Bool("hybrid", true, "include the switching hybrid in figure2")
-		quiet      = fs.Bool("quiet", false, "suppress progress output")
+		experiment  = fs.String("experiment", "all", "figure2 | overhead | hysteresis | p2p | chaos | all")
+		seed        = fs.Int64("seed", 1, "simulation seed")
+		schedules   = fs.Int("schedules", 200, "fault schedules for the chaos sweep")
+		chaosSettle = fs.Duration("chaos-settle", 0, "chaos: settle window after faults heal (0: package default)")
+		chaosDrain  = fs.Duration("chaos-drain", 0, "chaos: drain window for liveness probes (0: package default)")
+		senders     = fs.Int("senders", 10, "maximum active senders for figure2")
+		measure     = fs.Duration("measure", 10*time.Second, "virtual measurement window per point")
+		warmup      = fs.Duration("warmup", 2*time.Second, "virtual warmup discarded from statistics")
+		msgBytes    = fs.Int("msgbytes", 0, "application payload size (default: calibrated 2240)")
+		hybrid      = fs.Bool("hybrid", true, "include the switching hybrid in figure2")
+		parallel    = fs.Int("parallel", 0, "worker count for sweep runs (<= 0: GOMAXPROCS); results are identical for any value")
+		jsonDir     = fs.String("json", "", "directory to write BENCH_<experiment>.json artifacts (empty: no artifacts)")
+		quiet       = fs.Bool("quiet", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,10 +65,36 @@ func run(args []string) error {
 	if *msgBytes > 0 {
 		rc.MsgBytes = *msgBytes
 	}
+	// The resolved worker count (for configs and the timing section).
+	workers := engine.New(*parallel).Workers()
+	// Sweep jobs report progress from worker goroutines; serialize the
+	// writes so lines do not interleave.
+	var progressMu sync.Mutex
 	progress := func(msg string) {
 		if !*quiet {
+			progressMu.Lock()
 			fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
+			progressMu.Unlock()
 		}
+	}
+	// writeBench emits one BENCH_<name>.json artifact under -json.
+	writeBench := func(name string, art any) error {
+		if *jsonDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return err
+		}
+		b, err := harness.EncodeBench(art)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		progress("wrote " + path)
+		return nil
 	}
 
 	doFigure2 := func() error {
@@ -61,19 +103,25 @@ func run(args []string) error {
 			Run:           rc,
 			MaxSenders:    *senders,
 			IncludeHybrid: *hybrid,
+			Parallel:      workers,
 			Progress:      progress,
 		}
+		start := time.Now()
 		res, err := harness.RunFigure2(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
-		return nil
+		art := harness.NewBenchFigure2(res)
+		art.SetTiming(time.Since(start), workers)
+		return writeBench("figure2", art)
 	}
 	doOverhead := func() error {
 		fmt.Println("=== E5: switching overhead ===")
 		cfg := harness.DefaultOverheadConfig()
 		cfg.Run.Seed = *seed
+		cfg.Parallel = workers
+		start := time.Now()
 		res, err := harness.RunOverhead(cfg)
 		if err != nil {
 			return err
@@ -85,30 +133,46 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(harness.RenderOverheadSweep(rows))
-		return nil
+		art := harness.NewBenchOverhead(*seed, res, rows)
+		art.SetTiming(time.Since(start), workers)
+		return writeBench("overhead", art)
 	}
 	doHysteresis := func() error {
 		fmt.Println("=== E6: oscillation / hysteresis ===")
 		cfg := harness.DefaultHysteresisConfig()
 		cfg.Run.Seed = *seed
+		cfg.Parallel = workers
+		start := time.Now()
 		rows, err := harness.RunHysteresisComparison(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.RenderHysteresis(rows))
-		return nil
+		art := harness.NewBenchHysteresis(*seed, rows)
+		art.SetTiming(time.Since(start), workers)
+		return writeBench("hysteresis", art)
 	}
 	doChaos := func() error {
 		fmt.Println("=== E13: chaos sweep ===")
 		cfg := harness.DefaultChaosSweepConfig()
 		cfg.Seed = *seed
 		cfg.Schedules = *schedules
+		cfg.Run.Settle = *chaosSettle
+		cfg.Run.Drain = *chaosDrain
+		cfg.Parallel = workers
 		cfg.Progress = progress
+		start := time.Now()
 		res, err := harness.RunChaosSweep(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
+		art := harness.NewBenchChaos(*seed, res)
+		art.SetTiming(time.Since(start), workers)
+		if err := writeBench("chaos", art); err != nil {
+			return err
+		}
+		// The artifact records failures; the exit code still flags them.
 		if len(res.Failures) > 0 {
 			return fmt.Errorf("%d of %d schedules violated invariants", len(res.Failures), res.Schedules)
 		}
@@ -118,12 +182,16 @@ func run(args []string) error {
 		fmt.Println("=== E11: point-to-point specialization ===")
 		cfg := harness.DefaultP2PConfig()
 		cfg.Seed = *seed
-		out, err := harness.P2PTable(cfg)
+		cfg.Parallel = workers
+		start := time.Now()
+		rows, err := harness.RunP2PSweep(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println(out)
-		return nil
+		fmt.Println(harness.RenderP2PTable(rows))
+		art := harness.NewBenchP2P(*seed, rows)
+		art.SetTiming(time.Since(start), workers)
+		return writeBench("p2p", art)
 	}
 
 	switch *experiment {

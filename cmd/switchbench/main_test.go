@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // tiny returns flags for a fast (but real) run.
 func tiny(extra ...string) []string {
@@ -63,5 +69,154 @@ func TestP2PExperiment(t *testing.T) {
 func TestChaosExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "chaos", "-schedules", "8", "-quiet"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return out
+}
+
+// scrubArtifact parses a BENCH_*.json file and drops its timing section
+// (the only non-deterministic part), returning re-marshaled bytes for
+// comparison.
+func scrubArtifact(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if _, ok := m["timing"]; !ok {
+		t.Fatalf("%s has no timing section", path)
+	}
+	delete(m, "timing")
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestJSONArtifactsWritten checks that -json writes one valid
+// BENCH_<experiment>.json per experiment with the expected schema tag.
+func TestJSONArtifactsWritten(t *testing.T) {
+	dir := t.TempDir()
+	args := tiny("-experiment", "all", "-senders", "2", "-hybrid=false",
+		"-schedules", "4", "-parallel", "2", "-json", dir)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure2", "overhead", "hysteresis", "p2p", "chaos"} {
+		path := filepath.Join(dir, "BENCH_"+name+".json")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing artifact: %v", err)
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Errorf("%s: invalid JSON: %v", path, err)
+			continue
+		}
+		if got := m["schema"]; got != "switchbench/"+name {
+			t.Errorf("%s: schema = %v", path, got)
+		}
+		if got := m["version"]; got != float64(1) {
+			t.Errorf("%s: version = %v", path, got)
+		}
+		timing, ok := m["timing"].(map[string]any)
+		if !ok {
+			t.Errorf("%s: no timing section", path)
+			continue
+		}
+		if timing["parallel"] != float64(2) {
+			t.Errorf("%s: timing.parallel = %v", path, timing["parallel"])
+		}
+		if timing["wall_ms"] == float64(0) {
+			t.Errorf("%s: timing.wall_ms is zero", path)
+		}
+	}
+}
+
+// TestParallelOutputByteIdentical is the CLI-level acceptance check:
+// the rendered tables on stdout and the JSON artifacts (minus the
+// wall-clock timing section) are byte-identical at -parallel 1 and
+// -parallel 4.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	runAt := func(workers string) (stdout []byte, dir string) {
+		dir = t.TempDir()
+		args := tiny("-experiment", "all", "-senders", "3",
+			"-schedules", "6", "-parallel", workers, "-json", dir)
+		stdout = captureStdout(t, func() error { return run(args) })
+		return stdout, dir
+	}
+	seqOut, seqDir := runAt("1")
+	parOut, parDir := runAt("4")
+	if !bytes.Equal(seqOut, parOut) {
+		t.Errorf("stdout differs between -parallel 1 and 4:\n--- parallel 1 ---\n%s\n--- parallel 4 ---\n%s",
+			seqOut, parOut)
+	}
+	for _, name := range []string{"figure2", "overhead", "hysteresis", "p2p", "chaos"} {
+		file := "BENCH_" + name + ".json"
+		seq := scrubArtifact(t, filepath.Join(seqDir, file))
+		par := scrubArtifact(t, filepath.Join(parDir, file))
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s differs between -parallel 1 and 4:\n%s\nvs\n%s", file, seq, par)
+		}
+	}
+}
+
+// TestChaosFailureStillWritesArtifact: when schedules violate
+// invariants, switchbench must both return an error (non-zero exit) and
+// still have written the chaos artifact recording the failures.
+func TestChaosFailureStillWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	// A 1ns settle/drain window starves the liveness probes (propagation
+	// alone takes ~300µs), so schedules fail invariants deterministically.
+	err := run([]string{"-experiment", "chaos", "-schedules", "3", "-quiet",
+		"-chaos-settle", "1ns", "-chaos-drain", "1ns", "-json", dir})
+	path := filepath.Join(dir, "BENCH_chaos.json")
+	raw, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatalf("failing sweep left no artifact: %v", readErr)
+	}
+	var m map[string]any
+	if jsonErr := json.Unmarshal(raw, &m); jsonErr != nil {
+		t.Fatalf("artifact invalid: %v", jsonErr)
+	}
+	if failed, _ := m["failed"].(float64); failed > 0 {
+		if err == nil {
+			t.Error("invariant violations did not propagate as an error")
+		}
+		if _, ok := m["failures"]; !ok {
+			t.Error("artifact omits the failures list")
+		}
+	} else if err != nil {
+		t.Errorf("no recorded failures but run returned %v", err)
 	}
 }

@@ -60,6 +60,9 @@ type Result struct {
 	Delivered int
 	// Stats aggregates the switching stats of the live members.
 	Stats switching.Stats
+	// Events is the number of DES events the run executed
+	// (deterministic per seed).
+	Events uint64
 	// Violations lists every invariant breach; empty means the run
 	// passed.
 	Violations []string
@@ -153,6 +156,7 @@ func Run(sched Schedule, cfg RunConfig) (*Result, error) {
 
 	c.Run(probeAt + cfg.Drain)
 	c.Stop()
+	res.Events = c.Sim.Executed()
 
 	for p := 0; p < sched.N; p++ {
 		if !c.Net.Crashed(ids.ProcID(p)) {

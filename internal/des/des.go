@@ -29,6 +29,12 @@ type Sim struct {
 	// executed counts handler invocations, for run-away detection and
 	// statistics.
 	executed uint64
+	// stopped counts Stop()ed timers still sitting in the queue. When
+	// they outnumber the live entries the heap is compacted, so
+	// stop-heavy workloads (fifo resend, heartbeat, and recovery timers
+	// that are almost always cancelled before firing) cannot bloat the
+	// queue with dead entries.
+	stopped int
 }
 
 // New returns a simulator whose random stream is derived from seed.
@@ -54,18 +60,25 @@ type Timer struct {
 	when    time.Duration
 	id      uint64
 	fn      func()
+	sim     *Sim
 	stopped bool
 	fired   bool
 }
 
 // Stop cancels the timer if it has not fired yet. It reports whether the
-// call prevented the timer from firing.
+// call prevented the timer from firing. The queue entry is reclaimed
+// lazily: either when it surfaces at the top of the heap, or by a bulk
+// compaction once stopped entries outnumber live ones.
 func (t *Timer) Stop() bool {
 	if t == nil || t.fired || t.stopped {
 		return false
 	}
 	t.stopped = true
 	t.fn = nil
+	if t.sim != nil {
+		t.sim.stopped++
+		t.sim.compact()
+	}
 	return true
 }
 
@@ -86,10 +99,32 @@ func (s *Sim) At(when time.Duration, fn func()) *Timer {
 	if when < s.now {
 		when = s.now
 	}
-	t := &Timer{when: when, id: s.nextID, fn: fn}
+	t := &Timer{when: when, id: s.nextID, fn: fn, sim: s}
 	s.nextID++
 	heap.Push(&s.queue, t)
 	return t
+}
+
+// compact rebuilds the heap without its stopped entries once they make
+// up more than half the queue (and the queue is big enough to matter).
+// The rebuild keeps the (when, id) total order, so execution order — and
+// thus determinism — is unaffected.
+func (s *Sim) compact() {
+	if len(s.queue) < 64 || s.stopped*2 <= len(s.queue) {
+		return
+	}
+	live := s.queue[:0]
+	for _, t := range s.queue {
+		if !t.stopped {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	heap.Init(&s.queue)
+	s.stopped = 0
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -109,6 +144,7 @@ func (s *Sim) Step() bool {
 			panic("des: heap corrupted")
 		}
 		if t.stopped {
+			s.stopped--
 			continue
 		}
 		s.now = t.when
@@ -152,13 +188,7 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 
 // Pending returns the number of queued (unstopped) events.
 func (s *Sim) Pending() int {
-	n := 0
-	for _, t := range s.queue {
-		if !t.stopped {
-			n++
-		}
-	}
-	return n
+	return len(s.queue) - s.stopped
 }
 
 // peek returns the timestamp of the next live event.
@@ -167,6 +197,7 @@ func (s *Sim) peek() (time.Duration, bool) {
 		t := s.queue[0]
 		if t.stopped {
 			heap.Pop(&s.queue)
+			s.stopped--
 			continue
 		}
 		return t.when, true

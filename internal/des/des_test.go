@@ -1,6 +1,7 @@
 package des
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -223,5 +224,98 @@ func TestTimerWhen(t *testing.T) {
 	tm := s.After(42*time.Millisecond, func() {})
 	if tm.When() != 42*time.Millisecond {
 		t.Errorf("When = %v, want 42ms", tm.When())
+	}
+}
+
+// TestStoppedTimerCompaction exercises the stop-heavy workload of fifo
+// resend/heartbeat/recovery timers: almost every scheduled timer is
+// cancelled before firing. The queue must shed stopped entries instead
+// of retaining them until they surface at the top of the heap.
+func TestStoppedTimerCompaction(t *testing.T) {
+	s := New(1)
+	// A far-future live event keeps the queue non-empty throughout.
+	fired := false
+	s.At(time.Hour, func() { fired = true })
+	for i := 0; i < 10000; i++ {
+		tm := s.After(time.Duration(i+1)*time.Millisecond, func() {})
+		if !tm.Stop() {
+			t.Fatal("Stop failed")
+		}
+		if s.Pending() != 1 {
+			t.Fatalf("Pending = %d after stop %d, want 1", s.Pending(), i)
+		}
+		// Compaction must keep the raw queue bounded by ~2× the live
+		// count (plus the pre-compaction floor).
+		if len(s.queue) > 128 {
+			t.Fatalf("queue holds %d entries with 1 live timer", len(s.queue))
+		}
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("live event lost by compaction")
+	}
+}
+
+// TestCompactionPreservesOrder stops a random half of a large schedule
+// and checks the survivors still fire in exact (when, id) order.
+func TestCompactionPreservesOrder(t *testing.T) {
+	s := New(7)
+	var got []int
+	var want []int
+	timers := make([]*Timer, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		i := i
+		d := time.Duration(s.Rand().Intn(1000)) * time.Millisecond
+		timers = append(timers, s.At(d, func() { got = append(got, i) }))
+	}
+	rng := s.Rand()
+	kept := make([]int, 0, len(timers))
+	for i, tm := range timers {
+		if rng.Intn(2) == 0 {
+			tm.Stop()
+		} else {
+			kept = append(kept, i)
+		}
+	}
+	// Expected order: by (when, id); id order equals creation order.
+	sort.SliceStable(kept, func(a, b int) bool {
+		return timers[kept[a]].When() < timers[kept[b]].When()
+	})
+	want = append(want, kept...)
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = timer %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkStopHeavyTimers measures the resend-timer pattern: schedule
+// a timeout, cancel it almost immediately, repeat — with a standing
+// population of far-out timers so stopped entries never surface at the
+// heap top on their own. Before heap compaction this retained every
+// stopped timer for the whole run (O(total timers) heap); with
+// compaction the queue stays at O(live timers).
+func BenchmarkStopHeavyTimers(b *testing.B) {
+	s := New(1)
+	// Standing far-future population (heartbeats that never fire).
+	for i := 0; i < 64; i++ {
+		s.At(time.Duration(1000+i)*time.Hour, func() {})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := s.After(time.Duration(i+1)*time.Microsecond, func() {})
+		tm.Stop()
+	}
+	b.StopTimer()
+	if len(s.queue) > 1024 {
+		b.Fatalf("queue grew to %d entries; compaction not effective", len(s.queue))
 	}
 }

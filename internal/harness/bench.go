@@ -120,10 +120,17 @@ func Factories(tokenHold time.Duration) []switching.ProtocolFactory {
 	}
 }
 
+// sendRecord tracks one in-flight measured message: when it was cast
+// and how many group deliveries are still outstanding.
+type sendRecord struct {
+	at        time.Duration
+	remaining int
+}
+
 // collector gathers latency samples from one group execution.
 type collector struct {
 	rc       RunConfig
-	sendTime map[ids.MsgID]time.Duration
+	sendTime map[ids.MsgID]sendRecord
 	samples  []time.Duration
 	// delivered counts all app-level deliveries (for throughput).
 	delivered uint64
@@ -133,7 +140,16 @@ type collector struct {
 }
 
 func newCollector(rc RunConfig) *collector {
-	return &collector{rc: rc, sendTime: make(map[ids.MsgID]time.Duration)}
+	return &collector{rc: rc, sendTime: make(map[ids.MsgID]sendRecord)}
+}
+
+// recordSend notes the cast of one measured message. The entry lives
+// until the whole group has delivered it (or until the first delivery
+// shows it fell outside the measurement window), so the map tracks only
+// in-flight messages instead of every message ever sent — long
+// hysteresis/chaos runs would otherwise hold O(total messages) memory.
+func (c *collector) recordSend(id ids.MsgID, now time.Duration) {
+	c.sendTime[id] = sendRecord{at: now, remaining: c.rc.Group}
 }
 
 // onDeliver records a sample for one delivery at virtual time now.
@@ -142,15 +158,28 @@ func (c *collector) onDeliver(now time.Duration, id ids.MsgID) {
 	if c.hook != nil {
 		c.hook(now)
 	}
-	sent, ok := c.sendTime[id]
+	rec, ok := c.sendTime[id]
 	if !ok {
 		return
 	}
-	if sent < c.rc.Warmup || sent >= c.rc.Warmup+c.rc.Measure {
+	if rec.at < c.rc.Warmup || rec.at >= c.rc.Warmup+c.rc.Measure {
+		// Outside the window: no sample will ever be taken, so the
+		// entry is dead weight — drop it on first delivery.
+		delete(c.sendTime, id)
 		return
 	}
-	c.samples = append(c.samples, now-sent)
+	c.samples = append(c.samples, now-rec.at)
+	rec.remaining--
+	if rec.remaining <= 0 {
+		delete(c.sendTime, id)
+		return
+	}
+	c.sendTime[id] = rec
 }
+
+// inFlight returns how many measured messages still await deliveries
+// (exported to tests via the harness package).
+func (c *collector) inFlight() int { return len(c.sendTime) }
 
 // SetDeliveryHook installs an observer called on every app delivery.
 func (r *SwitchedRun) SetDeliveryHook(fn func(now time.Duration)) {
@@ -188,6 +217,9 @@ type Result struct {
 	Sent int
 	// Delivered is the number of app-level deliveries over the run.
 	Delivered uint64
+	// Events is the number of DES handler invocations the run executed
+	// (deterministic for a given seed and config).
+	Events uint64
 }
 
 // measuringApp returns an AppFactory that feeds the collector instead
@@ -220,7 +252,7 @@ func RunDirect(kind ProtocolKind, rc RunConfig) (Result, error) {
 	sent := 0
 	cast := func(p ids.ProcID, seq uint32) {
 		m := proto.AppMsg{ID: proto.MakeMsgID(p, seq), Sender: p, Body: body}
-		col.sendTime[m.ID] = cluster.Sim.Now()
+		col.recordSend(m.ID, cluster.Sim.Now())
 		if cluster.Sim.Now() >= rc.Warmup && cluster.Sim.Now() < rc.Warmup+rc.Measure {
 			sent++
 		}
@@ -233,7 +265,8 @@ func RunDirect(kind ProtocolKind, rc RunConfig) (Result, error) {
 		cluster.Sim.Rand().Int63n, cast)
 	cluster.Run(rc.Warmup + rc.Measure + rc.Drain)
 	cluster.Stop()
-	return Result{Stats: Summarize(col.samples), Sent: sent, Delivered: col.delivered}, nil
+	return Result{Stats: Summarize(col.samples), Sent: sent, Delivered: col.delivered,
+		Events: cluster.Sim.Executed()}, nil
 }
 
 // SwitchedRun is a hybrid (switching) execution with measurement hooks.
@@ -275,7 +308,7 @@ func (r *SwitchedRun) Cast(p ids.ProcID) {
 	r.seqs[p]++
 	m := proto.AppMsg{ID: proto.MakeMsgID(p, r.seqs[p]), Sender: p, Body: r.body}
 	now := r.Cluster.Sim.Now()
-	r.Collector.sendTime[m.ID] = now
+	r.Collector.recordSend(m.ID, now)
 	if now >= r.rc.Warmup && now < r.rc.Warmup+r.rc.Measure {
 		r.SentInWindow++
 	}
@@ -296,7 +329,8 @@ func (r *SwitchedRun) StartWorkload() {
 func (r *SwitchedRun) Finish() Result {
 	r.Cluster.Run(r.rc.Warmup + r.rc.Measure + r.rc.Drain)
 	r.Cluster.Stop()
-	return Result{Stats: Summarize(r.Collector.samples), Sent: r.SentInWindow, Delivered: r.Collector.delivered}
+	return Result{Stats: Summarize(r.Collector.samples), Sent: r.SentInWindow,
+		Delivered: r.Collector.delivered, Events: r.Cluster.Sim.Executed()}
 }
 
 // RunSwitched measures the hybrid: the switching protocol over both

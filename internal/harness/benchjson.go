@@ -1,0 +1,338 @@
+package harness
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core/switching"
+)
+
+// This file defines the machine-readable BENCH_*.json artifacts that
+// cmd/switchbench emits next to its human-readable tables — the repo's
+// perf trajectory. Every artifact carries:
+//
+//   - a versioned schema tag ("switchbench/<experiment>", version N),
+//   - the experiment's deterministic results (per-point LatencyStats in
+//     milliseconds, crossover, pass/fail counts, recovery bounds, and
+//     per-run DES event counts), and
+//   - a "timing" section with the only non-deterministic fields:
+//     wall-clock duration, worker count, and events/sec throughput.
+//
+// For a fixed seed the artifact minus its timing section is
+// byte-identical for any worker count; ScrubTiming zeroes the section
+// for such comparisons (see the determinism tests).
+
+// BenchSchemaVersion is the current artifact schema version; bump it on
+// any incompatible field change.
+const BenchSchemaVersion = 1
+
+// BenchTiming is the non-deterministic wall-clock section of an
+// artifact.
+type BenchTiming struct {
+	WallMS       float64 `json:"wall_ms"`
+	Parallel     int     `json:"parallel"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// BenchMeta is the envelope shared by every artifact.
+type BenchMeta struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Seed    int64  `json:"seed"`
+	// Events is the experiment's total DES event count (deterministic
+	// per seed).
+	Events uint64      `json:"events"`
+	Timing BenchTiming `json:"timing"`
+}
+
+func benchMeta(experiment string, seed int64, events uint64) BenchMeta {
+	return BenchMeta{Schema: "switchbench/" + experiment, Version: BenchSchemaVersion,
+		Seed: seed, Events: events}
+}
+
+// SetTiming fills the wall-clock section after the experiment ran.
+func (m *BenchMeta) SetTiming(wall time.Duration, parallel int) {
+	m.Timing = BenchTiming{WallMS: Millis(wall), Parallel: parallel}
+	if wall > 0 {
+		m.Timing.EventsPerSec = float64(m.Events) / wall.Seconds()
+	}
+}
+
+// ScrubTiming zeroes the non-deterministic section so two artifacts can
+// be compared byte-for-byte across worker counts.
+func (m *BenchMeta) ScrubTiming() { m.Timing = BenchTiming{} }
+
+// BenchStats is LatencyStats in milliseconds.
+type BenchStats struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func toBenchStats(s LatencyStats) BenchStats {
+	return BenchStats{
+		Count:  s.Count,
+		MeanMS: Millis(s.Mean),
+		P50MS:  Millis(s.P50),
+		P95MS:  Millis(s.P95),
+		P99MS:  Millis(s.P99),
+		MaxMS:  Millis(s.Max),
+	}
+}
+
+// EncodeBench marshals one artifact as indented JSON with a trailing
+// newline (stable key order, so equal values give equal bytes).
+func EncodeBench(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// BenchFigure2 is the BENCH_figure2.json artifact.
+type BenchFigure2 struct {
+	BenchMeta
+	Group           int               `json:"group"`
+	RatePerSender   float64           `json:"rate_per_sender"`
+	MsgBytes        int               `json:"msg_bytes"`
+	MeasureMS       float64           `json:"measure_ms"`
+	Rows            []BenchFigure2Row `json:"rows"`
+	CrossoverAfter  int               `json:"crossover_after"`
+	HybridThreshold float64           `json:"hybrid_threshold,omitempty"`
+}
+
+// BenchFigure2Row is one sender-count point.
+type BenchFigure2Row struct {
+	Senders   int         `json:"senders"`
+	Sequencer BenchStats  `json:"sequencer"`
+	Token     BenchStats  `json:"token"`
+	Hybrid    *BenchStats `json:"hybrid,omitempty"`
+	Events    uint64      `json:"events"`
+}
+
+// NewBenchFigure2 converts a Figure-2 result into its artifact.
+func NewBenchFigure2(res *Figure2Result) *BenchFigure2 {
+	rc := res.Run.withDefaults()
+	out := &BenchFigure2{
+		Group:          rc.Group,
+		RatePerSender:  rc.RatePerSender,
+		MsgBytes:       rc.MsgBytes,
+		MeasureMS:      Millis(rc.Measure),
+		CrossoverAfter: res.CrossoverAfter,
+	}
+	if res.IncludedHybrid {
+		out.HybridThreshold = res.HybridThreshold
+	}
+	var events uint64
+	for _, row := range res.Rows {
+		events += row.Events
+		br := BenchFigure2Row{
+			Senders:   row.ActiveSenders,
+			Sequencer: toBenchStats(row.Sequencer),
+			Token:     toBenchStats(row.Token),
+			Events:    row.Events,
+		}
+		if res.IncludedHybrid {
+			h := toBenchStats(row.Hybrid)
+			br.Hybrid = &h
+		}
+		out.Rows = append(out.Rows, br)
+	}
+	out.BenchMeta = benchMeta("figure2", rc.Seed, events)
+	return out
+}
+
+// BenchOverhead is the BENCH_overhead.json artifact: the single §7
+// measurement plus the direction × sender-count sweep.
+type BenchOverhead struct {
+	BenchMeta
+	Single BenchOverheadRow   `json:"single"`
+	Sweep  []BenchOverheadRow `json:"sweep"`
+}
+
+// BenchOverheadRow is one switch measurement.
+type BenchOverheadRow struct {
+	Senders     int     `json:"senders"`
+	From        string  `json:"from"`
+	SwitchMS    float64 `json:"switch_ms"`
+	HiccupMS    float64 `json:"hiccup_ms"`
+	SteadyGapMS float64 `json:"steady_gap_ms"`
+	Events      uint64  `json:"events"`
+}
+
+func toBenchOverheadRow(r OverheadResult) BenchOverheadRow {
+	return BenchOverheadRow{
+		Senders:     r.ActiveSenders,
+		From:        r.From.String(),
+		SwitchMS:    Millis(r.SwitchDuration),
+		HiccupMS:    Millis(r.Hiccup),
+		SteadyGapMS: Millis(r.SteadyGap),
+		Events:      r.Events,
+	}
+}
+
+// NewBenchOverhead converts the overhead measurements into their
+// artifact.
+func NewBenchOverhead(seed int64, single *OverheadResult, sweep []OverheadResult) *BenchOverhead {
+	out := &BenchOverhead{Single: toBenchOverheadRow(*single)}
+	events := single.Events
+	for _, r := range sweep {
+		out.Sweep = append(out.Sweep, toBenchOverheadRow(r))
+		events += r.Events
+	}
+	out.BenchMeta = benchMeta("overhead", seed, events)
+	return out
+}
+
+// BenchHysteresis is the BENCH_hysteresis.json artifact.
+type BenchHysteresis struct {
+	BenchMeta
+	Rows []BenchHysteresisRow `json:"rows"`
+}
+
+// BenchHysteresisRow is one oracle policy's outcome over the load ramp.
+type BenchHysteresisRow struct {
+	Policy            string  `json:"policy"`
+	SwitchRequests    uint64  `json:"switch_requests"`
+	SwitchesCompleted uint64  `json:"switches_completed"`
+	MeanLatencyMS     float64 `json:"mean_latency_ms"`
+	Events            uint64  `json:"events"`
+}
+
+// NewBenchHysteresis converts the oscillation study into its artifact.
+func NewBenchHysteresis(seed int64, rows []HysteresisResult) *BenchHysteresis {
+	out := &BenchHysteresis{}
+	var events uint64
+	for _, r := range rows {
+		out.Rows = append(out.Rows, BenchHysteresisRow{
+			Policy:            r.Policy,
+			SwitchRequests:    r.SwitchRequests,
+			SwitchesCompleted: r.SwitchesCompleted,
+			MeanLatencyMS:     Millis(r.MeanLatency),
+			Events:            r.Events,
+		})
+		events += r.Events
+	}
+	out.BenchMeta = benchMeta("hysteresis", seed, events)
+	return out
+}
+
+// BenchChaos is the BENCH_chaos.json artifact.
+type BenchChaos struct {
+	BenchMeta
+	Schedules int `json:"schedules"`
+	Passed    int `json:"passed"`
+	Failed    int `json:"failed"`
+	// Kind counts: how many schedules contained each fault class.
+	WithCrashes    int `json:"with_crashes"`
+	WithPartitions int `json:"with_partitions"`
+	WithBursts     int `json:"with_bursts"`
+
+	Delivered int              `json:"delivered"`
+	Switching BenchSwitchStats `json:"switching"`
+
+	WorstRecoveryMS float64 `json:"worst_recovery_ms"`
+	RecoveryBoundMS float64 `json:"recovery_bound_ms"`
+
+	Failures []BenchChaosFailure `json:"failures,omitempty"`
+}
+
+// BenchSwitchStats mirrors switching.Stats with stable snake_case keys.
+type BenchSwitchStats struct {
+	SwitchesCompleted uint64 `json:"switches_completed"`
+	Buffered          uint64 `json:"buffered"`
+	StaleDropped      uint64 `json:"stale_dropped"`
+	TokenPasses       uint64 `json:"token_passes"`
+	WedgeTimeouts     uint64 `json:"wedge_timeouts"`
+	TokensRegenerated uint64 `json:"tokens_regenerated"`
+	SwitchesAborted   uint64 `json:"switches_aborted"`
+	ForcedAdvances    uint64 `json:"forced_advances"`
+}
+
+func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
+	return BenchSwitchStats{
+		SwitchesCompleted: s.SwitchesCompleted,
+		Buffered:          s.Buffered,
+		StaleDropped:      s.StaleDropped,
+		TokenPasses:       s.TokenPasses,
+		WedgeTimeouts:     s.WedgeTimeouts,
+		TokensRegenerated: s.TokensRegenerated,
+		SwitchesAborted:   s.SwitchesAborted,
+		ForcedAdvances:    s.ForcedAdvances,
+	}
+}
+
+// BenchChaosFailure is one schedule that violated invariants, with
+// enough detail to replay it (the seed regenerates the schedule).
+type BenchChaosFailure struct {
+	Seed       int64    `json:"seed"`
+	Kinds      []string `json:"kinds"`
+	Violations []string `json:"violations"`
+}
+
+// NewBenchChaos converts a chaos sweep into its artifact.
+func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
+	out := &BenchChaos{
+		Schedules:       res.Schedules,
+		Passed:          res.Schedules - len(res.Failures),
+		Failed:          len(res.Failures),
+		WithCrashes:     res.KindCounts[chaos.KindCrash],
+		WithPartitions:  res.KindCounts[chaos.KindPartition],
+		WithBursts:      res.KindCounts[chaos.KindBurst],
+		Delivered:       res.Delivered,
+		Switching:       toBenchSwitchStats(res.Stats),
+		WorstRecoveryMS: Millis(res.WorstRecovery),
+		RecoveryBoundMS: Millis(res.Bound),
+	}
+	for _, f := range res.Failures {
+		bf := BenchChaosFailure{Seed: f.Seed, Violations: f.Violations}
+		for _, k := range f.Kinds {
+			bf.Kinds = append(bf.Kinds, k.String())
+		}
+		out.Failures = append(out.Failures, bf)
+	}
+	out.BenchMeta = benchMeta("chaos", seed, res.Events)
+	return out
+}
+
+// BenchP2P is the BENCH_p2p.json artifact.
+type BenchP2P struct {
+	BenchMeta
+	Rows []BenchP2PRow `json:"rows"`
+}
+
+// BenchP2PRow is one (link, protocol) cell of the E11 table.
+type BenchP2PRow struct {
+	Link        string  `json:"link"`
+	Protocol    string  `json:"protocol"`
+	Delivered   int     `json:"delivered"`
+	PerSec      float64 `json:"delivered_per_sec"`
+	Retransmits uint64  `json:"retransmits"`
+	AcksSent    uint64  `json:"acks_sent"`
+	Events      uint64  `json:"events"`
+}
+
+// NewBenchP2P converts the E11 sweep into its artifact.
+func NewBenchP2P(seed int64, rows []P2PRow) *BenchP2P {
+	out := &BenchP2P{}
+	var events uint64
+	for _, r := range rows {
+		out.Rows = append(out.Rows, BenchP2PRow{
+			Link:        r.Link,
+			Protocol:    r.Result.Kind.String(),
+			Delivered:   r.Result.Delivered,
+			PerSec:      r.PerSec,
+			Retransmits: r.Result.Retransmits,
+			AcksSent:    r.Result.AcksSent,
+			Events:      r.Result.Events,
+		})
+		events += r.Result.Events
+	}
+	out.BenchMeta = benchMeta("p2p", seed, events)
+	return out
+}

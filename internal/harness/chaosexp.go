@@ -3,10 +3,12 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/core/switching"
+	"repro/internal/harness/engine"
 )
 
 // ChaosSweepConfig parameterizes E13: a sweep of seeded fault schedules
@@ -24,7 +26,12 @@ type ChaosSweepConfig struct {
 	// RecoverySeeds is how many crash-during-round runs to measure for
 	// the recovery-time bound (default 25).
 	RecoverySeeds int
-	// Progress receives per-phase status lines (optional).
+	// Parallel is the sweep's worker count (<= 0 uses GOMAXPROCS).
+	// Every schedule is an independent seeded simulation, so the
+	// aggregated result is identical for any value.
+	Parallel int
+	// Progress receives per-phase status lines (optional). It may be
+	// called concurrently from worker goroutines.
 	Progress func(string)
 }
 
@@ -49,6 +56,9 @@ type ChaosSweepResult struct {
 	// observed; Bound is the asserted limit (10× the token interval).
 	WorstRecovery time.Duration
 	Bound         time.Duration
+	// Events is the total DES event count over all schedule runs
+	// (deterministic per base seed).
+	Events uint64
 }
 
 // RunChaosSweep runs the sweep and the recovery-bound family.
@@ -73,16 +83,32 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		KindCounts: map[chaos.Kind]int{},
 		Bound:      10 * ti,
 	}
-	for i := 0; i < cfg.Schedules; i++ {
-		seed := cfg.Seed + int64(i)
-		sched, err := chaos.Generate(seed, cfg.Gen)
-		if err != nil {
-			return nil, err
-		}
-		r, err := chaos.Run(sched, cfg.Run)
-		if err != nil {
-			return nil, fmt.Errorf("harness: chaos seed %d: %w", seed, err)
-		}
+
+	// Every schedule replay is one pool job, seeded from (Seed, index).
+	// Runs are collected by index and aggregated sequentially below, so
+	// KindCounts, Failures order, and every summed stat are identical
+	// for any worker count.
+	pool := engine.New(cfg.Parallel)
+	var done atomic.Int64
+	runs, err := engine.Map(pool, cfg.Schedules, cfg.Seed,
+		func(j engine.Job) (*chaos.Result, error) {
+			sched, err := chaos.Generate(j.Seed, cfg.Gen)
+			if err != nil {
+				return nil, err
+			}
+			r, err := chaos.Run(sched, cfg.Run)
+			if err != nil {
+				return nil, fmt.Errorf("harness: chaos seed %d: %w", j.Seed, err)
+			}
+			if n := done.Add(1); n%50 == 0 {
+				progress(fmt.Sprintf("chaos sweep %d/%d schedules", n, cfg.Schedules))
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
 		for _, k := range r.Kinds {
 			res.KindCounts[k]++
 		}
@@ -90,6 +116,7 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 			res.Failures = append(res.Failures, r)
 		}
 		res.Delivered += r.Delivered
+		res.Events += r.Events
 		res.Stats.TokenPasses += r.Stats.TokenPasses
 		res.Stats.SwitchesCompleted += r.Stats.SwitchesCompleted
 		res.Stats.Buffered += r.Stats.Buffered
@@ -98,16 +125,20 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		res.Stats.TokensRegenerated += r.Stats.TokensRegenerated
 		res.Stats.SwitchesAborted += r.Stats.SwitchesAborted
 		res.Stats.ForcedAdvances += r.Stats.ForcedAdvances
-		if (i+1)%50 == 0 {
-			progress(fmt.Sprintf("chaos sweep %d/%d schedules", i+1, cfg.Schedules))
-		}
 	}
 
-	for i := 0; i < cfg.RecoverySeeds; i++ {
-		d, err := chaos.MeasureRecovery(cfg.Seed+int64(i), 4, ti)
-		if err != nil {
-			return nil, fmt.Errorf("harness: recovery bound seed %d: %w", cfg.Seed+int64(i), err)
-		}
+	recov, err := engine.Map(pool, cfg.RecoverySeeds, cfg.Seed,
+		func(j engine.Job) (time.Duration, error) {
+			d, err := chaos.MeasureRecovery(j.Seed, 4, ti)
+			if err != nil {
+				return 0, fmt.Errorf("harness: recovery bound seed %d: %w", j.Seed, err)
+			}
+			return d, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range recov {
 		if d > res.WorstRecovery {
 			res.WorstRecovery = d
 		}

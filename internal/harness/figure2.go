@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core/switching"
+	"repro/internal/harness/engine"
 )
 
 // Figure2Row is one x-axis point of the paper's Figure 2: message
@@ -19,6 +20,9 @@ type Figure2Row struct {
 	// Hybrid is only filled when the experiment is run with
 	// IncludeHybrid.
 	Hybrid LatencyStats
+	// Events is the total number of DES events the point's runs
+	// executed (sequencer + token + hybrid); deterministic per seed.
+	Events uint64
 }
 
 // Figure2Result is the full reproduced figure.
@@ -29,6 +33,13 @@ type Figure2Result struct {
 	// Zero means the curves never cross.
 	CrossoverAfter int
 	IncludedHybrid bool
+	// HybridThreshold is the oracle threshold every hybrid point ran
+	// with. It is computed once, from the complete sequencer/token
+	// curves, so hybrid results do not depend on sweep execution order.
+	HybridThreshold float64
+	// Run is the resolved configuration the sweep ran with (rendered in
+	// the table header).
+	Run RunConfig
 }
 
 // Figure2Config parameterizes the sweep.
@@ -36,7 +47,11 @@ type Figure2Config struct {
 	Run           RunConfig
 	MaxSenders    int
 	IncludeHybrid bool
+	// Parallel is the worker count for the sweep's independent DES
+	// runs; <= 0 uses GOMAXPROCS. Results are identical for any value.
+	Parallel int
 	// Progress, if set, is called before each point (for CLI feedback).
+	// It may be called concurrently from worker goroutines.
 	Progress func(msg string)
 }
 
@@ -47,6 +62,16 @@ func DefaultFigure2Config() Figure2Config {
 }
 
 // RunFigure2 sweeps the active-sender axis and measures each protocol.
+//
+// The sweep runs in two phases. Phase 1 measures the raw sequencer and
+// token curves at every sender count (in parallel). Phase 2, when
+// IncludeHybrid is set, computes the crossover threshold once from the
+// complete curves and measures every hybrid point against that single
+// fixed threshold (again in parallel). Earlier versions seeded each
+// hybrid point's oracle from the crossover of the *partial* rows
+// accumulated so far, which made hybrid results depend on sweep
+// execution order; the two-phase structure is both the bugfix and what
+// makes the sweep safely parallel.
 func RunFigure2(cfg Figure2Config) (*Figure2Result, error) {
 	if cfg.MaxSenders <= 0 {
 		cfg.MaxSenders = 10
@@ -58,37 +83,63 @@ func RunFigure2(cfg Figure2Config) (*Figure2Result, error) {
 	if progress == nil {
 		progress = func(string) {}
 	}
-	res := &Figure2Result{IncludedHybrid: cfg.IncludeHybrid}
-	for n := 1; n <= cfg.MaxSenders; n++ {
-		rc := cfg.Run
-		rc.ActiveSenders = n
-		progress(fmt.Sprintf("senders=%d sequencer", n))
-		seq, err := RunDirect(Sequencer, rc)
-		if err != nil {
-			return nil, err
-		}
-		progress(fmt.Sprintf("senders=%d token", n))
-		tok, err := RunDirect(Token, rc)
-		if err != nil {
-			return nil, err
-		}
-		row := Figure2Row{ActiveSenders: n, Sequencer: seq.Stats, Token: tok.Stats}
-		if cfg.IncludeHybrid {
-			progress(fmt.Sprintf("senders=%d hybrid", n))
-			hyb, err := runHybridPoint(rc, res.CrossoverGuess())
+	pool := engine.New(cfg.Parallel)
+	res := &Figure2Result{IncludedHybrid: cfg.IncludeHybrid, Run: cfg.Run.withDefaults()}
+
+	// Phase 1: the raw protocol curves. Each point is an independent
+	// pair of seeded runs; the pool collects rows by index.
+	rows, err := engine.Map(pool, cfg.MaxSenders, cfg.Run.Seed,
+		func(j engine.Job) (Figure2Row, error) {
+			rc := cfg.Run
+			rc.ActiveSenders = j.Index + 1
+			progress(fmt.Sprintf("senders=%d sequencer", rc.ActiveSenders))
+			seq, err := RunDirect(Sequencer, rc)
 			if err != nil {
-				return nil, err
+				return Figure2Row{}, err
 			}
-			row.Hybrid = hyb.Stats
-		}
-		res.Rows = append(res.Rows, row)
+			progress(fmt.Sprintf("senders=%d token", rc.ActiveSenders))
+			tok, err := RunDirect(Token, rc)
+			if err != nil {
+				return Figure2Row{}, err
+			}
+			return Figure2Row{
+				ActiveSenders: rc.ActiveSenders,
+				Sequencer:     seq.Stats,
+				Token:         tok.Stats,
+				Events:        seq.Events + tok.Events,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.CrossoverAfter = res.computeCrossover()
+
+	// Phase 2: every hybrid point runs with the one threshold derived
+	// from the complete curves above.
+	if cfg.IncludeHybrid {
+		res.HybridThreshold = res.CrossoverGuess()
+		hybs, err := engine.Map(pool, cfg.MaxSenders, cfg.Run.Seed,
+			func(j engine.Job) (Result, error) {
+				rc := cfg.Run
+				rc.ActiveSenders = j.Index + 1
+				progress(fmt.Sprintf("senders=%d hybrid", rc.ActiveSenders))
+				return runHybridPoint(rc, res.HybridThreshold)
+			})
+		if err != nil {
+			return nil, err
+		}
+		for i := range res.Rows {
+			res.Rows[i].Hybrid = hybs[i].Stats
+			res.Rows[i].Events += hybs[i].Events
+		}
+	}
 	return res, nil
 }
 
-// CrossoverGuess returns a working threshold for the hybrid's oracle
-// while the sweep is still running (defaults to the paper's 5.5).
+// CrossoverGuess returns the hybrid oracle threshold implied by the
+// measured curves: half a sender past the crossover, or the paper's 5.5
+// if the curves never cross in range.
 func (r *Figure2Result) CrossoverGuess() float64 {
 	if c := r.computeCrossover(); c > 0 {
 		return float64(c) + 0.5
@@ -120,9 +171,11 @@ func runHybridPoint(rc RunConfig, threshold float64) (Result, error) {
 // Render prints the figure as the table cmd/switchbench and
 // EXPERIMENTS.md use.
 func (r *Figure2Result) Render() string {
+	rc := r.Run.withDefaults()
 	var b strings.Builder
 	b.WriteString("Figure 2 — message latency (ms) vs. number of active senders\n")
-	b.WriteString("group=10, 50 msgs/s per sender, 2 KB messages, 10 Mbit/s shared medium\n\n")
+	fmt.Fprintf(&b, "group=%d, %g msgs/s per sender, %d-byte messages, 10 Mbit/s shared medium\n\n",
+		rc.Group, rc.RatePerSender, rc.MsgBytes)
 	fmt.Fprintf(&b, "%8s %12s %12s", "senders", "sequencer", "token")
 	if r.IncludedHybrid {
 		fmt.Fprintf(&b, " %12s", "hybrid")
@@ -141,6 +194,9 @@ func (r *Figure2Result) Render() string {
 			r.CrossoverAfter, r.CrossoverAfter+1)
 	} else {
 		b.WriteString("\ncrossover: not observed in range\n")
+	}
+	if r.IncludedHybrid {
+		fmt.Fprintf(&b, "hybrid oracle threshold: %.1f active senders\n", r.HybridThreshold)
 	}
 	b.WriteString("\n" + r.Plot())
 	return b.String()

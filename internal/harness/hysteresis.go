@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core/switching"
+	"repro/internal/harness/engine"
 	"repro/internal/ids"
 )
 
@@ -23,6 +24,8 @@ type HysteresisResult struct {
 	SwitchesCompleted uint64
 	// MeanLatency is the app-level mean latency over the run.
 	MeanLatency time.Duration
+	// Events is the run's DES event count (deterministic per seed).
+	Events uint64
 }
 
 // HysteresisConfig parameterizes the oscillation experiment.
@@ -39,6 +42,10 @@ type HysteresisConfig struct {
 	Low, High float64
 	// PollEvery is the controller's metric sampling interval.
 	PollEvery time.Duration
+	// Parallel is the comparison's worker count (<= 0 uses GOMAXPROCS);
+	// both policies are independent runs and results are identical for
+	// any value.
+	Parallel int
 }
 
 // DefaultHysteresisConfig hovers the load around the crossover.
@@ -107,24 +114,41 @@ func RunHysteresis(cfg HysteresisConfig, oracle switching.Oracle, policy string)
 		SwitchRequests:    ctrl.SwitchRequests,
 		SwitchesCompleted: run.Cluster.Members[0].Switch.Stats().SwitchesCompleted,
 		MeanLatency:       res.Stats.Mean,
+		Events:            res.Events,
 	}, nil
 }
 
-// RunHysteresisComparison runs the ramp under both policies.
+// RunHysteresisComparison runs the ramp under both policies. The two
+// runs are independent simulations, so they execute on a worker pool;
+// the oracle is constructed inside each job (the hysteresis oracle is
+// stateful) and the row order is fixed: aggressive first.
 func RunHysteresisComparison(cfg HysteresisConfig) ([]HysteresisResult, error) {
-	aggressive, err := RunHysteresis(cfg, switching.ThresholdOracle{Threshold: cfg.Threshold}, "threshold (aggressive)")
+	pool := engine.New(cfg.Parallel)
+	rows, err := engine.Map(pool, 2, cfg.Run.Seed,
+		func(j engine.Job) (HysteresisResult, error) {
+			var (
+				oracle switching.Oracle
+				policy string
+			)
+			if j.Index == 0 {
+				oracle, policy = switching.ThresholdOracle{Threshold: cfg.Threshold}, "threshold (aggressive)"
+			} else {
+				h, err := switching.NewHysteresisOracle(cfg.Low, cfg.High)
+				if err != nil {
+					return HysteresisResult{}, err
+				}
+				oracle, policy = h, "hysteresis"
+			}
+			r, err := RunHysteresis(cfg, oracle, policy)
+			if err != nil {
+				return HysteresisResult{}, err
+			}
+			return *r, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	h, err := switching.NewHysteresisOracle(cfg.Low, cfg.High)
-	if err != nil {
-		return nil, err
-	}
-	damped, err := RunHysteresis(cfg, h, "hysteresis")
-	if err != nil {
-		return nil, err
-	}
-	return []HysteresisResult{*aggressive, *damped}, nil
+	return rows, nil
 }
 
 // RenderHysteresis prints the comparison.

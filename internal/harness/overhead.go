@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core/switching"
+	"repro/internal/harness/engine"
 )
 
 // OverheadResult reproduces the §7 switching-overhead measurement: near
@@ -25,6 +26,8 @@ type OverheadResult struct {
 	SteadyGap time.Duration
 	// From names the protocol being switched away from.
 	From ProtocolKind
+	// Events is the run's DES event count (deterministic per seed).
+	Events uint64
 }
 
 // OverheadConfig parameterizes the experiment.
@@ -35,6 +38,9 @@ type OverheadConfig struct {
 	From ProtocolKind
 	// SwitchAt is when the switch is requested.
 	SwitchAt time.Duration
+	// Parallel is the sweep's worker count (<= 0 uses GOMAXPROCS);
+	// results are identical for any value.
+	Parallel int
 }
 
 // DefaultOverheadConfig switches away from the token protocol (the
@@ -69,7 +75,7 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 		run.Cluster.Members[0].Switch.RequestSwitch()
 	})
 	run.StartWorkload()
-	run.Finish()
+	res := run.Finish()
 	if rec == nil {
 		return nil, fmt.Errorf("harness: the switch never completed")
 	}
@@ -80,6 +86,7 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 		Hiccup:         hiccup,
 		SteadyGap:      steady,
 		From:           cfg.From,
+		Events:         res.Events,
 	}, nil
 }
 
@@ -128,20 +135,26 @@ func (r *OverheadResult) Render() string {
 // RunOverheadSweep measures the switch duration in both directions and
 // across sender counts — the ablation for DESIGN.md §5 ("the overhead
 // of switching depends on the latency of the protocol being switched
-// away from").
+// away from"). The (senders × direction) grid runs on a worker pool;
+// rows come back in deterministic sweep order regardless of
+// base.Parallel.
 func RunOverheadSweep(base OverheadConfig, senders []int) ([]OverheadResult, error) {
-	var out []OverheadResult
-	for _, n := range senders {
-		for _, from := range []ProtocolKind{Sequencer, Token} {
+	dirs := []ProtocolKind{Sequencer, Token}
+	pool := engine.New(base.Parallel)
+	out, err := engine.Map(pool, len(senders)*len(dirs), base.Run.Seed,
+		func(j engine.Job) (OverheadResult, error) {
 			cfg := base
-			cfg.Run.ActiveSenders = n
-			cfg.From = from
+			cfg.Run.ActiveSenders = senders[j.Index/len(dirs)]
+			cfg.From = dirs[j.Index%len(dirs)]
 			r, err := RunOverhead(cfg)
 			if err != nil {
-				return nil, fmt.Errorf("senders=%d from=%v: %w", n, from, err)
+				return OverheadResult{}, fmt.Errorf("senders=%d from=%v: %w",
+					cfg.Run.ActiveSenders, cfg.From, err)
 			}
-			out = append(out, *r)
-		}
+			return *r, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

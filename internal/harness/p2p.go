@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/harness/engine"
 	"repro/internal/proto"
 	"repro/internal/protocols/arq"
 	"repro/internal/protocols/ptest"
@@ -71,6 +72,9 @@ type P2PConfig struct {
 	Offered  int // frames offered as fast as the window admits
 	MsgBytes int
 	RunFor   time.Duration
+	// Parallel is the E11 table's worker count (<= 0 uses GOMAXPROCS);
+	// the table is identical for any value.
+	Parallel int
 }
 
 // DefaultP2PConfig returns the E11 parameters.
@@ -92,6 +96,8 @@ type P2PResult struct {
 	Delivered   int
 	Retransmits uint64
 	AcksSent    uint64
+	// Events is the run's DES event count (deterministic per seed).
+	Events uint64
 }
 
 // RunP2P measures one ARQ protocol on one link.
@@ -128,35 +134,75 @@ func RunP2P(kind ARQKind, cfg P2PConfig) (*P2PResult, error) {
 		Delivered:   len(cluster.Members[1].Delivered),
 		Retransmits: stats.Stats().Retransmits,
 		AcksSent:    stats.Stats().AcksSent,
+		Events:      cluster.Sim.Executed(),
 	}
 	cluster.Stop()
 	return res, nil
 }
 
-// P2PTable runs all three protocols over the fat-pipe and lossy links
-// and renders the E11 table.
-func P2PTable(base P2PConfig) (string, error) {
-	links := []struct {
+// P2PRow is one (link, protocol) cell of the E11 table.
+type P2PRow struct {
+	Link   string
+	Result P2PResult
+	// PerSec is delivered frames per simulated second.
+	PerSec float64
+}
+
+// p2pLinks is the fixed E11 link matrix.
+func p2pLinks() []struct {
+	name string
+	cfg  simnet.Config
+} {
+	return []struct {
 		name string
 		cfg  simnet.Config
 	}{
 		{"fat-pipe (10ms RTT/2)", simnet.Config{Nodes: 2, PropDelay: 10 * time.Millisecond}},
 		{"lossy (15% drop)", simnet.Config{Nodes: 2, PropDelay: 2 * time.Millisecond, DropProb: 0.15}},
 	}
+}
+
+// RunP2PSweep measures all three ARQ protocols over the fat-pipe and
+// lossy links on a worker pool. Rows come back in deterministic
+// (link, protocol) order for any base.Parallel.
+func RunP2PSweep(base P2PConfig) ([]P2PRow, error) {
+	links := p2pLinks()
+	kinds := []ARQKind{StopWait, GoBackN, SelectiveRepeat}
+	pool := engine.New(base.Parallel)
+	return engine.Map(pool, len(links)*len(kinds), base.Seed,
+		func(j engine.Job) (P2PRow, error) {
+			link := links[j.Index/len(kinds)]
+			cfg := base
+			cfg.Link = link.cfg
+			res, err := RunP2P(kinds[j.Index%len(kinds)], cfg)
+			if err != nil {
+				return P2PRow{}, err
+			}
+			return P2PRow{
+				Link:   link.name,
+				Result: *res,
+				PerSec: float64(res.Delivered) / base.RunFor.Seconds(),
+			}, nil
+		})
+}
+
+// RenderP2PTable prints the E11 table.
+func RenderP2PTable(rows []P2PRow) string {
 	var b strings.Builder
 	b.WriteString("E11 — point-to-point specialization (§1): throughput and waste per link\n\n")
 	fmt.Fprintf(&b, "%-22s %-18s %12s %12s\n", "link", "protocol", "delivered/s", "retransmits")
-	for _, link := range links {
-		for _, kind := range []ARQKind{StopWait, GoBackN, SelectiveRepeat} {
-			cfg := base
-			cfg.Link = link.cfg
-			res, err := RunP2P(kind, cfg)
-			if err != nil {
-				return "", err
-			}
-			perSec := float64(res.Delivered) / base.RunFor.Seconds()
-			fmt.Fprintf(&b, "%-22s %-18s %12.0f %12d\n", link.name, res.Kind, perSec, res.Retransmits)
-		}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-22s %-18s %12.0f %12d\n",
+			row.Link, row.Result.Kind, row.PerSec, row.Result.Retransmits)
 	}
-	return b.String(), nil
+	return b.String()
+}
+
+// P2PTable runs the sweep and renders the E11 table.
+func P2PTable(base P2PConfig) (string, error) {
+	rows, err := RunP2PSweep(base)
+	if err != nil {
+		return "", err
+	}
+	return RenderP2PTable(rows), nil
 }

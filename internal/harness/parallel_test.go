@@ -1,0 +1,262 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/proto"
+)
+
+// TestFigure2HybridThresholdOrderIndependent is the regression test for
+// the order-dependent hybrid threshold: RunFigure2 used to seed each
+// hybrid point's oracle with the crossover of the partial rows
+// accumulated so far, so hybrid stats depended on sweep execution
+// order. With the two-phase sweep, the hybrid stats must be identical
+// whether the points run in order 1..N, reversed, or in parallel.
+func TestFigure2HybridThresholdOrderIndependent(t *testing.T) {
+	cfg := Figure2Config{Run: shortRun(), MaxSenders: 3, IncludeHybrid: true, Parallel: 1}
+	forward, err := RunFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forward.HybridThreshold != forward.CrossoverGuess() {
+		t.Errorf("threshold %v not derived from the complete curves (guess %v)",
+			forward.HybridThreshold, forward.CrossoverGuess())
+	}
+
+	// Reversed: replay the hybrid points N..1 by hand with the sweep's
+	// threshold; every point must reproduce the sweep's stats exactly.
+	for i := cfg.MaxSenders - 1; i >= 0; i-- {
+		rc := cfg.Run
+		rc.ActiveSenders = forward.Rows[i].ActiveSenders
+		r, err := runHybridPoint(rc, forward.HybridThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats != forward.Rows[i].Hybrid {
+			t.Errorf("reversed order diverged at %d senders: %+v vs %+v",
+				rc.ActiveSenders, r.Stats, forward.Rows[i].Hybrid)
+		}
+	}
+
+	// Parallel: the whole sweep on 8 workers must be deeply equal.
+	cfg.Parallel = 8
+	par, err := RunFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(forward, par) {
+		t.Errorf("parallel sweep diverged:\n%+v\nvs\n%+v", forward, par)
+	}
+}
+
+// TestFigure2JSONByteIdenticalAcrossWorkers is the engine-determinism
+// acceptance check at test scale: the BENCH_figure2.json bytes (minus
+// the wall-clock timing section) are identical at -parallel 1 and
+// -parallel 8.
+func TestFigure2JSONByteIdenticalAcrossWorkers(t *testing.T) {
+	encode := func(parallel int) []byte {
+		cfg := Figure2Config{Run: shortRun(), MaxSenders: 3, IncludeHybrid: true, Parallel: parallel}
+		res, err := RunFigure2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := NewBenchFigure2(res)
+		art.SetTiming(123*time.Millisecond, parallel) // differs per run on purpose
+		art.ScrubTiming()
+		b, err := EncodeBench(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	seq, par := encode(1), encode(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("figure2 JSON differs across worker counts:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+// TestChaosSweepParallelDeterminismAndFailurePropagation runs the chaos
+// sweep through the parallel path twice: once healthy, once with a
+// starved settle/drain window that makes every schedule violate the
+// liveness invariant. The aggregate must be identical across worker
+// counts, and the injected failures must come back through the parallel
+// path (cmd/switchbench turns a non-empty Failures into a non-zero
+// exit).
+func TestChaosSweepParallelDeterminismAndFailurePropagation(t *testing.T) {
+	cfg := DefaultChaosSweepConfig()
+	cfg.Schedules = 6
+	cfg.RecoverySeeds = 3
+
+	cfg.Parallel = 1
+	seq, err := RunChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 4
+	par, err := RunChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Render() != par.Render() {
+		t.Errorf("chaos sweep diverged across worker counts:\n%s\nvs\n%s", seq.Render(), par.Render())
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("chaos aggregates diverged: %+v vs %+v", seq, par)
+	}
+
+	// Starve the post-heal window: probes get (effectively) no time to
+	// arrive, so liveness must be violated — and those violations must
+	// survive the trip through the worker pool.
+	bad := cfg
+	bad.Run.Settle = time.Nanosecond
+	bad.Run.Drain = time.Nanosecond
+	bad.Parallel = 4
+	res, err := RunChaosSweep(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("starved sweep reported no invariant failures through the parallel path")
+	}
+	bad.Parallel = 1
+	resSeq, err := RunChaosSweep(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resSeq.Failures) != len(res.Failures) {
+		t.Errorf("failure count differs across worker counts: %d vs %d",
+			len(resSeq.Failures), len(res.Failures))
+	}
+}
+
+// TestOverheadAndP2PSweepsParallelDeterminism covers the remaining
+// drivers: rows are identical for 1 and 4 workers.
+func TestOverheadAndP2PSweepsParallelDeterminism(t *testing.T) {
+	ocfg := DefaultOverheadConfig()
+	ocfg.Run.Warmup = 300 * time.Millisecond
+	ocfg.Run.Measure = time.Second
+	ocfg.Run.Drain = 2 * time.Second
+	ocfg.SwitchAt = 600 * time.Millisecond
+	ocfg.Parallel = 1
+	oseq, err := RunOverheadSweep(ocfg, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocfg.Parallel = 4
+	opar, err := RunOverheadSweep(ocfg, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oseq, opar) {
+		t.Errorf("overhead sweep diverged:\n%+v\nvs\n%+v", oseq, opar)
+	}
+
+	pcfg := DefaultP2PConfig()
+	pcfg.RunFor = 300 * time.Millisecond
+	pcfg.Offered = 50
+	pcfg.Parallel = 1
+	pseq, err := RunP2PSweep(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg.Parallel = 4
+	ppar, err := RunP2PSweep(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pseq, ppar) {
+		t.Errorf("p2p sweep diverged:\n%+v\nvs\n%+v", pseq, ppar)
+	}
+
+	hcfg := DefaultHysteresisConfig()
+	hcfg.Run.Warmup = 300 * time.Millisecond
+	hcfg.Run.Measure = 3 * time.Second
+	hcfg.Run.Drain = 2 * time.Second
+	hcfg.LoadPeriod = time.Second
+	hcfg.Parallel = 1
+	hseq, err := RunHysteresisComparison(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg.Parallel = 4
+	hpar, err := RunHysteresisComparison(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hseq, hpar) {
+		t.Errorf("hysteresis comparison diverged:\n%+v\nvs\n%+v", hseq, hpar)
+	}
+}
+
+// TestCollectorPrunesSendTimes covers the collector memory fix: entries
+// leave the map once the whole group has delivered the message, or on
+// the first delivery of a message outside the measurement window.
+func TestCollectorPrunesSendTimes(t *testing.T) {
+	rc := DefaultRunConfig().withDefaults() // Group=10, Warmup=2s, Measure=10s
+	c := newCollector(rc)
+
+	// In-window message: pruned after the full group delivered it.
+	id := proto.MakeMsgID(1, 1)
+	c.recordSend(id, 3*time.Second)
+	for i := 0; i < rc.Group; i++ {
+		if c.inFlight() != 1 {
+			t.Fatalf("in-flight = %d before delivery %d, want 1", c.inFlight(), i)
+		}
+		c.onDeliver(3*time.Second+time.Duration(i+1)*time.Millisecond, id)
+	}
+	if c.inFlight() != 0 {
+		t.Errorf("in-flight = %d after %d deliveries, want 0", c.inFlight(), rc.Group)
+	}
+	if len(c.samples) != rc.Group {
+		t.Errorf("samples = %d, want %d", len(c.samples), rc.Group)
+	}
+
+	// Warmup message: pruned on first delivery, no sample.
+	warm := proto.MakeMsgID(1, 2)
+	c.recordSend(warm, time.Second)
+	c.onDeliver(1100*time.Millisecond, warm)
+	if c.inFlight() != 0 {
+		t.Errorf("warmup entry retained: in-flight = %d", c.inFlight())
+	}
+	// Post-window message: likewise.
+	late := proto.MakeMsgID(1, 3)
+	c.recordSend(late, rc.Warmup+rc.Measure+time.Second)
+	c.onDeliver(rc.Warmup+rc.Measure+1100*time.Millisecond, late)
+	if c.inFlight() != 0 {
+		t.Errorf("post-window entry retained: in-flight = %d", c.inFlight())
+	}
+	if len(c.samples) != rc.Group {
+		t.Errorf("out-of-window deliveries sampled: %d", len(c.samples))
+	}
+
+	// Deliveries of unknown IDs stay a no-op after pruning.
+	c.onDeliver(4*time.Second, warm)
+	if len(c.samples) != rc.Group || c.inFlight() != 0 {
+		t.Error("delivery after pruning changed state")
+	}
+}
+
+// TestSwitchedRunLeavesNoInFlightEntries is the end-to-end flavor:
+// after a full run with drain, every measured message has been
+// delivered to the whole group, so the collector map must be empty
+// rather than holding every message ever sent.
+func TestSwitchedRunLeavesNoInFlightEntries(t *testing.T) {
+	rc := shortRun()
+	rc.ActiveSenders = 2
+	run, err := NewSwitchedRun(rc, switching.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.StartWorkload()
+	res := run.Finish()
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if n := run.Collector.inFlight(); n != 0 {
+		t.Errorf("collector retains %d entries after a drained run", n)
+	}
+}

@@ -342,3 +342,36 @@ func TestInFlightAccounting(t *testing.T) {
 		t.Error("queued frames not counted")
 	}
 }
+
+// TestDeterministicEventScheduleUnderLoss replays the same lossy-link
+// run several times in one process and requires the exact same event
+// count each time. Selective repeat used to retransmit by ranging over
+// its unacked map, injecting Go's randomized map iteration order into
+// the simulation's event schedule; the run-to-run event count is the
+// sensitive detector for that class of bug.
+func TestDeterministicEventScheduleUnderLoss(t *testing.T) {
+	eachProtocol(t, func(t *testing.T, name string, mk func() proto.Layer) {
+		run := func() (uint64, int) {
+			cfg := simnet.Config{Nodes: 2, PropDelay: 2 * time.Millisecond, DropProb: 0.25}
+			c := p2p(t, 42, cfg, mk)
+			for i := 0; i < 40; i++ {
+				if err := c.Members[0].Stack.Send(1, []byte(fmt.Sprintf("m%02d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.Run(2 * time.Second)
+			events := c.Sim.Executed()
+			delivered := len(c.Members[1].Delivered)
+			c.Stop()
+			return events, delivered
+		}
+		refEvents, refDelivered := run()
+		for i := 0; i < 4; i++ {
+			events, delivered := run()
+			if events != refEvents || delivered != refDelivered {
+				t.Fatalf("%s run %d diverged: events %d vs %d, delivered %d vs %d",
+					name, i+1, events, refEvents, delivered, refDelivered)
+			}
+		}
+	})
+}

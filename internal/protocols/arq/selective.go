@@ -151,8 +151,15 @@ func (l *SelectiveRepeat) armTimer(dst ids.ProcID, o *srOut) {
 		if l.stopped {
 			return
 		}
-		// Selective retransmission: only the frames still unacked.
-		for seq, payload := range o.unacked {
+		// Selective retransmission: only the frames still unacked,
+		// scanned in sequence order — ranging over the map directly
+		// would resend in Go's randomized iteration order and make the
+		// simulation's event schedule nondeterministic run-to-run.
+		for seq := o.base; seq < o.nextSeq; seq++ {
+			payload, still := o.unacked[seq]
+			if !still {
+				continue
+			}
 			l.stats.Retransmits++
 			l.transmit(dst, seq, payload)
 		}
