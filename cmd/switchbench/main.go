@@ -17,6 +17,12 @@
 // see internal/harness/benchjson.go): per-point latency statistics,
 // crossover, chaos pass/fail counts and recovery bounds, DES event
 // counts, and a wall-clock/throughput timing section.
+//
+// With -trace <dir>, experiments that drive the switching layer
+// additionally write TRACE_<experiment>.jsonl — the deterministic
+// structured event stream (see internal/obs). Convert a trace for
+// Perfetto/chrome://tracing with cmd/spviz, or validate it with
+// spviz -check.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/harness/engine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -53,10 +60,18 @@ func run(args []string) error {
 		hybrid      = fs.Bool("hybrid", true, "include the switching hybrid in figure2")
 		parallel    = fs.Int("parallel", 0, "worker count for sweep runs (<= 0: GOMAXPROCS); results are identical for any value")
 		jsonDir     = fs.String("json", "", "directory to write BENCH_<experiment>.json artifacts (empty: no artifacts)")
+		traceDir    = fs.String("trace", "", "directory to write TRACE_<experiment>.jsonl event streams (empty: no traces)")
 		quiet       = fs.Bool("quiet", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate output directories before running anything: experiments
+	// take minutes, and a typo'd path should fail in milliseconds.
+	for _, d := range []struct{ flag, dir string }{{"-json", *jsonDir}, {"-trace", *traceDir}} {
+		if err := ensureWritableDir(d.flag, d.dir); err != nil {
+			return err
+		}
 	}
 	rc := harness.DefaultRunConfig()
 	rc.Seed = *seed
@@ -82,9 +97,6 @@ func run(args []string) error {
 		if *jsonDir == "" {
 			return nil
 		}
-		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
-			return err
-		}
 		b, err := harness.EncodeBench(art)
 		if err != nil {
 			return err
@@ -96,6 +108,25 @@ func run(args []string) error {
 		progress("wrote " + path)
 		return nil
 	}
+	// writeTrace emits one TRACE_<name>.jsonl event stream under -trace.
+	// An experiment that recorded nothing still writes the (empty) file,
+	// so downstream tooling can rely on the set of outputs.
+	writeTrace := func(name string, events []obs.Event) error {
+		if *traceDir == "" {
+			return nil
+		}
+		b, err := obs.MarshalJSONL(events)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*traceDir, "TRACE_"+name+".jsonl")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		progress("wrote " + path)
+		return nil
+	}
+	tracing := *traceDir != ""
 
 	doFigure2 := func() error {
 		fmt.Println("=== E3/E4: Figure 2 ===")
@@ -104,6 +135,7 @@ func run(args []string) error {
 			MaxSenders:    *senders,
 			IncludeHybrid: *hybrid,
 			Parallel:      workers,
+			Trace:         tracing,
 			Progress:      progress,
 		}
 		start := time.Now()
@@ -112,6 +144,9 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(res.Render())
+		if err := writeTrace("figure2", res.Trace); err != nil {
+			return err
+		}
 		art := harness.NewBenchFigure2(res)
 		art.SetTiming(time.Since(start), workers)
 		return writeBench("figure2", art)
@@ -121,6 +156,7 @@ func run(args []string) error {
 		cfg := harness.DefaultOverheadConfig()
 		cfg.Run.Seed = *seed
 		cfg.Parallel = workers
+		cfg.Trace = tracing
 		start := time.Now()
 		res, err := harness.RunOverhead(cfg)
 		if err != nil {
@@ -133,6 +169,17 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(harness.RenderOverheadSweep(rows))
+		if tracing {
+			// Run 0 is the single §7 measurement; the sweep rows follow
+			// in their deterministic grid order.
+			traces := [][]obs.Event{res.Trace}
+			for _, r := range rows {
+				traces = append(traces, r.Trace)
+			}
+			if err := writeTrace("overhead", obs.MergeRuns(traces)); err != nil {
+				return err
+			}
+		}
 		art := harness.NewBenchOverhead(*seed, res, rows)
 		art.SetTiming(time.Since(start), workers)
 		return writeBench("overhead", art)
@@ -142,12 +189,22 @@ func run(args []string) error {
 		cfg := harness.DefaultHysteresisConfig()
 		cfg.Run.Seed = *seed
 		cfg.Parallel = workers
+		cfg.Trace = tracing
 		start := time.Now()
 		rows, err := harness.RunHysteresisComparison(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.RenderHysteresis(rows))
+		if tracing {
+			traces := make([][]obs.Event, len(rows))
+			for i, r := range rows {
+				traces[i] = r.Trace
+			}
+			if err := writeTrace("hysteresis", obs.MergeRuns(traces)); err != nil {
+				return err
+			}
+		}
 		art := harness.NewBenchHysteresis(*seed, rows)
 		art.SetTiming(time.Since(start), workers)
 		return writeBench("hysteresis", art)
@@ -160,6 +217,7 @@ func run(args []string) error {
 		cfg.Run.Settle = *chaosSettle
 		cfg.Run.Drain = *chaosDrain
 		cfg.Parallel = workers
+		cfg.Trace = tracing
 		cfg.Progress = progress
 		start := time.Now()
 		res, err := harness.RunChaosSweep(cfg)
@@ -167,6 +225,9 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(res.Render())
+		if err := writeTrace("chaos", res.Trace); err != nil {
+			return err
+		}
 		art := harness.NewBenchChaos(*seed, res)
 		art.SetTiming(time.Since(start), workers)
 		if err := writeBench("chaos", art); err != nil {
@@ -222,4 +283,23 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+}
+
+// ensureWritableDir creates the output directory if needed and proves
+// it is writable with a throwaway probe file. An empty dir means the
+// flag is unset and nothing is checked.
+func ensureWritableDir(flagName, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("%s %s: %w", flagName, dir, err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("%s %s: not writable: %w", flagName, dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // tiny returns flags for a fast (but real) run.
@@ -146,7 +147,7 @@ func TestJSONArtifactsWritten(t *testing.T) {
 		if got := m["schema"]; got != "switchbench/"+name {
 			t.Errorf("%s: schema = %v", path, got)
 		}
-		if got := m["version"]; got != float64(1) {
+		if got := m["version"]; got != float64(2) {
 			t.Errorf("%s: version = %v", path, got)
 		}
 		timing, ok := m["timing"].(map[string]any)
@@ -171,7 +172,7 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	runAt := func(workers string) (stdout []byte, dir string) {
 		dir = t.TempDir()
 		args := tiny("-experiment", "all", "-senders", "3",
-			"-schedules", "6", "-parallel", workers, "-json", dir)
+			"-schedules", "6", "-parallel", workers, "-json", dir, "-trace", dir)
 		stdout = captureStdout(t, func() error { return run(args) })
 		return stdout, dir
 	}
@@ -187,6 +188,27 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 		par := scrubArtifact(t, filepath.Join(parDir, file))
 		if !bytes.Equal(seq, par) {
 			t.Errorf("%s differs between -parallel 1 and 4:\n%s\nvs\n%s", file, seq, par)
+		}
+	}
+	// Traces have no timing section at all: the raw bytes must match.
+	for _, name := range []string{"figure2", "overhead", "hysteresis", "chaos"} {
+		file := "TRACE_" + name + ".jsonl"
+		seq, err := os.ReadFile(filepath.Join(seqDir, file))
+		if err != nil {
+			t.Errorf("missing trace: %v", err)
+			continue
+		}
+		par, err := os.ReadFile(filepath.Join(parDir, file))
+		if err != nil {
+			t.Errorf("missing trace: %v", err)
+			continue
+		}
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s differs between -parallel 1 and 4 (%d vs %d bytes)",
+				file, len(seq), len(par))
+		}
+		if len(seq) == 0 && name == "chaos" {
+			t.Errorf("%s is empty — chaos runs should always record events", file)
 		}
 	}
 }
@@ -213,10 +235,38 @@ func TestChaosFailureStillWritesArtifact(t *testing.T) {
 		if err == nil {
 			t.Error("invariant violations did not propagate as an error")
 		}
-		if _, ok := m["failures"]; !ok {
-			t.Error("artifact omits the failures list")
+		failures, ok := m["failures"].([]any)
+		if !ok || len(failures) == 0 {
+			t.Fatal("artifact omits the failures list")
+		}
+		// Every failure record must carry the flight recorder's tail of
+		// events leading up to the violation.
+		first, _ := failures[0].(map[string]any)
+		trace, _ := first["trace"].([]any)
+		if len(trace) == 0 {
+			t.Error("failure record has no flight-recorder trace")
 		}
 	} else if err != nil {
 		t.Errorf("no recorded failures but run returned %v", err)
+	}
+}
+
+// TestOutputDirValidatedUpFront: a -json or -trace path colliding with
+// an existing file must fail before any experiment runs.
+func TestOutputDirValidatedUpFront(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := run(tiny("-experiment", "figure2", "-senders", "1", "-json", file)); err == nil {
+		t.Error("-json pointing at a file accepted")
+	}
+	if err := run(tiny("-experiment", "figure2", "-senders", "1", "-trace", file)); err == nil {
+		t.Error("-trace pointing at a file accepted")
+	}
+	// Both must fail fast — before the (hundreds of ms) experiment runs.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("directory validation took %v — ran the experiment first?", elapsed)
 	}
 }

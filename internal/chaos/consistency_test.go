@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/core/switching"
+	"repro/internal/ids"
+	"repro/internal/obs"
+)
+
+// memberCounts tallies the switching-layer events one member emitted.
+type memberCounts struct {
+	passes, completed, buffered, stale uint64
+	wedges, regens, aborts, forced     uint64
+	suspects                           uint64
+}
+
+// TestStatsTraceConsistency replays seeded chaos schedules with a
+// collector attached and cross-checks three views of the same run:
+//
+//  1. each live member's own switching.Stats() against the event
+//     counts that member emitted into the trace,
+//  2. Result.Stats (derived from the metrics registry) against the
+//     manual sum of the live members' Stats(), and
+//  3. the causal ordering invariant: at every prefix of a member's
+//     event stream, token regenerations never outnumber the wedge
+//     timeouts and suspicions that justify them — every replacement
+//     token has a recorded cause.
+//
+// The seed range is chosen so the sweep provably exercises wedge
+// timeouts, regenerations, and aborted switch rounds; if generator
+// tuning ever makes those unreachable the test fails loudly rather
+// than passing vacuously.
+func TestStatsTraceConsistency(t *testing.T) {
+	var sawWedge, sawRegen, sawAbort bool
+	for seed := int64(1); seed <= 25; seed++ {
+		sched, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		col := obs.NewCollector()
+		res, c, err := run(sched, RunConfig{Recorder: col})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: invariants violated: %v", seed, res.Violations)
+		}
+
+		// Tally per-member switching events, checking the causal prefix
+		// invariant as the stream replays in emission order.
+		counts := make(map[ids.ProcID]*memberCounts)
+		at := func(p ids.ProcID) *memberCounts {
+			mc := counts[p]
+			if mc == nil {
+				mc = &memberCounts{}
+				counts[p] = mc
+			}
+			return mc
+		}
+		for _, e := range col.Events() {
+			mc := at(e.Proc)
+			switch e.Type {
+			case obs.EvTokenPass:
+				mc.passes++
+			case obs.EvEpochAdvance:
+				mc.completed++
+			case obs.EvBuffered:
+				mc.buffered++
+			case obs.EvStaleDrop:
+				mc.stale++
+			case obs.EvWedgeTimeout:
+				mc.wedges++
+			case obs.EvSuspect:
+				mc.suspects++
+			case obs.EvTokenRegen:
+				mc.regens++
+				if mc.regens > mc.wedges+mc.suspects {
+					t.Errorf("seed %d: member %v regenerated a token at t=%v with no preceding wedge timeout or suspicion",
+						seed, e.Proc, e.At)
+				}
+			case obs.EvSwitchAbort:
+				mc.aborts++
+			case obs.EvEpochForced:
+				mc.forced++
+			}
+		}
+
+		// View 1: every live member's own counters equal its trace.
+		var manual switching.Stats
+		for _, p := range res.Live {
+			st := c.Members[p].Switch.Stats()
+			manual.Add(st)
+			mc := at(p)
+			got := switching.Stats{
+				SwitchesCompleted: mc.completed,
+				Buffered:          mc.buffered,
+				StaleDropped:      mc.stale,
+				TokenPasses:       mc.passes,
+				WedgeTimeouts:     mc.wedges,
+				TokensRegenerated: mc.regens,
+				SwitchesAborted:   mc.aborts,
+				ForcedAdvances:    mc.forced,
+			}
+			if got != st {
+				t.Errorf("seed %d: member %v: trace-derived stats %+v != Switch.Stats() %+v",
+					seed, p, got, st)
+			}
+		}
+
+		// View 2: the metrics-derived aggregate equals the manual sum.
+		if res.Stats != manual {
+			t.Errorf("seed %d: Result.Stats %+v != summed member stats %+v",
+				seed, res.Stats, manual)
+		}
+
+		sawWedge = sawWedge || res.Stats.WedgeTimeouts > 0
+		sawRegen = sawRegen || res.Stats.TokensRegenerated > 0
+		sawAbort = sawAbort || res.Stats.SwitchesAborted > 0
+	}
+	if !sawWedge || !sawRegen || !sawAbort {
+		t.Errorf("sweep never exercised the recovery path (wedge=%v regen=%v abort=%v) — widen the seed range",
+			sawWedge, sawRegen, sawAbort)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core/switching"
 	"repro/internal/core/switching/swtest"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/protocols/fd"
 	"repro/internal/protocols/fifo"
@@ -30,6 +31,14 @@ type RunConfig struct {
 	// retransmission may need several of its resend intervals after a
 	// heavy drop burst).
 	Drain time.Duration
+	// Recorder, when set, additionally receives every protocol and
+	// network event of the run (the runner always keeps its own metrics
+	// registry and flight recorder regardless).
+	Recorder obs.Recorder
+	// FlightSize bounds the flight recorder's ring (default
+	// obs.DefaultFlightSize events). The tail is dumped into the result
+	// when an invariant fails.
+	FlightSize int
 }
 
 func (c *RunConfig) defaults() {
@@ -66,6 +75,14 @@ type Result struct {
 	// Violations lists every invariant breach; empty means the run
 	// passed.
 	Violations []string
+	// Metrics is the per-member registry built from the run's event
+	// stream; Stats above is derived from it for the live members.
+	Metrics *obs.Metrics
+	// FlightRecord is the tail of the event stream (oldest first) when
+	// the run failed an invariant; nil on a clean run. FlightDropped is
+	// how many earlier events the bounded ring discarded.
+	FlightRecord  []obs.Event
+	FlightDropped uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -89,7 +106,17 @@ func pair() []switching.ProtocolFactory {
 // Run replays one schedule and checks the invariants. The simulation is
 // seeded from the schedule, so the whole run is deterministic.
 func Run(sched Schedule, cfg RunConfig) (*Result, error) {
+	res, _, err := run(sched, cfg)
+	return res, err
+}
+
+// run is Run with the cluster exposed, so white-box tests can compare
+// the event-derived metrics against the protocol's own counters.
+func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error) {
 	cfg.defaults()
+	metrics := obs.NewMetrics()
+	flight := obs.NewFlightRecorder(cfg.FlightSize)
+	rec := obs.Multi(metrics.Recorder(), flight, cfg.Recorder)
 	ti := cfg.TokenInterval
 	swCfg := switching.Config{
 		Protocols:     pair(),
@@ -97,13 +124,15 @@ func Run(sched Schedule, cfg RunConfig) (*Result, error) {
 		Recovery: &switching.RecoveryConfig{
 			Detector: fd.Config{Interval: ti},
 		},
+		Recorder: rec,
 	}
 	c, err := swtest.NewSwitched(sched.Seed, simnet.Config{Nodes: sched.N, PropDelay: cfg.PropDelay}, sched.N, swCfg)
 	if err != nil {
-		return nil, fmt.Errorf("chaos: build cluster: %w", err)
+		return nil, nil, fmt.Errorf("chaos: build cluster: %w", err)
 	}
+	c.Net.SetRecorder(rec)
 
-	res := &Result{Seed: sched.Seed, Kinds: sched.Kinds()}
+	res := &Result{Seed: sched.Seed, Kinds: sched.Kinds(), Metrics: metrics}
 
 	// Faults.
 	for _, ev := range sched.Events {
@@ -120,7 +149,7 @@ func Run(sched Schedule, cfg RunConfig) (*Result, error) {
 			c.Sim.At(ev.At, func() { _ = c.Net.SetFaults(ev.Drop, ev.Dup, ev.Jitter) })
 			c.Sim.At(ev.Until, func() { _ = c.Net.SetFaults(0, 0, 0) })
 		default:
-			return nil, fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
+			return nil, nil, fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 		}
 	}
 
@@ -167,27 +196,42 @@ func Run(sched Schedule, cfg RunConfig) (*Result, error) {
 	for _, p := range res.Live {
 		b, err := c.AppBodies(p)
 		if err != nil {
-			return nil, fmt.Errorf("chaos: member %v trace: %w", p, err)
+			return nil, nil, fmt.Errorf("chaos: member %v trace: %w", p, err)
 		}
 		bodies[p] = b
 		res.Delivered += len(b)
-		st := c.Members[p].Switch.Stats()
-		res.Stats.TokenPasses += st.TokenPasses
-		res.Stats.SwitchesCompleted += st.SwitchesCompleted
-		res.Stats.Buffered += st.Buffered
-		res.Stats.StaleDropped += st.StaleDropped
-		res.Stats.WedgeTimeouts += st.WedgeTimeouts
-		res.Stats.TokensRegenerated += st.TokensRegenerated
-		res.Stats.SwitchesAborted += st.SwitchesAborted
-		res.Stats.ForcedAdvances += st.ForcedAdvances
 	}
+	res.Stats = statsFromMetrics(metrics, res.Live)
 	res.FinalEpoch = c.Members[res.Live[0]].Switch.Epoch()
 
 	res.Violations = append(res.Violations, checkConverged(c, res.Live)...)
 	res.Violations = append(res.Violations, checkLiveness(bodies, res.Live)...)
 	res.Violations = append(res.Violations, checkCommonOrder(bodies, res.Live)...)
 	res.Violations = append(res.Violations, checkEpochBoundary(bodies)...)
-	return res, nil
+	if res.Failed() {
+		res.FlightRecord = flight.Snapshot()
+		res.FlightDropped = flight.Dropped()
+	}
+	return res, c, nil
+}
+
+// statsFromMetrics rebuilds the aggregate switching.Stats of the live
+// members from the event-derived registry. Every Stats field has a 1:1
+// event emission, so this equals summing the members' own counters —
+// the consistency test asserts exactly that.
+func statsFromMetrics(m *obs.Metrics, live []ids.ProcID) switching.Stats {
+	var s switching.Stats
+	for _, p := range live {
+		s.TokenPasses += m.Counter(p, obs.KeyTokenPasses)
+		s.SwitchesCompleted += m.Counter(p, obs.KeySwitchesCompleted)
+		s.Buffered += m.Counter(p, obs.KeyBuffered)
+		s.StaleDropped += m.Counter(p, obs.KeyStaleDropped)
+		s.WedgeTimeouts += m.Counter(p, obs.KeyWedgeTimeouts)
+		s.TokensRegenerated += m.Counter(p, obs.KeyTokensRegenerated)
+		s.SwitchesAborted += m.Counter(p, obs.KeySwitchesAborted)
+		s.ForcedAdvances += m.Counter(p, obs.KeyForcedAdvances)
+	}
+	return s
 }
 
 // cast multicasts an epoch-tagged application message from p.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/protocols/fd"
 )
@@ -104,6 +105,10 @@ func newRecovery(s *Switch, cfg RecoveryConfig) (*recovery, error) {
 	dcfg := cfg.Detector
 	userSuspect := dcfg.OnSuspect
 	dcfg.OnSuspect = func(p ids.ProcID) {
+		// The suspicion is recorded before any regeneration it triggers,
+		// so every EvTokenRegen in a trace is preceded by the
+		// EvWedgeTimeout or EvSuspect that caused it.
+		s.obs.Record(obs.Suspect(s.env.Now(), s.env.Self(), p))
 		r.onSuspect(p)
 		if userSuspect != nil {
 			userSuspect(p)
@@ -170,6 +175,7 @@ func (r *recovery) admit(t Token) bool {
 		if s.initiating && t.Initiator != s.env.Self() {
 			s.initiating = false
 			s.stats.SwitchesAborted++
+			s.obs.Record(obs.SwitchAbort(s.env.Now(), s.env.Self(), s.deliverEpoch))
 		}
 	}
 	if t.Epoch > r.maxEpoch {
@@ -267,6 +273,7 @@ func (r *recovery) onWedge() {
 	if r.strikes < r.cfg.MaxBackoffShift {
 		r.strikes++
 	}
+	s.obs.Record(obs.WedgeTimeout(s.env.Now(), s.env.Self(), r.strikes))
 	r.regenerate()
 }
 
@@ -279,12 +286,14 @@ func (r *recovery) regenerate() {
 	r.gen++
 	r.origin = s.env.Self()
 	s.stats.TokensRegenerated++
+	s.obs.Record(obs.TokenRegen(s.env.Now(), s.env.Self(), s.deliverEpoch, r.gen))
 	if s.heldFlush != nil {
 		s.heldFlush = nil
 	}
 	if s.Switching() {
 		if s.initiating {
 			s.stats.SwitchesAborted++
+			s.obs.Record(obs.SwitchAbort(s.env.Now(), s.env.Self(), s.deliverEpoch))
 		}
 		r.retryRound(r.gen, s.env.Self())
 		r.arm()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/protocols/fifo"
 	"repro/internal/wire"
@@ -51,6 +52,13 @@ type Config struct {
 	// regeneration, and abort-and-retry of switch rounds disrupted by a
 	// crash. Nil preserves the paper's crash-free §2 protocol exactly.
 	Recovery *RecoveryConfig
+	// Recorder receives the structured observability events (token
+	// lifecycle, phase transitions, epoch advances, recovery actions).
+	// Every event is emitted at the exact site the matching Stats
+	// counter increments, so traces and counters stay mutually
+	// consistent. Nil means obs.Nop: the instrumented paths then cost a
+	// struct construction and a no-op interface call, nothing more.
+	Recorder obs.Recorder
 }
 
 // Validate checks the configuration without building anything. New
@@ -98,6 +106,19 @@ type Stats struct {
 	ForcedAdvances uint64
 }
 
+// Add accumulates another member's (or run's) counters into s — the
+// aggregation step of every sweep.
+func (s *Stats) Add(o Stats) {
+	s.SwitchesCompleted += o.SwitchesCompleted
+	s.Buffered += o.Buffered
+	s.StaleDropped += o.StaleDropped
+	s.TokenPasses += o.TokenPasses
+	s.WedgeTimeouts += o.WedgeTimeouts
+	s.TokensRegenerated += o.TokensRegenerated
+	s.SwitchesAborted += o.SwitchesAborted
+	s.ForcedAdvances += o.ForcedAdvances
+}
+
 // Switch is one member's instance of the switching protocol. The
 // application talks only to the Switch (the SP is transparent, §1); the
 // Switch talks to its sub-protocols over private multiplex channels.
@@ -142,6 +163,8 @@ type Switch struct {
 	stopped bool
 	stats   Stats
 	records []Record
+	// obs is Config.Recorder normalized to non-nil (obs.Nop default).
+	obs obs.Recorder
 
 	// rec is the crash-recovery state; nil unless Config.Recovery is
 	// set, in which case the §2 protocol runs unmodified.
@@ -177,6 +200,7 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 		sent:   make(map[uint64]uint64),
 		recv:   make(map[uint64][]uint64),
 		buffer: make(map[uint64][]bufEntry),
+		obs:    obs.OrNop(cfg.Recorder),
 	}
 	// Control channel: the token rides a private reliable channel.
 	ctl, err := proto.Build(env,
@@ -328,11 +352,13 @@ func (s *Switch) onData(src ids.ProcID, pkt []byte) {
 		// New-protocol traffic rides ahead of the switch: buffer it.
 		s.countRecv(epoch, src)
 		s.stats.Buffered++
+		s.obs.Record(obs.Buffered(s.env.Now(), s.env.Self(), src, epoch))
 		s.buffer[epoch] = append(s.buffer[epoch], bufEntry{src: src, payload: payload})
 	default:
 		// The vector guaranteed every old message arrived before we
 		// completed; anything else is a late duplicate.
 		s.stats.StaleDropped++
+		s.obs.Record(obs.StaleDrop(s.env.Now(), s.env.Self(), src, epoch))
 	}
 }
 
@@ -380,6 +406,7 @@ func (s *Switch) onToken(t Token) {
 				// switch round is still half-applied (the original
 				// round's token died): re-run the round from PREPARE.
 				s.stats.SwitchesAborted++
+				s.obs.Record(obs.SwitchAbort(s.env.Now(), self, s.deliverEpoch))
 				s.rec.retryRound(t.Gen, t.Origin)
 				return
 			}
@@ -390,6 +417,7 @@ func (s *Switch) onToken(t Token) {
 			s.wantSwitch = false
 			s.initiating = true
 			s.started = s.env.Now()
+			s.obs.Record(obs.SwitchStart(s.started, self, s.deliverEpoch, t.Gen))
 			prep := Token{
 				Mode:      ModePrepare,
 				Epoch:     s.deliverEpoch,
@@ -443,6 +471,7 @@ func (s *Switch) onToken(t Token) {
 				// (it was suspected). Redirect now; the vector is
 				// already fixed without its counts.
 				s.sendEpoch = t.Epoch + 1
+				s.obs.Record(obs.Phase(s.env.Now(), self, uint8(ModeSwitch), t.Epoch, t.Gen))
 			}
 		}
 		s.learnVector(t.Vector, t.Epoch)
@@ -464,6 +493,7 @@ func (s *Switch) onToken(t Token) {
 			}
 			s.records = append(s.records, rec)
 			s.initiating = false
+			s.obs.Record(obs.SwitchComplete(rec.Finished, self, t.Epoch, t.Gen, rec.Duration()))
 			if s.cfg.OnSwitchComplete != nil {
 				s.cfg.OnSwitchComplete(rec)
 			}
@@ -492,6 +522,7 @@ func (s *Switch) onToken(t Token) {
 func (s *Switch) applyPrepare(t *Token) {
 	if t.Epoch == s.deliverEpoch && !s.Switching() {
 		s.sendEpoch = t.Epoch + 1
+		s.obs.Record(obs.Phase(s.env.Now(), s.env.Self(), uint8(ModePrepare), t.Epoch, t.Gen))
 	}
 	if t.Epoch >= s.sendEpoch {
 		return // defensive: an epoch still open for sends; count not final
@@ -514,6 +545,7 @@ func (s *Switch) forceAdvance(target uint64) {
 		s.expected = nil
 		delete(s.recv, old)
 		s.stats.ForcedAdvances++
+		s.obs.Record(obs.EpochForced(s.env.Now(), s.env.Self(), s.deliverEpoch))
 		pend := s.buffer[s.deliverEpoch]
 		delete(s.buffer, s.deliverEpoch)
 		for _, b := range pend {
@@ -579,6 +611,7 @@ func (s *Switch) checkComplete() {
 		}
 	}
 	s.stats.SwitchesCompleted++
+	s.obs.Record(obs.EpochAdvance(s.env.Now(), s.env.Self(), s.deliverEpoch))
 	if s.rec != nil {
 		s.rec.noteEpoch(s.deliverEpoch)
 	}
@@ -607,6 +640,7 @@ func (s *Switch) forwardFlushWhenDone(t Token) {
 // holdThenPass keeps the token for the configured interval, then passes
 // it on (idle rotation pacing).
 func (s *Switch) holdThenPass(t Token) {
+	s.obs.Record(obs.TokenHold(s.env.Now(), s.env.Self(), uint8(t.Mode), t.Epoch, t.Gen))
 	s.timer = s.env.After(s.cfg.TokenInterval, func() {
 		if s.stopped {
 			return
@@ -635,6 +669,7 @@ func (s *Switch) passToken(t Token) {
 		}
 	}
 	s.stats.TokenPasses++
+	s.obs.Record(obs.TokenPass(s.env.Now(), s.env.Self(), succ, uint8(t.Mode), t.Epoch, t.Gen))
 	if succ == s.env.Self() {
 		s.timer = s.env.After(s.cfg.TokenInterval, func() {
 			if s.stopped {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core/switching/swtest"
 	"repro/internal/des"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/protocols/fifo"
 	"repro/internal/protocols/ptest"
@@ -54,6 +55,9 @@ type RunConfig struct {
 	// Warmup is discarded; Measure is the sampled window; Drain lets
 	// in-flight messages land after sending stops.
 	Warmup, Measure, Drain time.Duration
+	// Recorder, when set, receives the run's structured events: the
+	// switching layer's (hybrid runs only) and the simulated network's.
+	Recorder obs.Recorder
 }
 
 // DefaultRunConfig returns the §7 parameters.
@@ -248,6 +252,7 @@ func RunDirect(kind ProtocolKind, rc RunConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cluster.Net.SetRecorder(rc.Recorder)
 	body := make([]byte, rc.MsgBytes)
 	sent := 0
 	cast := func(p ids.ProcID, seq uint32) {
@@ -287,6 +292,9 @@ func NewSwitchedRun(rc RunConfig, swCfg switching.Config) (*SwitchedRun, error) 
 	if swCfg.Protocols == nil {
 		swCfg.Protocols = Factories(rc.TokenHold)
 	}
+	if swCfg.Recorder == nil {
+		swCfg.Recorder = rc.Recorder
+	}
 	col := newCollector(rc)
 	app := measuringApp(col)
 	cluster, err := swtest.NewSwitchedWithApp(rc.Seed, simnet.Ethernet10Mbit(rc.Group), rc.Group, swCfg,
@@ -294,6 +302,7 @@ func NewSwitchedRun(rc RunConfig, swCfg switching.Config) (*SwitchedRun, error) 
 	if err != nil {
 		return nil, err
 	}
+	cluster.Net.SetRecorder(rc.Recorder)
 	return &SwitchedRun{
 		Cluster:   cluster,
 		Collector: col,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core/switching"
+	"repro/internal/obs"
 )
 
 // This file defines the machine-readable BENCH_*.json artifacts that
@@ -25,7 +26,12 @@ import (
 
 // BenchSchemaVersion is the current artifact schema version; bump it on
 // any incompatible field change.
-const BenchSchemaVersion = 1
+//
+// Version 2: LatencyStats gained stddev_ms/min_ms and an optional
+// log-scaled histogram; overhead rows carry the run's delivery-latency
+// stats; the chaos artifact adds per-member metrics and flight-recorder
+// dumps on failures.
+const BenchSchemaVersion = 2
 
 // BenchTiming is the non-deterministic wall-clock section of an
 // artifact.
@@ -65,23 +71,33 @@ func (m *BenchMeta) ScrubTiming() { m.Timing = BenchTiming{} }
 
 // BenchStats is LatencyStats in milliseconds.
 type BenchStats struct {
-	Count  int     `json:"count"`
-	MeanMS float64 `json:"mean_ms"`
-	P50MS  float64 `json:"p50_ms"`
-	P95MS  float64 `json:"p95_ms"`
-	P99MS  float64 `json:"p99_ms"`
-	MaxMS  float64 `json:"max_ms"`
+	Count    int                `json:"count"`
+	MeanMS   float64            `json:"mean_ms"`
+	StdDevMS float64            `json:"stddev_ms"`
+	MinMS    float64            `json:"min_ms"`
+	P50MS    float64            `json:"p50_ms"`
+	P95MS    float64            `json:"p95_ms"`
+	P99MS    float64            `json:"p99_ms"`
+	MaxMS    float64            `json:"max_ms"`
+	Hist     *obs.HistogramJSON `json:"hist,omitempty"`
 }
 
 func toBenchStats(s LatencyStats) BenchStats {
-	return BenchStats{
-		Count:  s.Count,
-		MeanMS: Millis(s.Mean),
-		P50MS:  Millis(s.P50),
-		P95MS:  Millis(s.P95),
-		P99MS:  Millis(s.P99),
-		MaxMS:  Millis(s.Max),
+	out := BenchStats{
+		Count:    s.Count,
+		MeanMS:   Millis(s.Mean),
+		StdDevMS: Millis(s.StdDev),
+		MinMS:    Millis(s.Min),
+		P50MS:    Millis(s.P50),
+		P95MS:    Millis(s.P95),
+		P99MS:    Millis(s.P99),
+		MaxMS:    Millis(s.Max),
 	}
+	if s.Hist.Count() > 0 {
+		h := s.Hist.ToJSON()
+		out.Hist = &h
+	}
+	return out
 }
 
 // EncodeBench marshals one artifact as indented JSON with a trailing
@@ -157,12 +173,13 @@ type BenchOverhead struct {
 
 // BenchOverheadRow is one switch measurement.
 type BenchOverheadRow struct {
-	Senders     int     `json:"senders"`
-	From        string  `json:"from"`
-	SwitchMS    float64 `json:"switch_ms"`
-	HiccupMS    float64 `json:"hiccup_ms"`
-	SteadyGapMS float64 `json:"steady_gap_ms"`
-	Events      uint64  `json:"events"`
+	Senders     int        `json:"senders"`
+	From        string     `json:"from"`
+	SwitchMS    float64    `json:"switch_ms"`
+	HiccupMS    float64    `json:"hiccup_ms"`
+	SteadyGapMS float64    `json:"steady_gap_ms"`
+	Latency     BenchStats `json:"latency"`
+	Events      uint64     `json:"events"`
 }
 
 func toBenchOverheadRow(r OverheadResult) BenchOverheadRow {
@@ -172,6 +189,7 @@ func toBenchOverheadRow(r OverheadResult) BenchOverheadRow {
 		SwitchMS:    Millis(r.SwitchDuration),
 		HiccupMS:    Millis(r.Hiccup),
 		SteadyGapMS: Millis(r.SteadyGap),
+		Latency:     toBenchStats(r.Latency),
 		Events:      r.Events,
 	}
 }
@@ -239,6 +257,11 @@ type BenchChaos struct {
 	WorstRecoveryMS float64 `json:"worst_recovery_ms"`
 	RecoveryBoundMS float64 `json:"recovery_bound_ms"`
 
+	// Members is the merged per-member registry over every schedule run
+	// (sorted by proc; map keys sort inside encoding/json, so the
+	// section is byte-deterministic).
+	Members []obs.MemberMetrics `json:"members,omitempty"`
+
 	Failures []BenchChaosFailure `json:"failures,omitempty"`
 }
 
@@ -268,11 +291,16 @@ func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
 }
 
 // BenchChaosFailure is one schedule that violated invariants, with
-// enough detail to replay it (the seed regenerates the schedule).
+// enough detail to replay it (the seed regenerates the schedule) and
+// the flight recorder's tail of events leading up to the failure.
 type BenchChaosFailure struct {
 	Seed       int64    `json:"seed"`
 	Kinds      []string `json:"kinds"`
 	Violations []string `json:"violations"`
+	// Trace is the last events of the failing run (oldest first);
+	// TraceDropped counts earlier events the bounded ring discarded.
+	Trace        []obs.EventJSON `json:"trace,omitempty"`
+	TraceDropped uint64          `json:"trace_dropped,omitempty"`
 }
 
 // NewBenchChaos converts a chaos sweep into its artifact.
@@ -289,8 +317,16 @@ func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
 		WorstRecoveryMS: Millis(res.WorstRecovery),
 		RecoveryBoundMS: Millis(res.Bound),
 	}
+	if res.Metrics != nil {
+		out.Members = res.Metrics.Snapshot()
+	}
 	for _, f := range res.Failures {
-		bf := BenchChaosFailure{Seed: f.Seed, Violations: f.Violations}
+		bf := BenchChaosFailure{
+			Seed:         f.Seed,
+			Violations:   f.Violations,
+			Trace:        obs.EventsToJSON(f.FlightRecord),
+			TraceDropped: f.FlightDropped,
+		}
 		for _, k := range f.Kinds {
 			bf.Kinds = append(bf.Kinds, k.String())
 		}

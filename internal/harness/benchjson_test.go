@@ -58,8 +58,9 @@ func TestEncodeBenchShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := string(b)
-	for _, want := range []string{`"schema": "switchbench/figure2"`, `"version": 1`,
-		`"rows"`, `"hybrid"`, `"hybrid_threshold": 5.5`, `"timing"`, `"events": 42`} {
+	for _, want := range []string{`"schema": "switchbench/figure2"`, `"version": 2`,
+		`"rows"`, `"hybrid"`, `"hybrid_threshold": 5.5`, `"timing"`, `"events": 42`,
+		`"stddev_ms"`, `"min_ms"`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("encoded artifact missing %s:\n%s", want, out)
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core/switching"
 	"repro/internal/harness/engine"
+	"repro/internal/obs"
 )
 
 // ChaosSweepConfig parameterizes E13: a sweep of seeded fault schedules
@@ -30,6 +31,9 @@ type ChaosSweepConfig struct {
 	// Every schedule is an independent seeded simulation, so the
 	// aggregated result is identical for any value.
 	Parallel int
+	// Trace collects the full event stream of every schedule run,
+	// tagged by run index, into Result.Trace.
+	Trace bool
 	// Progress receives per-phase status lines (optional). It may be
 	// called concurrently from worker goroutines.
 	Progress func(string)
@@ -59,6 +63,11 @@ type ChaosSweepResult struct {
 	// Events is the total DES event count over all schedule runs
 	// (deterministic per base seed).
 	Events uint64
+	// Metrics merges the per-member registries of every schedule run.
+	Metrics *obs.Metrics
+	// Trace is the merged event stream (runs in index order) when
+	// ChaosSweepConfig.Trace was set.
+	Trace []obs.Event
 }
 
 // RunChaosSweep runs the sweep and the recovery-bound family.
@@ -82,33 +91,50 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		Schedules:  cfg.Schedules,
 		KindCounts: map[chaos.Kind]int{},
 		Bound:      10 * ti,
+		Metrics:    obs.NewMetrics(),
 	}
 
 	// Every schedule replay is one pool job, seeded from (Seed, index).
 	// Runs are collected by index and aggregated sequentially below, so
-	// KindCounts, Failures order, and every summed stat are identical
-	// for any worker count.
+	// KindCounts, Failures order, every summed stat, the merged metrics,
+	// and the merged trace are identical for any worker count.
+	type chaosRun struct {
+		res   *chaos.Result
+		trace []obs.Event
+	}
 	pool := engine.New(cfg.Parallel)
 	var done atomic.Int64
 	runs, err := engine.Map(pool, cfg.Schedules, cfg.Seed,
-		func(j engine.Job) (*chaos.Result, error) {
+		func(j engine.Job) (chaosRun, error) {
 			sched, err := chaos.Generate(j.Seed, cfg.Gen)
 			if err != nil {
-				return nil, err
+				return chaosRun{}, err
 			}
-			r, err := chaos.Run(sched, cfg.Run)
+			rc := cfg.Run
+			var col *obs.Collector
+			if cfg.Trace {
+				col = obs.NewCollector()
+				rc.Recorder = col
+			}
+			r, err := chaos.Run(sched, rc)
 			if err != nil {
-				return nil, fmt.Errorf("harness: chaos seed %d: %w", j.Seed, err)
+				return chaosRun{}, fmt.Errorf("harness: chaos seed %d: %w", j.Seed, err)
 			}
 			if n := done.Add(1); n%50 == 0 {
 				progress(fmt.Sprintf("chaos sweep %d/%d schedules", n, cfg.Schedules))
 			}
-			return r, nil
+			out := chaosRun{res: r}
+			if col != nil {
+				out.trace = col.Events()
+			}
+			return out, nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range runs {
+	var traces [][]obs.Event
+	for _, run := range runs {
+		r := run.res
 		for _, k := range r.Kinds {
 			res.KindCounts[k]++
 		}
@@ -117,14 +143,12 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		}
 		res.Delivered += r.Delivered
 		res.Events += r.Events
-		res.Stats.TokenPasses += r.Stats.TokenPasses
-		res.Stats.SwitchesCompleted += r.Stats.SwitchesCompleted
-		res.Stats.Buffered += r.Stats.Buffered
-		res.Stats.StaleDropped += r.Stats.StaleDropped
-		res.Stats.WedgeTimeouts += r.Stats.WedgeTimeouts
-		res.Stats.TokensRegenerated += r.Stats.TokensRegenerated
-		res.Stats.SwitchesAborted += r.Stats.SwitchesAborted
-		res.Stats.ForcedAdvances += r.Stats.ForcedAdvances
+		res.Stats.Add(r.Stats)
+		res.Metrics.Merge(r.Metrics)
+		traces = append(traces, run.trace)
+	}
+	if cfg.Trace {
+		res.Trace = obs.MergeRuns(traces)
 	}
 
 	recov, err := engine.Map(pool, cfg.RecoverySeeds, cfg.Seed,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core/switching"
 	"repro/internal/harness/engine"
+	"repro/internal/obs"
 )
 
 // Figure2Row is one x-axis point of the paper's Figure 2: message
@@ -40,6 +41,9 @@ type Figure2Result struct {
 	// Run is the resolved configuration the sweep ran with (rendered in
 	// the table header).
 	Run RunConfig
+	// Trace is the merged hybrid-phase event stream (runs tagged by
+	// point index) when Figure2Config.Trace was set.
+	Trace []obs.Event
 }
 
 // Figure2Config parameterizes the sweep.
@@ -50,6 +54,9 @@ type Figure2Config struct {
 	// Parallel is the worker count for the sweep's independent DES
 	// runs; <= 0 uses GOMAXPROCS. Results are identical for any value.
 	Parallel int
+	// Trace collects each hybrid point's event stream (the direct
+	// sequencer/token runs have no switching layer to observe).
+	Trace bool
 	// Progress, if set, is called before each point (for CLI feedback).
 	// It may be called concurrently from worker goroutines.
 	Progress func(msg string)
@@ -119,19 +126,41 @@ func RunFigure2(cfg Figure2Config) (*Figure2Result, error) {
 	// from the complete curves above.
 	if cfg.IncludeHybrid {
 		res.HybridThreshold = res.CrossoverGuess()
+		type hybridPoint struct {
+			res   Result
+			trace []obs.Event
+		}
 		hybs, err := engine.Map(pool, cfg.MaxSenders, cfg.Run.Seed,
-			func(j engine.Job) (Result, error) {
+			func(j engine.Job) (hybridPoint, error) {
 				rc := cfg.Run
 				rc.ActiveSenders = j.Index + 1
+				var col *obs.Collector
+				if cfg.Trace {
+					col = obs.NewCollector()
+					rc.Recorder = col
+				}
 				progress(fmt.Sprintf("senders=%d hybrid", rc.ActiveSenders))
-				return runHybridPoint(rc, res.HybridThreshold)
+				r, err := runHybridPoint(rc, res.HybridThreshold)
+				if err != nil {
+					return hybridPoint{}, err
+				}
+				p := hybridPoint{res: r}
+				if col != nil {
+					p.trace = col.Events()
+				}
+				return p, nil
 			})
 		if err != nil {
 			return nil, err
 		}
+		var traces [][]obs.Event
 		for i := range res.Rows {
-			res.Rows[i].Hybrid = hybs[i].Stats
-			res.Rows[i].Events += hybs[i].Events
+			res.Rows[i].Hybrid = hybs[i].res.Stats
+			res.Rows[i].Events += hybs[i].res.Events
+			traces = append(traces, hybs[i].trace)
+		}
+		if cfg.Trace {
+			res.Trace = obs.MergeRuns(traces)
 		}
 	}
 	return res, nil
@@ -176,16 +205,19 @@ func (r *Figure2Result) Render() string {
 	b.WriteString("Figure 2 — message latency (ms) vs. number of active senders\n")
 	fmt.Fprintf(&b, "group=%d, %g msgs/s per sender, %d-byte messages, 10 Mbit/s shared medium\n\n",
 		rc.Group, rc.RatePerSender, rc.MsgBytes)
-	fmt.Fprintf(&b, "%8s %12s %12s", "senders", "sequencer", "token")
+	fmt.Fprintf(&b, "%8s %14s %14s", "senders", "sequencer", "token")
 	if r.IncludedHybrid {
-		fmt.Fprintf(&b, " %12s", "hybrid")
+		fmt.Fprintf(&b, " %14s", "hybrid")
 	}
-	b.WriteString("\n")
+	b.WriteString("  (mean±σ)\n")
+	cell := func(s LatencyStats) string {
+		return fmt.Sprintf("%s±%s", FormatMillis(s.Mean), FormatMillis(s.StdDev))
+	}
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%8d %12s %12s", row.ActiveSenders,
-			FormatMillis(row.Sequencer.Mean), FormatMillis(row.Token.Mean))
+		fmt.Fprintf(&b, "%8d %14s %14s", row.ActiveSenders,
+			cell(row.Sequencer), cell(row.Token))
 		if r.IncludedHybrid {
-			fmt.Fprintf(&b, " %12s", FormatMillis(row.Hybrid.Mean))
+			fmt.Fprintf(&b, " %14s", cell(row.Hybrid))
 		}
 		b.WriteString("\n")
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core/switching"
 	"repro/internal/harness/engine"
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // HysteresisResult reproduces §7's oscillation observation: "if
@@ -26,6 +27,9 @@ type HysteresisResult struct {
 	MeanLatency time.Duration
 	// Events is the run's DES event count (deterministic per seed).
 	Events uint64
+	// Trace is the run's event stream when HysteresisConfig.Trace was
+	// set.
+	Trace []obs.Event `json:"-"`
 }
 
 // HysteresisConfig parameterizes the oscillation experiment.
@@ -46,6 +50,9 @@ type HysteresisConfig struct {
 	// both policies are independent runs and results are identical for
 	// any value.
 	Parallel int
+	// Trace collects each policy run's event stream (tagged by row
+	// index in the comparison).
+	Trace bool
 }
 
 // DefaultHysteresisConfig hovers the load around the crossover.
@@ -70,6 +77,11 @@ func DefaultHysteresisConfig() HysteresisConfig {
 // and latency.
 func RunHysteresis(cfg HysteresisConfig, oracle switching.Oracle, policy string) (*HysteresisResult, error) {
 	rc := cfg.Run.withDefaults()
+	var col *obs.Collector
+	if cfg.Trace {
+		col = obs.NewCollector()
+		rc.Recorder = col
+	}
 	run, err := NewSwitchedRun(rc, switching.Config{})
 	if err != nil {
 		return nil, err
@@ -109,13 +121,17 @@ func RunHysteresis(cfg HysteresisConfig, oracle switching.Oracle, policy string)
 		return nil, err
 	}
 	res := run.Finish()
-	return &HysteresisResult{
+	out := &HysteresisResult{
 		Policy:            policy,
 		SwitchRequests:    ctrl.SwitchRequests,
 		SwitchesCompleted: run.Cluster.Members[0].Switch.Stats().SwitchesCompleted,
 		MeanLatency:       res.Stats.Mean,
 		Events:            res.Events,
-	}, nil
+	}
+	if col != nil {
+		out.Trace = col.Events()
+	}
+	return out, nil
 }
 
 // RunHysteresisComparison runs the ramp under both policies. The two

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core/switching"
 	"repro/internal/harness/engine"
+	"repro/internal/obs"
 )
 
 // OverheadResult reproduces the §7 switching-overhead measurement: near
@@ -28,6 +29,11 @@ type OverheadResult struct {
 	From ProtocolKind
 	// Events is the run's DES event count (deterministic per seed).
 	Events uint64
+	// Latency summarizes the run's delivery latencies.
+	Latency LatencyStats
+	// Trace is the run's event stream when OverheadConfig.Trace was set
+	// (excluded from the sweep's comparable rows).
+	Trace []obs.Event `json:"-"`
 }
 
 // OverheadConfig parameterizes the experiment.
@@ -41,6 +47,8 @@ type OverheadConfig struct {
 	// Parallel is the sweep's worker count (<= 0 uses GOMAXPROCS);
 	// results are identical for any value.
 	Parallel int
+	// Trace collects the run's event stream into the result.
+	Trace bool
 }
 
 // DefaultOverheadConfig switches away from the token protocol (the
@@ -64,6 +72,11 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 		Protocols:        protos,
 		OnSwitchComplete: func(r switching.Record) { rec = &r },
 	}
+	var col *obs.Collector
+	if cfg.Trace {
+		col = obs.NewCollector()
+		rc.Recorder = col
+	}
 	run, err := NewSwitchedRun(rc, swCfg)
 	if err != nil {
 		return nil, err
@@ -80,14 +93,19 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 		return nil, fmt.Errorf("harness: the switch never completed")
 	}
 	steady, hiccup := analyzeGaps(deliveries, cfg.SwitchAt, rec)
-	return &OverheadResult{
+	out := &OverheadResult{
 		ActiveSenders:  rc.ActiveSenders,
 		SwitchDuration: rec.Duration(),
 		Hiccup:         hiccup,
 		SteadyGap:      steady,
 		From:           cfg.From,
 		Events:         res.Events,
-	}, nil
+		Latency:        res.Stats,
+	}
+	if col != nil {
+		out.Trace = col.Events()
+	}
+	return out, nil
 }
 
 // analyzeGaps returns the median steady-state delivery gap before the
@@ -129,6 +147,11 @@ func (r *OverheadResult) Render() string {
 	fmt.Fprintf(&b, "switch duration:       %s ms\n", FormatMillis(r.SwitchDuration))
 	fmt.Fprintf(&b, "steady delivery gap:   %s ms\n", FormatMillis(r.SteadyGap))
 	fmt.Fprintf(&b, "perceived hiccup:      %s ms (senders are never blocked)\n", FormatMillis(r.Hiccup))
+	if r.Latency.Count > 0 {
+		fmt.Fprintf(&b, "delivery latency:      %s±%s ms (min %s, p99 %s, n=%d)\n",
+			FormatMillis(r.Latency.Mean), FormatMillis(r.Latency.StdDev),
+			FormatMillis(r.Latency.Min), FormatMillis(r.Latency.P99), r.Latency.Count)
+	}
 	return b.String()
 }
 

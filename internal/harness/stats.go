@@ -10,14 +10,24 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// LatencyStats summarizes a sample of delivery latencies.
+// LatencyStats summarizes a sample of delivery latencies. It contains
+// no pointers (the histogram is a fixed-shape value), so results stay
+// comparable with == — the property the worker-count determinism tests
+// rely on.
 type LatencyStats struct {
 	Count         int
 	Mean          time.Duration
+	StdDev        time.Duration
+	Min           time.Duration
 	P50, P95, P99 time.Duration
 	Max           time.Duration
+	// Hist is the log-scaled distribution of the same sample, exported
+	// into the BENCH artifacts.
+	Hist obs.Histogram
 }
 
 // Summarize computes statistics over a latency sample. It returns the
@@ -46,13 +56,24 @@ func Summarize(samples []time.Duration) LatencyStats {
 		frac := idx - float64(lo)
 		return time.Duration(float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac)
 	}
+	mean := sum / float64(len(sorted))
+	var sq float64
+	var hist obs.Histogram
+	for _, s := range sorted {
+		d := float64(s) - mean
+		sq += d * d
+		hist.Observe(s)
+	}
 	return LatencyStats{
-		Count: len(sorted),
-		Mean:  time.Duration(sum / float64(len(sorted))),
-		P50:   pct(50),
-		P95:   pct(95),
-		P99:   pct(99),
-		Max:   sorted[len(sorted)-1],
+		Count:  len(sorted),
+		Mean:   time.Duration(mean),
+		StdDev: time.Duration(math.Sqrt(sq / float64(len(sorted)))),
+		Min:    sorted[0],
+		P50:    pct(50),
+		P95:    pct(95),
+		P99:    pct(99),
+		Max:    sorted[len(sorted)-1],
+		Hist:   hist,
 	}
 }
 

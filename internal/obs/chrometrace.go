@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// This file converts an event trace to the Chrome trace_event JSON
+// format (loadable in Perfetto / chrome://tracing). Each sweep run
+// becomes a process (pid = run), each member a thread (tid = proc),
+// and each switch round a pair of spans per member:
+//
+//   - "switch e<N>": from the initiator's switch_start to its
+//     switch_complete — the round's end-to-end duration;
+//   - "drain e<N>": from a member's phase redirection to its
+//     epoch_advance — how long that member spent draining the old
+//     protocol.
+//
+// Recovery and fault events (wedge timeouts, regenerations, aborts,
+// crashes, partitions, heals) render as instants, so a chaos run reads
+// as a timeline of faults and the repairs they triggered. Token passes
+// and per-packet events stay in the JSONL trace only — at one pass per
+// TokenInterval they would dominate the visualization.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// us renders a virtual time as trace_event microseconds.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// chromeTID maps a member to a thread id (NoProc events land on a
+// dedicated "net" thread).
+func chromeTID(p ids.ProcID) int {
+	if p == NoProc {
+		return 1000
+	}
+	return int(p)
+}
+
+// ChromeTrace renders a trace in Chrome trace_event JSON. Events must
+// be in recorded order (per run); the output is deterministic for a
+// deterministic input trace.
+func ChromeTrace(events []Event) ([]byte, error) {
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	type key struct {
+		run  int
+		proc ids.ProcID
+	}
+	named := map[key]bool{}
+	name := func(run int, proc ids.ProcID) {
+		k := key{run, proc}
+		if named[k] {
+			return
+		}
+		named[k] = true
+		label := fmt.Sprintf("member %d", proc)
+		if proc == NoProc {
+			label = "net"
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", PID: run, TID: chromeTID(proc),
+				Args: map[string]any{"name": fmt.Sprintf("run %d", run)}},
+			chromeEvent{Name: "thread_name", Ph: "M", PID: run, TID: chromeTID(proc),
+				Args: map[string]any{"name": label}})
+	}
+	span := func(e Event, nm string, from time.Duration, args map[string]any) chromeEvent {
+		return chromeEvent{Name: nm, Ph: "X", TS: us(from), Dur: us(e.At - from),
+			PID: e.Run, TID: chromeTID(e.Proc), Args: args}
+	}
+	instant := func(e Event, nm string, args map[string]any) chromeEvent {
+		return chromeEvent{Name: nm, Ph: "i", TS: us(e.At),
+			PID: e.Run, TID: chromeTID(e.Proc), S: "t", Args: args}
+	}
+
+	switchOpen := map[key]Event{} // initiator's switch_start
+	drainOpen := map[key]Event{}  // member's phase redirection
+	for _, e := range events {
+		k := key{e.Run, e.Proc}
+		switch e.Type {
+		case EvSwitchStart:
+			name(e.Run, e.Proc)
+			switchOpen[k] = e
+		case EvSwitchComplete:
+			name(e.Run, e.Proc)
+			from := e.At - time.Duration(e.Args[0])
+			if open, ok := switchOpen[k]; ok {
+				from = open.At
+				delete(switchOpen, k)
+			}
+			out.TraceEvents = append(out.TraceEvents, span(e, fmt.Sprintf("switch e%d", e.Epoch), from,
+				map[string]any{"epoch": e.Epoch, "gen": e.Gen}))
+		case EvPhase:
+			name(e.Run, e.Proc)
+			if _, ok := drainOpen[k]; !ok {
+				drainOpen[k] = e
+			}
+		case EvEpochAdvance:
+			name(e.Run, e.Proc)
+			if open, ok := drainOpen[k]; ok {
+				delete(drainOpen, k)
+				out.TraceEvents = append(out.TraceEvents, span(e, fmt.Sprintf("drain e%d", open.Epoch), open.At,
+					map[string]any{"epoch": open.Epoch}))
+			}
+		case EvEpochForced:
+			name(e.Run, e.Proc)
+			delete(drainOpen, k) // the round this member was draining is gone
+			out.TraceEvents = append(out.TraceEvents, instant(e, fmt.Sprintf("forced e%d", e.Epoch), nil))
+		case EvWedgeTimeout:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, "wedge timeout",
+				map[string]any{"strikes": e.Args[0]}))
+		case EvTokenRegen:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, fmt.Sprintf("regen g%d", e.Gen), nil))
+		case EvSwitchAbort:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, "switch abort", nil))
+		case EvSuspect:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, fmt.Sprintf("suspect %d", e.Peer), nil))
+		case EvCrash:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, "crash", nil))
+		case EvPartition:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, "partition",
+				map[string]any{"peers": e.Args[0]}))
+		case EvHeal:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, "heal", nil))
+		case EvFaultSet:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, "fault set",
+				map[string]any{"drop_permille": e.Args[0], "dup_permille": e.Args[1], "jitter_ns": e.Args[2]}))
+		}
+	}
+	return json.MarshalIndent(out, "", " ")
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// EventJSON is one trace line of the TRACE_*.jsonl format. Field order
+// is fixed (encoding/json emits struct fields in declaration order),
+// so for a fixed seed the file bytes are identical for any worker
+// count.
+type EventJSON struct {
+	AtNS  int64   `json:"at_ns"`
+	Run   int     `json:"run,omitempty"`
+	Type  string  `json:"type"`
+	Proc  int     `json:"proc"`
+	Peer  *int    `json:"peer,omitempty"`
+	Mode  string  `json:"mode,omitempty"`
+	Epoch uint64  `json:"epoch,omitempty"`
+	Gen   uint64  `json:"gen,omitempty"`
+	Args  []int64 `json:"args,omitempty"`
+}
+
+// ToJSON converts one event to its trace-line form.
+func (e Event) ToJSON() EventJSON {
+	j := EventJSON{
+		AtNS:  int64(e.At),
+		Run:   e.Run,
+		Type:  e.Type.String(),
+		Proc:  int(e.Proc),
+		Mode:  ModeName(e.Mode),
+		Epoch: e.Epoch,
+		Gen:   e.Gen,
+	}
+	if e.Peer != NoPeer {
+		p := int(e.Peer)
+		j.Peer = &p
+	}
+	// Trim trailing zero args so untouched slots stay off the wire.
+	last := -1
+	for i, a := range e.Args {
+		if a != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		j.Args = append([]int64(nil), e.Args[:last+1]...)
+	}
+	return j
+}
+
+// EventsToJSON converts a trace for embedding in an artifact.
+func EventsToJSON(events []Event) []EventJSON {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]EventJSON, len(events))
+	for i, e := range events {
+		out[i] = e.ToJSON()
+	}
+	return out
+}
+
+// fromJSON converts a trace line back to an Event.
+func fromJSON(j EventJSON) (Event, error) {
+	e := Event{
+		At:    time.Duration(j.AtNS),
+		Run:   j.Run,
+		Proc:  ids.ProcID(j.Proc),
+		Peer:  NoPeer,
+		Epoch: j.Epoch,
+		Gen:   j.Gen,
+	}
+	var known bool
+	for t := EventType(1); t < eventTypeCount; t++ {
+		if t.String() == j.Type {
+			e.Type = t
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Event{}, fmt.Errorf("unknown event type %q", j.Type)
+	}
+	mode, ok := modeByName(j.Mode)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown token mode %q", j.Mode)
+	}
+	e.Mode = mode
+	if j.Peer != nil {
+		e.Peer = ids.ProcID(*j.Peer)
+	}
+	if len(j.Args) > len(e.Args) {
+		return Event{}, fmt.Errorf("too many args (%d)", len(j.Args))
+	}
+	copy(e.Args[:], j.Args)
+	return e, nil
+}
+
+// MarshalJSONL renders a trace as JSON Lines — one compact object per
+// event, in recorded order.
+func MarshalJSONL(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, e := range events {
+		b, err := json.Marshal(e.ToJSON())
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadJSONL parses a JSONL trace back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := newLineScanner(r)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var j EventJSON
+		if err := json.Unmarshal(line, &j); err != nil {
+			return nil, fmt.Errorf("line %d: %w", sc.lineNo, err)
+		}
+		e, err := fromJSON(j)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", sc.lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateJSONL checks a JSONL trace: every line parses, every type
+// and mode is known, and the stream is canonical — runs nondecreasing
+// and, within a run, timestamps nondecreasing (the order a
+// deterministic sweep merge produces). It returns the event count.
+func ValidateJSONL(r io.Reader) (int, error) {
+	n := 0
+	lastRun := 0
+	lastAt := time.Duration(-1)
+	sc := newLineScanner(r)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var j EventJSON
+		if err := json.Unmarshal(line, &j); err != nil {
+			return n, fmt.Errorf("line %d: %w", sc.lineNo, err)
+		}
+		e, err := fromJSON(j)
+		if err != nil {
+			return n, fmt.Errorf("line %d: %w", sc.lineNo, err)
+		}
+		if e.At < 0 {
+			return n, fmt.Errorf("line %d: negative timestamp %d", sc.lineNo, j.AtNS)
+		}
+		if e.Run < lastRun {
+			return n, fmt.Errorf("line %d: run %d after run %d", sc.lineNo, e.Run, lastRun)
+		}
+		if e.Run > lastRun {
+			lastRun = e.Run
+			lastAt = -1
+		}
+		if e.At < lastAt {
+			return n, fmt.Errorf("line %d: time went backwards within run %d (%v after %v)",
+				sc.lineNo, e.Run, e.At, lastAt)
+		}
+		lastAt = e.At
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// lineScanner is a bufio.Scanner with line accounting and a buffer
+// large enough for any trace line.
+type lineScanner struct {
+	*bufio.Scanner
+	lineNo int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &lineScanner{Scanner: sc}
+}
+
+func (s *lineScanner) Scan() bool {
+	ok := s.Scanner.Scan()
+	if ok {
+		s.lineNo++
+	}
+	return ok
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Counter keys are "<layer>/<name>". The switching-layer keys mirror
+// switching.Stats field names, so event-derived counters and the
+// protocol's own counters can be compared one-to-one.
+const (
+	KeyTokenPasses       = "switching/token_passes"
+	KeySwitchesCompleted = "switching/switches_completed"
+	KeyBuffered          = "switching/buffered"
+	KeyStaleDropped      = "switching/stale_dropped"
+	KeyWedgeTimeouts     = "switching/wedge_timeouts"
+	KeyTokensRegenerated = "switching/tokens_regenerated"
+	KeySwitchesAborted   = "switching/switches_aborted"
+	KeyForcedAdvances    = "switching/forced_advances"
+	KeySwitchesStarted   = "switching/switches_started"
+	KeySwitchRounds      = "switching/switch_rounds"
+	KeySuspects          = "switching/suspects"
+
+	KeyNetCrashes    = "net/crashes"
+	KeyNetPartitions = "net/partitions"
+	KeyNetHeals      = "net/heals"
+	KeyNetFaultSets  = "net/fault_sets"
+	KeyNetDrops      = "net/drops"
+	KeyNetDelays     = "net/delays"
+
+	// KeySwitchDuration is the per-member histogram of initiated switch
+	// round durations (EvSwitchComplete).
+	KeySwitchDuration = "switching/switch_duration"
+)
+
+// counterKey maps event types to the counter they increment; types not
+// listed (token holds, phases) are trace-only.
+var counterKey = [eventTypeCount]string{
+	EvTokenPass:      KeyTokenPasses,
+	EvTokenRegen:     KeyTokensRegenerated,
+	EvSwitchStart:    KeySwitchesStarted,
+	EvSwitchComplete: KeySwitchRounds,
+	EvSwitchAbort:    KeySwitchesAborted,
+	EvEpochAdvance:   KeySwitchesCompleted,
+	EvEpochForced:    KeyForcedAdvances,
+	EvBuffered:       KeyBuffered,
+	EvStaleDrop:      KeyStaleDropped,
+	EvWedgeTimeout:   KeyWedgeTimeouts,
+	EvSuspect:        KeySuspects,
+	EvCrash:          KeyNetCrashes,
+	EvPartition:      KeyNetPartitions,
+	EvHeal:           KeyNetHeals,
+	EvFaultSet:       KeyNetFaultSets,
+	EvDrop:           KeyNetDrops,
+	EvDelay:          KeyNetDelays,
+}
+
+// CounterKey returns the counter an event type increments ("" for
+// trace-only types).
+func CounterKey(t EventType) string {
+	if int(t) < len(counterKey) {
+		return counterKey[t]
+	}
+	return ""
+}
+
+// HistogramBuckets is the fixed bucket count of the deterministic
+// log-scaled latency histogram: bucket 0 holds sub-microsecond
+// observations, bucket i >= 1 holds [2^(i-1), 2^i) microseconds, and
+// the last bucket absorbs everything above ~2^38 µs (~76 hours —
+// beyond any simulated horizon).
+const HistogramBuckets = 40
+
+// Histogram is a fixed-shape log-scaled latency histogram. It contains
+// no pointers, so histograms (and the stats structs embedding them)
+// remain comparable with == and mergeable by plain addition — which is
+// what keeps sweep aggregation independent of worker count.
+type Histogram struct {
+	counts [HistogramBuckets]uint64
+	n      uint64
+	sum    time.Duration
+}
+
+// Observe adds one duration (negative values clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len64(uint64(d / time.Microsecond))
+	if b >= HistogramBuckets {
+		b = HistogramBuckets - 1
+	}
+	h.counts[b]++
+	h.n++
+	h.sum += d
+}
+
+// Merge adds another histogram's observations into h.
+func (h *Histogram) Merge(o Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Counts returns the bucket counts with trailing empty buckets
+// trimmed.
+func (h *Histogram) Counts() []uint64 {
+	last := -1
+	for i, c := range h.counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	out := make([]uint64, last+1)
+	copy(out, h.counts[:last+1])
+	return out
+}
+
+// BucketLow returns the inclusive lower bound of bucket i.
+func BucketLow(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	return time.Duration(1<<uint(i-1)) * time.Microsecond
+}
+
+// Metrics is the per-member, per-layer registry: counters and latency
+// histograms keyed by "<layer>/<name>". It is a plain accumulator —
+// callers feed it either directly or through the event adapter
+// returned by Recorder.
+type Metrics struct {
+	members map[ids.ProcID]*memberMetrics
+}
+
+type memberMetrics struct {
+	counters map[string]uint64
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{members: make(map[ids.ProcID]*memberMetrics)}
+}
+
+func (m *Metrics) member(p ids.ProcID) *memberMetrics {
+	mm := m.members[p]
+	if mm == nil {
+		mm = &memberMetrics{counters: make(map[string]uint64), hists: make(map[string]*Histogram)}
+		m.members[p] = mm
+	}
+	return mm
+}
+
+// Add increments member p's counter key by delta.
+func (m *Metrics) Add(p ids.ProcID, key string, delta uint64) {
+	m.member(p).counters[key] += delta
+}
+
+// Observe adds one duration to member p's histogram key.
+func (m *Metrics) Observe(p ids.ProcID, key string, d time.Duration) {
+	mm := m.member(p)
+	h := mm.hists[key]
+	if h == nil {
+		h = &Histogram{}
+		mm.hists[key] = h
+	}
+	h.Observe(d)
+}
+
+// Counter returns member p's counter value (zero when absent).
+func (m *Metrics) Counter(p ids.ProcID, key string) uint64 {
+	if mm := m.members[p]; mm != nil {
+		return mm.counters[key]
+	}
+	return 0
+}
+
+// Hist returns member p's histogram (nil when absent).
+func (m *Metrics) Hist(p ids.ProcID, key string) *Histogram {
+	if mm := m.members[p]; mm != nil {
+		return mm.hists[key]
+	}
+	return nil
+}
+
+// Procs returns the members present in the registry, sorted by ProcID.
+func (m *Metrics) Procs() []ids.ProcID {
+	out := make([]ids.ProcID, 0, len(m.members))
+	for p := range m.members {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge folds another registry into m (sweep aggregation).
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil {
+		return
+	}
+	for p, om := range o.members {
+		mm := m.member(p)
+		for k, v := range om.counters {
+			mm.counters[k] += v
+		}
+		for k, h := range om.hists {
+			dst := mm.hists[k]
+			if dst == nil {
+				dst = &Histogram{}
+				mm.hists[k] = dst
+			}
+			dst.Merge(*h)
+		}
+	}
+}
+
+// Recorder returns the event adapter that feeds the registry: every
+// event increments its member's mapped counter, and switch completions
+// additionally observe the round duration histogram.
+func (m *Metrics) Recorder() Recorder { return metricsRecorder{m} }
+
+type metricsRecorder struct{ m *Metrics }
+
+func (r metricsRecorder) Record(e Event) {
+	if key := CounterKey(e.Type); key != "" {
+		r.m.Add(e.Proc, key, 1)
+	}
+	if e.Type == EvSwitchComplete {
+		r.m.Observe(e.Proc, KeySwitchDuration, time.Duration(e.Args[0]))
+	}
+}
+
+func (r metricsRecorder) Enabled() bool { return true }
+
+// HistogramJSON is a histogram's artifact form: total count, total
+// duration in microseconds, and the trimmed bucket counts (bucket i
+// covers [2^(i-1), 2^i) µs; bucket 0 is sub-microsecond).
+type HistogramJSON struct {
+	Count  uint64   `json:"count"`
+	SumUS  int64    `json:"sum_us"`
+	Counts []uint64 `json:"counts,omitempty"`
+}
+
+// ToJSON converts the histogram for an artifact.
+func (h *Histogram) ToJSON() HistogramJSON {
+	return HistogramJSON{Count: h.n, SumUS: int64(h.sum / time.Microsecond), Counts: h.Counts()}
+}
+
+// MemberMetrics is one member's registry snapshot in artifact form.
+type MemberMetrics struct {
+	Proc       int                      `json:"proc"`
+	Counters   map[string]uint64        `json:"counters,omitempty"`
+	Histograms map[string]HistogramJSON `json:"histograms,omitempty"`
+}
+
+// Snapshot renders the registry sorted by ProcID — canonical artifact
+// order (encoding/json additionally sorts the map keys, so snapshot
+// bytes are deterministic).
+func (m *Metrics) Snapshot() []MemberMetrics {
+	out := make([]MemberMetrics, 0, len(m.members))
+	for _, p := range m.Procs() {
+		mm := m.members[p]
+		s := MemberMetrics{Proc: int(p)}
+		if len(mm.counters) > 0 {
+			s.Counters = make(map[string]uint64, len(mm.counters))
+			for k, v := range mm.counters {
+				s.Counters[k] = v
+			}
+		}
+		if len(mm.hists) > 0 {
+			s.Histograms = make(map[string]HistogramJSON, len(mm.hists))
+			for k, h := range mm.hists {
+				s.Histograms[k] = h.ToJSON()
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{time.Millisecond, 10},       // 1000 µs -> bits.Len64 = 10
+		{31 * time.Millisecond, 15},  // 31000 µs
+		{-time.Second, 0},            // clamps to zero
+		{time.Duration(1) << 62, 39}, // saturates in the last bucket
+	}
+	for _, c := range cases {
+		before := h.counts[c.bucket]
+		h.Observe(c.d)
+		if h.counts[c.bucket] != before+1 {
+			t.Errorf("Observe(%v) did not land in bucket %d", c.d, c.bucket)
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(cases))
+	}
+	if got := BucketLow(1); got != time.Microsecond {
+		t.Errorf("BucketLow(1) = %v", got)
+	}
+	if got := BucketLow(11); got != 1024*time.Microsecond {
+		t.Errorf("BucketLow(11) = %v", got)
+	}
+}
+
+func TestHistogramMergeAndTrim(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	b.Observe(3 * time.Microsecond)
+	b.Observe(time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 3 || a.Sum() != time.Microsecond+3*time.Microsecond+time.Millisecond {
+		t.Fatalf("merge wrong: n=%d sum=%v", a.Count(), a.Sum())
+	}
+	counts := a.Counts()
+	if len(counts) != 11 { // last populated bucket is 10 (1ms)
+		t.Fatalf("trimmed counts len = %d, want 11", len(counts))
+	}
+	var empty Histogram
+	if len(empty.Counts()) != 0 {
+		t.Error("empty histogram should trim to no buckets")
+	}
+}
+
+func TestMetricsRecorderMapsEvents(t *testing.T) {
+	m := NewMetrics()
+	r := m.Recorder()
+	if !r.Enabled() {
+		t.Fatal("metrics recorder disabled")
+	}
+	r.Record(TokenPass(0, 1, 2, 1, 0, 0))
+	r.Record(TokenPass(1, 1, 2, 1, 0, 0))
+	r.Record(WedgeTimeout(2, 1, 1))
+	r.Record(TokenRegen(3, 1, 0, 1))
+	r.Record(SwitchComplete(4, 1, 1, 1, 31*time.Millisecond))
+	r.Record(TokenHold(5, 1, 1, 0, 0)) // trace-only: no counter
+	r.Record(Crash(6, 2))
+
+	if got := m.Counter(1, KeyTokenPasses); got != 2 {
+		t.Errorf("token passes = %d", got)
+	}
+	if got := m.Counter(1, KeyWedgeTimeouts); got != 1 {
+		t.Errorf("wedge timeouts = %d", got)
+	}
+	if got := m.Counter(1, KeyTokensRegenerated); got != 1 {
+		t.Errorf("regens = %d", got)
+	}
+	if got := m.Counter(2, KeyNetCrashes); got != 1 {
+		t.Errorf("crashes = %d", got)
+	}
+	h := m.Hist(1, KeySwitchDuration)
+	if h == nil || h.Count() != 1 || h.Sum() != 31*time.Millisecond {
+		t.Errorf("switch duration histogram wrong: %+v", h)
+	}
+	if CounterKey(EvTokenHold) != "" || CounterKey(EvPhase) != "" {
+		t.Error("trace-only events must not map to counters")
+	}
+}
+
+func TestMetricsMergeAndSnapshotOrder(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Add(3, KeyTokenPasses, 2)
+	a.Observe(3, KeySwitchDuration, time.Millisecond)
+	b.Add(0, KeyTokenPasses, 1)
+	b.Add(3, KeyTokenPasses, 5)
+	b.Observe(3, KeySwitchDuration, 2*time.Millisecond)
+	a.Merge(b)
+	a.Merge(nil)
+	if got := a.Counter(3, KeyTokenPasses); got != 7 {
+		t.Errorf("merged counter = %d, want 7", got)
+	}
+	if h := a.Hist(3, KeySwitchDuration); h.Count() != 2 {
+		t.Errorf("merged histogram count = %d, want 2", h.Count())
+	}
+	snap := a.Snapshot()
+	if len(snap) != 2 || snap[0].Proc != 0 || snap[1].Proc != 3 {
+		t.Fatalf("snapshot not sorted by proc: %+v", snap)
+	}
+	if snap[1].Histograms[KeySwitchDuration].Count != 2 {
+		t.Error("snapshot lost histogram")
+	}
+}

@@ -1,0 +1,406 @@
+// Package obs is the deterministic observability layer: typed
+// structured events emitted by the switching core, its recovery
+// extensions, and the simulated network, plus the recorders that
+// consume them (trace collectors, a bounded flight recorder, and a
+// per-member metrics registry).
+//
+// Everything in this package is driven by the discrete-event
+// simulator's virtual clock, so for a fixed seed the event stream is a
+// pure function of the configuration: recording an execution twice —
+// or running a sweep on any number of workers — produces byte-identical
+// traces. Recorders must therefore never consult wall-clock time or
+// any other non-deterministic source.
+//
+// The default recorder is Nop, which is allocation-free: Event is a
+// plain value struct with no pointer fields, so constructing one and
+// passing it to Nop.Record costs a few register moves and no heap
+// traffic. Instrumented hot paths additionally guard per-packet events
+// behind Enabled().
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// NoProc marks an event that is not attributed to a single member
+// (network-wide faults such as a heal).
+const NoProc ids.ProcID = -1
+
+// NoPeer marks an event without a peer member.
+const NoPeer ids.ProcID = -1
+
+// EventType enumerates the structured event vocabulary.
+type EventType uint8
+
+const (
+	// EvTokenPass: Proc forwarded the token to Peer (Mode, Epoch, Gen
+	// from the token; Peer == Proc for a singleton self-loop).
+	EvTokenPass EventType = iota + 1
+	// EvTokenHold: Proc started holding a token for the idle interval.
+	EvTokenHold
+	// EvTokenRegen: Proc regenerated a presumed-lost token; Gen is the
+	// new generation, Epoch the member's delivery epoch at that moment.
+	EvTokenRegen
+	// EvPhase: Proc entered a switch phase — it redirected its sends to
+	// Epoch+1 on seeing the round's token (Mode PREPARE on the normal
+	// path, SWITCH on a recovery late-join).
+	EvPhase
+	// EvSwitchStart: Proc became the initiator of a switch closing
+	// Epoch.
+	EvSwitchStart
+	// EvSwitchComplete: the FLUSH token returned to the initiator Proc;
+	// Args[0] is the round's end-to-end duration in nanoseconds.
+	EvSwitchComplete
+	// EvSwitchAbort: Proc abandoned or re-ran a switch round (token
+	// lost, or the round was superseded by a newer lineage).
+	EvSwitchAbort
+	// EvEpochAdvance: Proc completed a switch locally and moved to
+	// delivery Epoch.
+	EvEpochAdvance
+	// EvEpochForced: Proc adopted delivery Epoch from a token after
+	// missing the switch round itself (rejoin fast-forward).
+	EvEpochForced
+	// EvBuffered: Proc buffered a future-epoch message from Peer.
+	EvBuffered
+	// EvStaleDrop: Proc dropped a message from Peer for an
+	// already-closed Epoch.
+	EvStaleDrop
+	// EvWedgeTimeout: Proc's wedge detector expired (token presumed
+	// lost); Args[0] is the consecutive-strike count.
+	EvWedgeTimeout
+	// EvSuspect: Proc's failure detector suspected Peer.
+	EvSuspect
+	// EvCrash: the network crash-stopped Proc.
+	EvCrash
+	// EvPartition: the network cut Proc off from Args[0] peers.
+	EvPartition
+	// EvHeal: the network removed every partition (Proc == NoProc).
+	EvHeal
+	// EvFaultSet: the per-receiver fault knobs changed; Args are
+	// [drop per-mille, dup per-mille, jitter ns] (Proc == NoProc).
+	EvFaultSet
+	// EvDrop: the network dropped a packet to Proc from Peer; Args[0]
+	// is 0 for a block/crash drop, 1 for random loss.
+	EvDrop
+	// EvDelay: the network jittered a packet to Proc from Peer by
+	// Args[0] nanoseconds.
+	EvDelay
+
+	eventTypeCount
+)
+
+// eventNames are the stable wire names used by the JSONL exporter.
+var eventNames = [eventTypeCount]string{
+	EvTokenPass:      "token_pass",
+	EvTokenHold:      "token_hold",
+	EvTokenRegen:     "token_regen",
+	EvPhase:          "phase",
+	EvSwitchStart:    "switch_start",
+	EvSwitchComplete: "switch_complete",
+	EvSwitchAbort:    "switch_abort",
+	EvEpochAdvance:   "epoch_advance",
+	EvEpochForced:    "epoch_forced",
+	EvBuffered:       "buffered",
+	EvStaleDrop:      "stale_drop",
+	EvWedgeTimeout:   "wedge_timeout",
+	EvSuspect:        "suspect",
+	EvCrash:          "crash",
+	EvPartition:      "partition",
+	EvHeal:           "heal",
+	EvFaultSet:       "fault_set",
+	EvDrop:           "drop",
+	EvDelay:          "delay",
+}
+
+// String renders the type's stable wire name.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) && eventNames[t] != "" {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// ModeName renders a token mode byte (mirrors switching.Mode without
+// importing it — switching imports obs). Zero means "no mode".
+func ModeName(m uint8) string {
+	switch m {
+	case 1:
+		return "NORMAL"
+	case 2:
+		return "PREPARE"
+	case 3:
+		return "SWITCH"
+	case 4:
+		return "FLUSH"
+	default:
+		return ""
+	}
+}
+
+// modeByName is the inverse of ModeName (JSONL decoding).
+func modeByName(s string) (uint8, bool) {
+	switch s {
+	case "":
+		return 0, true
+	case "NORMAL":
+		return 1, true
+	case "PREPARE":
+		return 2, true
+	case "SWITCH":
+		return 3, true
+	case "FLUSH":
+		return 4, true
+	}
+	return 0, false
+}
+
+// Event is one structured observation. It is a pure value: no pointer
+// fields, so events can be recorded, copied, and ring-buffered without
+// allocating, and two traces compare with ==.
+type Event struct {
+	// At is the virtual time of the observation.
+	At time.Duration
+	// Run tags the sweep run the event belongs to; it is zero at
+	// recording time and set when per-run traces are merged.
+	Run int
+	// Type selects the vocabulary entry; the remaining fields'
+	// per-type meaning is documented on the Ev* constants.
+	Type EventType
+	// Mode is the token mode (1..4 as switching.Mode; 0 when absent).
+	Mode uint8
+	// Proc is the member the event happened at (NoProc for
+	// network-wide events).
+	Proc ids.ProcID
+	// Peer is the other member involved (NoPeer when absent).
+	Peer ids.ProcID
+	// Epoch and Gen carry the protocol epoch and token generation
+	// where meaningful.
+	Epoch, Gen uint64
+	// Args holds type-specific numeric payload (durations in ns,
+	// counts); unused slots are zero.
+	Args [3]int64
+}
+
+// Constructors — one per event type, so call sites cannot mix up the
+// overloaded fields.
+
+// TokenPass records a token forwarded from proc to peer.
+func TokenPass(at time.Duration, proc, peer ids.ProcID, mode uint8, epoch, gen uint64) Event {
+	return Event{At: at, Type: EvTokenPass, Proc: proc, Peer: peer, Mode: mode, Epoch: epoch, Gen: gen}
+}
+
+// TokenHold records the start of an idle token hold at proc.
+func TokenHold(at time.Duration, proc ids.ProcID, mode uint8, epoch, gen uint64) Event {
+	return Event{At: at, Type: EvTokenHold, Proc: proc, Peer: NoPeer, Mode: mode, Epoch: epoch, Gen: gen}
+}
+
+// TokenRegen records a token regeneration at proc.
+func TokenRegen(at time.Duration, proc ids.ProcID, epoch, gen uint64) Event {
+	return Event{At: at, Type: EvTokenRegen, Proc: proc, Peer: NoPeer, Epoch: epoch, Gen: gen}
+}
+
+// Phase records proc entering a switch phase (send redirection).
+func Phase(at time.Duration, proc ids.ProcID, mode uint8, epoch, gen uint64) Event {
+	return Event{At: at, Type: EvPhase, Proc: proc, Peer: NoPeer, Mode: mode, Epoch: epoch, Gen: gen}
+}
+
+// SwitchStart records proc becoming the initiator of a switch.
+func SwitchStart(at time.Duration, proc ids.ProcID, epoch, gen uint64) Event {
+	return Event{At: at, Type: EvSwitchStart, Proc: proc, Peer: NoPeer, Epoch: epoch, Gen: gen}
+}
+
+// SwitchComplete records the FLUSH token returning to initiator proc.
+func SwitchComplete(at time.Duration, proc ids.ProcID, epoch, gen uint64, took time.Duration) Event {
+	return Event{At: at, Type: EvSwitchComplete, Proc: proc, Peer: NoPeer, Epoch: epoch, Gen: gen,
+		Args: [3]int64{int64(took)}}
+}
+
+// SwitchAbort records proc abandoning or re-running a switch round.
+func SwitchAbort(at time.Duration, proc ids.ProcID, epoch uint64) Event {
+	return Event{At: at, Type: EvSwitchAbort, Proc: proc, Peer: NoPeer, Epoch: epoch}
+}
+
+// EpochAdvance records proc completing a switch into delivery epoch.
+func EpochAdvance(at time.Duration, proc ids.ProcID, epoch uint64) Event {
+	return Event{At: at, Type: EvEpochAdvance, Proc: proc, Peer: NoPeer, Epoch: epoch}
+}
+
+// EpochForced records proc fast-forwarding to epoch after missing the
+// switch round.
+func EpochForced(at time.Duration, proc ids.ProcID, epoch uint64) Event {
+	return Event{At: at, Type: EvEpochForced, Proc: proc, Peer: NoPeer, Epoch: epoch}
+}
+
+// Buffered records proc buffering a future-epoch message from peer.
+func Buffered(at time.Duration, proc, peer ids.ProcID, epoch uint64) Event {
+	return Event{At: at, Type: EvBuffered, Proc: proc, Peer: peer, Epoch: epoch}
+}
+
+// StaleDrop records proc dropping a closed-epoch message from peer.
+func StaleDrop(at time.Duration, proc, peer ids.ProcID, epoch uint64) Event {
+	return Event{At: at, Type: EvStaleDrop, Proc: proc, Peer: peer, Epoch: epoch}
+}
+
+// WedgeTimeout records proc's wedge detector expiring at the given
+// consecutive-strike count.
+func WedgeTimeout(at time.Duration, proc ids.ProcID, strikes int) Event {
+	return Event{At: at, Type: EvWedgeTimeout, Proc: proc, Peer: NoPeer, Args: [3]int64{int64(strikes)}}
+}
+
+// Suspect records proc's failure detector suspecting peer.
+func Suspect(at time.Duration, proc, peer ids.ProcID) Event {
+	return Event{At: at, Type: EvSuspect, Proc: proc, Peer: peer}
+}
+
+// Crash records the network crash-stopping proc.
+func Crash(at time.Duration, proc ids.ProcID) Event {
+	return Event{At: at, Type: EvCrash, Proc: proc, Peer: NoPeer}
+}
+
+// Partition records proc being cut off from peers other members.
+func Partition(at time.Duration, proc ids.ProcID, peers int) Event {
+	return Event{At: at, Type: EvPartition, Proc: proc, Peer: NoPeer, Args: [3]int64{int64(peers)}}
+}
+
+// Heal records all partitions being removed.
+func Heal(at time.Duration) Event {
+	return Event{At: at, Type: EvHeal, Proc: NoProc, Peer: NoPeer}
+}
+
+// FaultSet records the per-receiver fault knobs changing.
+func FaultSet(at time.Duration, dropPermille, dupPermille int64, jitter time.Duration) Event {
+	return Event{At: at, Type: EvFaultSet, Proc: NoProc, Peer: NoPeer,
+		Args: [3]int64{dropPermille, dupPermille, int64(jitter)}}
+}
+
+// Drop reason codes (Args[0] of EvDrop).
+const (
+	// DropBlocked: the packet crossed a partition cut or involved a
+	// crashed node.
+	DropBlocked = 0
+	// DropRandom: the packet fell to the configured loss probability.
+	DropRandom = 1
+)
+
+// Drop records the network dropping a packet to proc from peer.
+func Drop(at time.Duration, proc, peer ids.ProcID, reason int64) Event {
+	return Event{At: at, Type: EvDrop, Proc: proc, Peer: peer, Args: [3]int64{reason}}
+}
+
+// Delay records the network jittering a packet to proc from peer.
+func Delay(at time.Duration, proc, peer ids.ProcID, by time.Duration) Event {
+	return Event{At: at, Type: EvDelay, Proc: proc, Peer: peer, Args: [3]int64{int64(by)}}
+}
+
+// Recorder consumes events. Implementations must be deterministic
+// (virtual time only) and cheap; Record is called from protocol hot
+// paths.
+type Recorder interface {
+	Record(Event)
+	// Enabled reports whether events are consumed at all. Hot paths
+	// that would emit high-volume per-packet events (drops, delays) may
+	// skip constructing them when Enabled is false; low-volume emitters
+	// call Record unconditionally.
+	Enabled() bool
+}
+
+// Nop is the default recorder: it discards events without allocating.
+var Nop Recorder = nopRecorder{}
+
+type nopRecorder struct{}
+
+func (nopRecorder) Record(Event) {}
+func (nopRecorder) Enabled() bool { return false }
+
+// OrNop returns r, or Nop when r is nil — the normalization every
+// instrumented component applies to its configured recorder.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+// Collector retains every recorded event in order — the trace sink
+// behind the JSONL exporter.
+type Collector struct {
+	events []Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record appends the event.
+func (c *Collector) Record(e Event) { c.events = append(c.events, e) }
+
+// Enabled reports true.
+func (c *Collector) Enabled() bool { return true }
+
+// Events returns the recorded events (the collector's own slice; do
+// not mutate while still recording).
+func (c *Collector) Events() []Event { return c.events }
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Multi fans events out to several recorders. Nil and Nop entries are
+// dropped; zero live recorders collapse to Nop and a single one is
+// returned unwrapped.
+func Multi(rs ...Recorder) Recorder {
+	var live []Recorder
+	for _, r := range rs {
+		if r == nil || r == Nop {
+			continue
+		}
+		live = append(live, r)
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Recorder
+
+func (m multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+func (m multi) Enabled() bool { return true }
+
+// TagRun returns a copy of events with every Run field set — used when
+// merging per-job traces from a sweep into one stream.
+func TagRun(run int, events []Event) []Event {
+	out := make([]Event, len(events))
+	for i, e := range events {
+		e.Run = run
+		out[i] = e
+	}
+	return out
+}
+
+// MergeRuns concatenates per-run traces in index order, tagging each
+// event with its run. Sweeps collect traces by job index, so the merge
+// is identical for any worker count.
+func MergeRuns(traces [][]Event) []Event {
+	var n int
+	for _, t := range traces {
+		n += len(t)
+	}
+	out := make([]Event, 0, n)
+	for run, t := range traces {
+		for _, e := range t {
+			e.Run = run
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // Config describes the simulated network.
@@ -136,6 +137,7 @@ type Network struct {
 	// crashed nodes neither send nor receive (crash-stop injection).
 	crashed map[ids.ProcID]bool
 	stats   Stats
+	rec     obs.Recorder
 }
 
 // New creates a network over the given simulator.
@@ -151,18 +153,24 @@ func New(sim *des.Sim, cfg Config) (*Network, error) {
 		cpuFree:  make([]time.Duration, cfg.Nodes),
 		blocked:  make(map[ids.ProcID]map[ids.ProcID]bool),
 		crashed:  make(map[ids.ProcID]bool),
+		rec:      obs.Nop,
 	}, nil
 }
+
+// SetRecorder installs an event recorder for fault injections and
+// per-packet drops/delays. Passing nil restores the no-op default.
+func (n *Network) SetRecorder(r obs.Recorder) { n.rec = obs.OrNop(r) }
 
 // Crash fails node p crash-stop: everything it sends from now on is
 // discarded (including frames already queued on its egress), and
 // nothing is delivered to it. There is no recovery in this model.
 func (n *Network) Crash(p ids.ProcID) {
-	if !n.valid(p) {
+	if !n.valid(p) || n.crashed[p] {
 		return
 	}
 	n.crashed[p] = true
 	n.egress[p] = nil
+	n.rec.Record(obs.Crash(n.sim.Now(), p))
 }
 
 // Crashed reports whether p has been crash-stopped.
@@ -209,12 +217,14 @@ func (n *Network) Partition(a, b []ids.ProcID) {
 			n.Block(p, q)
 			n.Block(q, p)
 		}
+		n.rec.Record(obs.Partition(n.sim.Now(), p, len(b)))
 	}
 }
 
 // Heal removes every pairwise block, ending all partitions at once.
 func (n *Network) Heal() {
 	n.blocked = make(map[ids.ProcID]map[ids.ProcID]bool)
+	n.rec.Record(obs.Heal(n.sim.Now()))
 }
 
 // Partitioned reports whether any pairwise block is currently in place.
@@ -238,6 +248,8 @@ func (n *Network) SetFaults(dropProb, dupProb float64, jitter time.Duration) err
 		return err
 	}
 	n.cfg = probe
+	n.rec.Record(obs.FaultSet(n.sim.Now(),
+		int64(dropProb*1000), int64(dupProb*1000), jitter))
 	return nil
 }
 
@@ -333,6 +345,9 @@ func (n *Network) Unicast(src, dst ids.ProcID, payload []byte) error {
 	}
 	if n.crashed[src] {
 		n.stats.Dropped++
+		if n.rec.Enabled() {
+			n.rec.Record(obs.Drop(n.sim.Now(), dst, src, obs.DropBlocked))
+		}
 		return nil // a dead process's residual timers send into the void
 	}
 	n.stats.Unicasts++
@@ -359,6 +374,9 @@ func (n *Network) Multicast(src ids.ProcID, payload []byte) error {
 	}
 	if n.crashed[src] {
 		n.stats.Dropped++
+		if n.rec.Enabled() {
+			n.rec.Record(obs.Drop(n.sim.Now(), obs.NoProc, src, obs.DropBlocked))
+		}
 		return nil
 	}
 	n.stats.Multicasts++
@@ -386,11 +404,17 @@ func (n *Network) Inject(src, dst ids.ProcID, payload []byte) error {
 func (n *Network) scheduleDelivery(src, dst ids.ProcID, payload []byte, arrival time.Duration) {
 	if n.isBlocked(src, dst) || n.crashed[src] || n.crashed[dst] {
 		n.stats.Dropped++
+		if n.rec.Enabled() {
+			n.rec.Record(obs.Drop(n.sim.Now(), dst, src, obs.DropBlocked))
+		}
 		return
 	}
 	rng := n.sim.Rand()
 	if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
 		n.stats.Dropped++
+		if n.rec.Enabled() {
+			n.rec.Record(obs.Drop(n.sim.Now(), dst, src, obs.DropRandom))
+		}
 		return
 	}
 	copies := 1
@@ -401,7 +425,11 @@ func (n *Network) scheduleDelivery(src, dst ids.ProcID, payload []byte, arrival 
 	for c := 0; c < copies; c++ {
 		at := arrival
 		if n.cfg.Jitter > 0 {
-			at += time.Duration(rng.Int63n(int64(n.cfg.Jitter)))
+			j := time.Duration(rng.Int63n(int64(n.cfg.Jitter)))
+			at += j
+			if n.rec.Enabled() {
+				n.rec.Record(obs.Delay(n.sim.Now(), dst, src, j))
+			}
 		}
 		// Copy the payload per delivery: receivers own their bytes.
 		buf := make([]byte, len(payload))
