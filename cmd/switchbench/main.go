@@ -48,20 +48,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("switchbench", flag.ContinueOnError)
 	var (
-		experiment  = fs.String("experiment", "all", "figure2 | overhead | hysteresis | p2p | chaos | all")
-		seed        = fs.Int64("seed", 1, "simulation seed")
-		schedules   = fs.Int("schedules", 200, "fault schedules for the chaos sweep")
-		chaosSettle = fs.Duration("chaos-settle", 0, "chaos: settle window after faults heal (0: package default)")
-		chaosDrain  = fs.Duration("chaos-drain", 0, "chaos: drain window for liveness probes (0: package default)")
-		senders     = fs.Int("senders", 10, "maximum active senders for figure2")
-		measure     = fs.Duration("measure", 10*time.Second, "virtual measurement window per point")
-		warmup      = fs.Duration("warmup", 2*time.Second, "virtual warmup discarded from statistics")
-		msgBytes    = fs.Int("msgbytes", 0, "application payload size (default: calibrated 2240)")
-		hybrid      = fs.Bool("hybrid", true, "include the switching hybrid in figure2")
-		parallel    = fs.Int("parallel", 0, "worker count for sweep runs (<= 0: GOMAXPROCS); results are identical for any value")
-		jsonDir     = fs.String("json", "", "directory to write BENCH_<experiment>.json artifacts (empty: no artifacts)")
-		traceDir    = fs.String("trace", "", "directory to write TRACE_<experiment>.jsonl event streams (empty: no traces)")
-		quiet       = fs.Bool("quiet", false, "suppress progress output")
+		experiment   = fs.String("experiment", "all", "figure2 | overhead | hysteresis | p2p | chaos | all")
+		seed         = fs.Int64("seed", 1, "simulation seed")
+		schedules    = fs.Int("schedules", 200, "fault schedules for the chaos sweep")
+		chaosSettle  = fs.Duration("chaos-settle", 0, "chaos: settle window after faults heal (0: package default)")
+		chaosDrain   = fs.Duration("chaos-drain", 0, "chaos: drain window for liveness probes (0: package default)")
+		chaosCorrupt = fs.Bool("chaos-corruption", false, "chaos: add corruption/truncation/garbage faults (E15) and enable the defensive ingress")
+		senders      = fs.Int("senders", 10, "maximum active senders for figure2")
+		measure      = fs.Duration("measure", 10*time.Second, "virtual measurement window per point")
+		warmup       = fs.Duration("warmup", 2*time.Second, "virtual warmup discarded from statistics")
+		msgBytes     = fs.Int("msgbytes", 0, "application payload size (default: calibrated 2240)")
+		hybrid       = fs.Bool("hybrid", true, "include the switching hybrid in figure2")
+		parallel     = fs.Int("parallel", 0, "worker count for sweep runs (<= 0: GOMAXPROCS); results are identical for any value")
+		jsonDir      = fs.String("json", "", "directory to write BENCH_<experiment>.json artifacts (empty: no artifacts)")
+		traceDir     = fs.String("trace", "", "directory to write TRACE_<experiment>.jsonl event streams (empty: no traces)")
+		quiet        = fs.Bool("quiet", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -216,6 +217,7 @@ func run(args []string) error {
 		cfg.Schedules = *schedules
 		cfg.Run.Settle = *chaosSettle
 		cfg.Run.Drain = *chaosDrain
+		cfg.Gen.Corruption = *chaosCorrupt
 		cfg.Parallel = workers
 		cfg.Trace = tracing
 		cfg.Progress = progress

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/harness"
 )
 
 // tiny returns flags for a fast (but real) run.
@@ -147,7 +149,7 @@ func TestJSONArtifactsWritten(t *testing.T) {
 		if got := m["schema"]; got != "switchbench/"+name {
 			t.Errorf("%s: schema = %v", path, got)
 		}
-		if got := m["version"]; got != float64(2) {
+		if got := m["version"]; got != float64(harness.BenchSchemaVersion) {
 			t.Errorf("%s: version = %v", path, got)
 		}
 		timing, ok := m["timing"].(map[string]any)

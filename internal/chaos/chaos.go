@@ -1,14 +1,20 @@
 // Package chaos is a seeded fault-injection harness for the switching
-// protocol's recovery layer (E13). A generator expands a seed into a
-// deterministic schedule of faults — crash-stop failures, partitions,
-// and drop/duplicate/reorder bursts — at random virtual times over an
+// protocol's recovery layer (E13) and its adversarial-input hardening
+// (E15). A generator expands a seed into a deterministic schedule of
+// faults — crash-stop failures, partitions, drop/duplicate/reorder
+// bursts, and (when enabled) bit-flip corruption, truncation, and
+// garbage-injection attacks — at random virtual times over an
 // internal/simnet run. The runner replays a schedule against a cluster
-// of recovery-enabled switches, drives background traffic and switch
-// requests through it, heals all faults, and then checks the system's
-// invariants: the ring is not deadlocked (post-heal probes reach every
-// live member), the preserved Table 1 properties hold on the survivors'
-// traces (pairwise common delivery order, old-before-new epoch
-// boundary), and every live member converged to one epoch.
+// of recovery-enabled switches (with the defensive ingress and
+// integrity envelope turned on whenever the schedule carries
+// corruption), drives background traffic and switch requests through
+// it, heals all faults, and then checks the system's invariants: no
+// panic anywhere in the stack (a panic is converted into a violation
+// with the flight recorder's tail), the ring is not deadlocked
+// (post-heal probes reach every live member), the preserved Table 1
+// properties hold on the survivors' traces (pairwise common delivery
+// order, old-before-new epoch boundary), and every live member
+// converged to one epoch.
 //
 // Everything is deterministic per seed: the same seed generates the
 // same schedule and the same simulation, which makes every sweep
@@ -36,6 +42,15 @@ const (
 	// KindBurst subjects the whole medium to message drops, duplicates
 	// and reordering jitter from At until Until.
 	KindBurst
+	// KindCorrupt flips random payload bits on in-flight deliveries
+	// from At until Until.
+	KindCorrupt
+	// KindTruncate cuts in-flight deliveries short at a random length
+	// from At until Until.
+	KindTruncate
+	// KindGarbage injects a burst of random bytes at At, addressed to
+	// Target and attributed to From.
+	KindGarbage
 )
 
 // String renders the kind.
@@ -47,6 +62,12 @@ func (k Kind) String() string {
 		return "partition"
 	case KindBurst:
 		return "burst"
+	case KindCorrupt:
+		return "corrupt"
+	case KindTruncate:
+		return "truncate"
+	case KindGarbage:
+		return "garbage"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -64,6 +85,14 @@ type Event struct {
 	Drop   float64
 	Dup    float64
 	Jitter time.Duration
+	// Corrupt/Truncate are the per-delivery probabilities of a
+	// corruption or truncation window.
+	Corrupt  float64
+	Truncate float64
+	// From/Size parameterize a garbage injection: Size random bytes
+	// delivered to Target, attributed to From.
+	From ids.ProcID
+	Size int
 }
 
 // SwitchReq schedules a protocol-switch request.
@@ -86,6 +115,21 @@ type Schedule struct {
 	Events   []Event
 	Switches []SwitchReq
 	Traffic  []Send
+}
+
+// HasCorruption reports whether the schedule contains any adversarial
+// input fault (corruption, truncation, or garbage injection). The
+// runner enables the switching layer's defensive ingress — integrity
+// envelope plus quarantine — exactly when this is true, so legacy
+// schedules keep the legacy wire format byte for byte.
+func (s Schedule) HasCorruption() bool {
+	for _, e := range s.Events {
+		switch e.Kind {
+		case KindCorrupt, KindTruncate, KindGarbage:
+			return true
+		}
+	}
+	return false
 }
 
 // Kinds returns the distinct fault kinds present, in order.
@@ -121,6 +165,18 @@ type GenConfig struct {
 	// Messages is how many background multicasts to schedule
 	// (default 14).
 	Messages int
+	// Corruption enables the adversarial-input fault classes with
+	// default probabilities (CorruptProb 0.5, TruncateProb 0.4,
+	// GarbageProb 0.4). With it false and the probabilities zero, the
+	// generator's random draw sequence is identical to the legacy
+	// generator, so legacy seeds expand to the same schedules.
+	Corruption bool
+	// CorruptProb / TruncateProb / GarbageProb are the independent
+	// probabilities of each adversarial-input fault class appearing in
+	// a schedule. They default to zero unless Corruption is set.
+	CorruptProb  float64
+	TruncateProb float64
+	GarbageProb  float64
 }
 
 func (c *GenConfig) defaults() {
@@ -141,6 +197,17 @@ func (c *GenConfig) defaults() {
 	}
 	if c.Messages == 0 {
 		c.Messages = 14
+	}
+	if c.Corruption {
+		if c.CorruptProb == 0 {
+			c.CorruptProb = 0.5
+		}
+		if c.TruncateProb == 0 {
+			c.TruncateProb = 0.4
+		}
+		if c.GarbageProb == 0 {
+			c.GarbageProb = 0.4
+		}
 	}
 }
 
@@ -206,5 +273,62 @@ func Generate(seed int64, cfg GenConfig) (Schedule, error) {
 		})
 	}
 	sort.Slice(s.Traffic, func(i, j int) bool { return s.Traffic[i].At < s.Traffic[j].At })
+
+	// Adversarial-input faults. Their draws come after every legacy
+	// draw (and are skipped entirely at probability zero), so a legacy
+	// config consumes exactly the legacy random stream and expands to a
+	// byte-identical schedule.
+	var corr []Event
+	if cfg.CorruptProb > 0 && rng.Float64() < cfg.CorruptProb {
+		at, until := window(0.1, 0.8)
+		corr = append(corr, Event{
+			At: at, Kind: KindCorrupt, Until: until,
+			Corrupt: 0.05 + 0.15*rng.Float64(),
+		})
+	}
+	if cfg.TruncateProb > 0 && rng.Float64() < cfg.TruncateProb {
+		at, until := window(0.1, 0.8)
+		corr = append(corr, Event{
+			At: at, Kind: KindTruncate, Until: until,
+			Truncate: 0.03 + 0.1*rng.Float64(),
+		})
+	}
+	if cfg.GarbageProb > 0 && rng.Float64() < cfg.GarbageProb {
+		// A small burst of garbage packets, each fully determined here
+		// (spoofed source, target, size) so the replay needs no draws.
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			from := rng.Intn(cfg.N)
+			corr = append(corr, Event{
+				At:     time.Duration((0.1 + 0.8*rng.Float64()) * float64(h)),
+				Kind:   KindGarbage,
+				From:   ids.ProcID(from),
+				Target: ids.ProcID((from + 1 + rng.Intn(cfg.N-1)) % cfg.N),
+				Size:   1 + rng.Intn(64),
+			})
+		}
+		if rng.Float64() < 0.25 {
+			// Occasionally a dense flood from one spoofed source —
+			// enough packets to cross the runner's quarantine threshold,
+			// so the sweep exercises the suspect-instead-of-wedge
+			// escalation (the falsely accused live peer is restored by
+			// its next heartbeat).
+			from := rng.Intn(cfg.N)
+			target := ids.ProcID((from + 1 + rng.Intn(cfg.N-1)) % cfg.N)
+			start := time.Duration((0.1 + 0.6*rng.Float64()) * float64(h))
+			for i := 0; i < quarantineThreshold+5; i++ {
+				corr = append(corr, Event{
+					At:     start + time.Duration(i)*50*time.Microsecond,
+					Kind:   KindGarbage,
+					From:   ids.ProcID(from),
+					Target: target,
+					Size:   1 + rng.Intn(64),
+				})
+			}
+		}
+	}
+	if len(corr) > 0 {
+		s.Events = append(s.Events, corr...)
+		sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	}
 	return s, nil
 }

@@ -1,0 +1,236 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/obs"
+)
+
+// legacyOnly strips adversarial-input events from a schedule's event
+// list, leaving the crash/partition/burst prefix.
+func legacyOnly(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		switch e.Kind {
+		case KindCorrupt, KindTruncate, KindGarbage:
+		default:
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestGenerateCorruption pins the corruption generator's contracts:
+// determinism, well-formed events, and — critically — that enabling
+// corruption only appends to the legacy schedule. The corruption draws
+// happen after every legacy draw, so the crash/partition/burst events,
+// switch requests, and traffic of Generate(seed, {Corruption: true})
+// must equal Generate(seed, {}) exactly.
+func TestGenerateCorruption(t *testing.T) {
+	kinds := map[Kind]int{}
+	for seed := int64(0); seed < 50; seed++ {
+		legacy, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Generate(seed, GenConfig{Corruption: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(seed, GenConfig{Corruption: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%+v\nvs\n%+v", seed, a, b)
+		}
+		if !reflect.DeepEqual(legacyOnly(a.Events), legacy.Events) {
+			t.Errorf("seed %d: corruption config disturbed the legacy fault events:\n%+v\nvs\n%+v",
+				seed, legacyOnly(a.Events), legacy.Events)
+		}
+		if !reflect.DeepEqual(a.Switches, legacy.Switches) || !reflect.DeepEqual(a.Traffic, legacy.Traffic) {
+			t.Errorf("seed %d: corruption config disturbed the legacy switches/traffic", seed)
+		}
+		for _, ev := range a.Events {
+			switch ev.Kind {
+			case KindCorrupt:
+				if ev.Corrupt <= 0 || ev.Corrupt >= 1 || ev.Until <= ev.At || ev.Until > a.Horizon {
+					t.Errorf("seed %d: bad corrupt window: %+v", seed, ev)
+				}
+			case KindTruncate:
+				if ev.Truncate <= 0 || ev.Truncate >= 1 || ev.Until <= ev.At || ev.Until > a.Horizon {
+					t.Errorf("seed %d: bad truncate window: %+v", seed, ev)
+				}
+			case KindGarbage:
+				if ev.Size <= 0 || ev.From == ev.Target || ev.At > a.Horizon {
+					t.Errorf("seed %d: bad garbage event: %+v", seed, ev)
+				}
+				if int(ev.From) >= a.N || int(ev.Target) >= a.N {
+					t.Errorf("seed %d: garbage addresses a nonexistent member: %+v", seed, ev)
+				}
+			}
+			kinds[ev.Kind]++
+		}
+		if a.HasCorruption() != (len(a.Events) > len(legacy.Events)) {
+			t.Errorf("seed %d: HasCorruption()=%v disagrees with event list", seed, a.HasCorruption())
+		}
+		if legacy.HasCorruption() {
+			t.Errorf("seed %d: legacy schedule claims corruption", seed)
+		}
+	}
+	for _, k := range []Kind{KindCorrupt, KindTruncate, KindGarbage} {
+		if kinds[k] == 0 {
+			t.Errorf("50 corruption-enabled seeds never produced kind %v", k)
+		}
+	}
+}
+
+// TestSweepCorruption is E15's acceptance gate: ≥200 seeded schedules
+// mixing the legacy fault classes with bit-flip corruption, truncation,
+// and garbage injection. Every schedule must pass every invariant —
+// including the new no-panic invariant — and the defensive ingress must
+// demonstrably engage (malformed packets counted) across the sweep.
+func TestSweepCorruption(t *testing.T) {
+	const schedules = 200
+	kinds := map[Kind]int{}
+	var malformed, quarantines uint64
+	for seed := int64(1); seed <= schedules; seed++ {
+		sched, err := Generate(seed, GenConfig{Corruption: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(sched, RunConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, k := range res.Kinds {
+			kinds[k]++
+		}
+		malformed += res.Stats.MalformedDropped
+		quarantines += res.Stats.Quarantines
+		for _, v := range res.Violations {
+			t.Errorf("seed %d (%v): %s", seed, res.Kinds, v)
+		}
+		if t.Failed() && seed >= 10 {
+			t.Fatalf("aborting sweep after seed %d", seed)
+		}
+	}
+	for _, k := range []Kind{KindCorrupt, KindTruncate, KindGarbage} {
+		if kinds[k] < schedules/10 {
+			t.Errorf("fault class %v appeared in only %d/%d schedules", k, kinds[k], schedules)
+		}
+	}
+	if malformed == 0 {
+		t.Error("sweep never dropped a malformed packet — the defensive ingress was not exercised")
+	}
+	if quarantines == 0 {
+		t.Error("sweep never quarantined a peer — the garbage floods no longer cross the threshold")
+	}
+	t.Logf("fault mix over %d schedules: %v; malformed dropped %d, quarantines %d",
+		schedules, kinds, malformed, quarantines)
+}
+
+// TestRunDeterministicCorruption replays corruption schedules twice and
+// requires identical outcomes, pinning that the corruption faults (and
+// the defensive ingress they exercise) draw only from the seeded
+// simulation stream.
+func TestRunDeterministicCorruption(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		sched, err := Generate(seed, GenConfig{Corruption: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Run(sched, RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(sched, RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Delivered != b.Delivered || !reflect.DeepEqual(a.Stats, b.Stats) ||
+			!reflect.DeepEqual(a.Violations, b.Violations) {
+			t.Errorf("seed %d (%v): replay diverged:\n  %+v\n  %+v", seed, a.Kinds, a, b)
+		}
+	}
+}
+
+// TestCapturePanic pins the no-panic invariant's plumbing: a panic in
+// the guarded section becomes a violation string instead of crashing.
+func TestCapturePanic(t *testing.T) {
+	if got := capturePanic(func() {}); got != "" {
+		t.Fatalf("clean run produced violation %q", got)
+	}
+	if got := capturePanic(func() { panic("boom") }); got != "panic: boom" {
+		t.Fatalf("panic rendered as %q", got)
+	}
+}
+
+// TestMalformedTraceConsistency extends the obs-consistency invariant
+// to the hardening counters: across seeded corruption schedules, each
+// live member's EvMalformedDrop / EvQuarantine trace events must equal
+// that member's own Switch.Stats() counters, and the network-level
+// corruption events must equal the simnet Stats counters. The sweep
+// must be non-vacuous: it has to actually observe malformed drops and
+// at least one corruption fault of each network class.
+func TestMalformedTraceConsistency(t *testing.T) {
+	var sawMalformed, sawCorrupt, sawTruncate, sawGarbage bool
+	for seed := int64(1); seed <= 25; seed++ {
+		sched, err := Generate(seed, GenConfig{Corruption: true})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		col := obs.NewCollector()
+		res, c, err := run(sched, RunConfig{Recorder: col})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: invariants violated: %v", seed, res.Violations)
+		}
+
+		malformedBy := map[ids.ProcID]uint64{}
+		quarantinesBy := map[ids.ProcID]uint64{}
+		var corrupts, truncates, garbage uint64
+		for _, e := range col.Events() {
+			switch e.Type {
+			case obs.EvMalformedDrop:
+				malformedBy[e.Proc]++
+			case obs.EvQuarantine:
+				quarantinesBy[e.Proc]++
+			case obs.EvCorrupt:
+				corrupts++
+			case obs.EvTruncate:
+				truncates++
+			case obs.EvGarbage:
+				garbage++
+			}
+		}
+		for _, p := range res.Live {
+			st := c.Members[p].Switch.Stats()
+			if malformedBy[p] != st.MalformedDropped {
+				t.Errorf("seed %d: member %v: trace shows %d malformed drops, Switch.Stats() %d",
+					seed, p, malformedBy[p], st.MalformedDropped)
+			}
+			if quarantinesBy[p] != st.Quarantines {
+				t.Errorf("seed %d: member %v: trace shows %d quarantines, Switch.Stats() %d",
+					seed, p, quarantinesBy[p], st.Quarantines)
+			}
+			sawMalformed = sawMalformed || st.MalformedDropped > 0
+		}
+		ns := c.Net.Stats()
+		if corrupts != ns.Corrupted || truncates != ns.Truncated || garbage != ns.GarbageInjected {
+			t.Errorf("seed %d: trace-derived net counters (corrupt=%d truncate=%d garbage=%d) != simnet stats (%d, %d, %d)",
+				seed, corrupts, truncates, garbage, ns.Corrupted, ns.Truncated, ns.GarbageInjected)
+		}
+		sawCorrupt = sawCorrupt || ns.Corrupted > 0
+		sawTruncate = sawTruncate || ns.Truncated > 0
+		sawGarbage = sawGarbage || ns.GarbageInjected > 0
+	}
+	if !sawMalformed || !sawCorrupt || !sawTruncate || !sawGarbage {
+		t.Errorf("sweep never exercised the hardening path (malformed=%v corrupt=%v truncate=%v garbage=%v) — widen the seed range",
+			sawMalformed, sawCorrupt, sawTruncate, sawGarbage)
+	}
+}

@@ -88,6 +88,13 @@ type Result struct {
 // Failed reports whether any invariant was violated.
 func (r *Result) Failed() bool { return len(r.Violations) > 0 }
 
+// quarantineThreshold is the defensive ingress's escalation point under
+// corruption schedules: a peer delivering this many malformed packets
+// is force-suspected. It is set high enough that a victim of a
+// corruption window is not quarantined by a handful of damaged frames,
+// yet low enough that garbage floods escalate within a schedule.
+const quarantineThreshold = 25
+
 // pair returns the two sub-protocols used under chaos: sequencer-based
 // total order anchored at members 0 and 1. Both sequencers are exempt
 // from generated faults, so post-heal liveness failures implicate the
@@ -126,6 +133,12 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		},
 		Recorder: rec,
 	}
+	if sched.HasCorruption() {
+		// Adversarial input on the wire: turn on the integrity envelope
+		// and the quarantine escalation. Legacy schedules leave Defense
+		// nil so their wire traffic (and artifacts) stay byte-identical.
+		swCfg.Defense = &switching.DefenseConfig{QuarantineThreshold: quarantineThreshold}
+	}
 	c, err := swtest.NewSwitched(sched.Seed, simnet.Config{Nodes: sched.N, PropDelay: cfg.PropDelay}, sched.N, swCfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("chaos: build cluster: %w", err)
@@ -134,7 +147,10 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 
 	res := &Result{Seed: sched.Seed, Kinds: sched.Kinds(), Metrics: metrics}
 
-	// Faults.
+	// Faults. Corruption and truncation windows may overlap, so their
+	// closures keep the current value of each knob and reapply both on
+	// every window edge (the simulation executes them in time order).
+	var curCorrupt, curTruncate float64
 	for _, ev := range sched.Events {
 		ev := ev
 		switch ev.Kind {
@@ -148,6 +164,31 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		case KindBurst:
 			c.Sim.At(ev.At, func() { _ = c.Net.SetFaults(ev.Drop, ev.Dup, ev.Jitter) })
 			c.Sim.At(ev.Until, func() { _ = c.Net.SetFaults(0, 0, 0) })
+		case KindCorrupt:
+			c.Sim.At(ev.At, func() {
+				curCorrupt = ev.Corrupt
+				_ = c.Net.SetCorruption(curCorrupt, curTruncate)
+			})
+			c.Sim.At(ev.Until, func() {
+				curCorrupt = 0
+				_ = c.Net.SetCorruption(curCorrupt, curTruncate)
+			})
+		case KindTruncate:
+			c.Sim.At(ev.At, func() {
+				curTruncate = ev.Truncate
+				_ = c.Net.SetCorruption(curCorrupt, curTruncate)
+			})
+			c.Sim.At(ev.Until, func() {
+				curTruncate = 0
+				_ = c.Net.SetCorruption(curCorrupt, curTruncate)
+			})
+		case KindGarbage:
+			c.Sim.At(ev.At, func() {
+				if c.Net.Crashed(ev.From) || c.Net.Crashed(ev.Target) {
+					return
+				}
+				_ = c.Net.InjectGarbage(ev.From, ev.Target, ev.Size)
+			})
 		default:
 			return nil, nil, fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 		}
@@ -183,7 +224,18 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		}
 	})
 
-	c.Run(probeAt + cfg.Drain)
+	// The no-panic invariant: nothing in the stack — decode paths
+	// included — may panic on adversarial input. A panic anywhere in the
+	// run is converted into an invariant violation with the flight
+	// recorder's tail attached, instead of crashing the sweep.
+	if msg := capturePanic(func() { c.Run(probeAt + cfg.Drain) }); msg != "" {
+		_ = capturePanic(c.Stop)
+		res.Events = c.Sim.Executed()
+		res.Violations = append(res.Violations, msg)
+		res.FlightRecord = flight.Snapshot()
+		res.FlightDropped = flight.Dropped()
+		return res, c, nil
+	}
 	c.Stop()
 	res.Events = c.Sim.Executed()
 
@@ -230,8 +282,22 @@ func statsFromMetrics(m *obs.Metrics, live []ids.ProcID) switching.Stats {
 		s.TokensRegenerated += m.Counter(p, obs.KeyTokensRegenerated)
 		s.SwitchesAborted += m.Counter(p, obs.KeySwitchesAborted)
 		s.ForcedAdvances += m.Counter(p, obs.KeyForcedAdvances)
+		s.MalformedDropped += m.Counter(p, obs.KeyMalformedDropped)
+		s.Quarantines += m.Counter(p, obs.KeyQuarantines)
 	}
 	return s
+}
+
+// capturePanic runs fn and renders a recovered panic as an invariant
+// violation string ("" when fn returns normally).
+func capturePanic(fn func()) (violation string) {
+	defer func() {
+		if r := recover(); r != nil {
+			violation = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	fn()
+	return ""
 }
 
 // cast multicasts an epoch-tagged application message from p.

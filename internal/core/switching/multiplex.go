@@ -31,6 +31,10 @@ type Multiplex struct {
 	ups  map[ids.ChannelID]proto.Up
 	// dropped counts packets for unbound channels.
 	dropped uint64
+	// onMalformed, if set, is told about packets whose channel header
+	// failed to decode (the Switch routes these into its defensive
+	// ingress accounting).
+	onMalformed func(src ids.ProcID)
 }
 
 // NewMultiplex creates a multiplexer over the given transport.
@@ -56,6 +60,9 @@ func (m *Multiplex) Recv(src ids.ProcID, pkt []byte) {
 	ch := d.Channel()
 	if d.Err() != nil {
 		m.dropped++
+		if m.onMalformed != nil {
+			m.onMalformed(src)
+		}
 		return
 	}
 	up, ok := m.ups[ch]

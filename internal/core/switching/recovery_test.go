@@ -333,20 +333,41 @@ func TestRecoveryKeepsTotalOrderWithoutFaults(t *testing.T) {
 }
 
 func TestConfigValidate(t *testing.T) {
-	ok := switching.Config{Protocols: orderedPair()}
-	if err := ok.Validate(); err != nil {
-		t.Errorf("valid config rejected: %v", err)
+	valid := []struct {
+		name string
+		cfg  switching.Config
+	}{
+		{"minimal", switching.Config{Protocols: orderedPair()}},
+		{"with recovery", switching.Config{Protocols: orderedPair(),
+			Recovery: &switching.RecoveryConfig{}}},
+		{"with defense", switching.Config{Protocols: orderedPair(),
+			Defense: &switching.DefenseConfig{QuarantineThreshold: 10}}},
 	}
-	cases := []switching.Config{
-		{},
-		{Protocols: orderedPair()[:1]},
-		{Protocols: orderedPair(), TokenInterval: -time.Millisecond},
-		{Protocols: orderedPair(), Recovery: &switching.RecoveryConfig{WedgeTimeout: -time.Second}},
-		{Protocols: orderedPair(), Recovery: &switching.RecoveryConfig{MaxBackoffShift: -1}},
+	for _, tc := range valid {
+		if err := tc.cfg.Validate(); err != nil {
+			t.Errorf("%s: valid config rejected: %v", tc.name, err)
+		}
 	}
-	for i, cfg := range cases {
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("case %d: bad config accepted", i)
+	invalid := []struct {
+		name string
+		cfg  switching.Config
+	}{
+		{"empty", switching.Config{}},
+		{"one protocol", switching.Config{Protocols: orderedPair()[:1]}},
+		{"negative token interval", switching.Config{Protocols: orderedPair(),
+			TokenInterval: -time.Millisecond}},
+		{"negative wedge timeout", switching.Config{Protocols: orderedPair(),
+			Recovery: &switching.RecoveryConfig{WedgeTimeout: -time.Second}}},
+		{"negative backoff shift", switching.Config{Protocols: orderedPair(),
+			Recovery: &switching.RecoveryConfig{MaxBackoffShift: -1}}},
+		{"zero quarantine threshold", switching.Config{Protocols: orderedPair(),
+			Defense: &switching.DefenseConfig{}}},
+		{"negative quarantine threshold", switching.Config{Protocols: orderedPair(),
+			Defense: &switching.DefenseConfig{QuarantineThreshold: -3}}},
+	}
+	for _, tc := range invalid {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: bad config accepted", tc.name)
 		}
 	}
 }

@@ -52,6 +52,11 @@ type Config struct {
 	// regeneration, and abort-and-retry of switch rounds disrupted by a
 	// crash. Nil preserves the paper's crash-free §2 protocol exactly.
 	Recovery *RecoveryConfig
+	// Defense, when non-nil, enables the adversarial-input hardening:
+	// an integrity envelope around every transport packet, defensive
+	// drops of malformed input, and per-peer quarantine. Nil preserves
+	// the legacy wire format byte-for-byte.
+	Defense *DefenseConfig
 	// Recorder receives the structured observability events (token
 	// lifecycle, phase transitions, epoch advances, recovery actions).
 	// Every event is emitted at the exact site the matching Stats
@@ -72,6 +77,11 @@ func (c Config) Validate() error {
 	}
 	if c.Recovery != nil {
 		if err := c.Recovery.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Defense != nil {
+		if err := c.Defense.Validate(); err != nil {
 			return err
 		}
 	}
@@ -104,6 +114,17 @@ type Stats struct {
 	// ForcedAdvances counts epochs this member adopted from a token
 	// after missing the switch round itself (rejoin fast-forward).
 	ForcedAdvances uint64
+
+	// Defensive-ingress counters; see Config.Defense. MalformedDropped
+	// also counts token/header decode failures when Defense is nil.
+
+	// MalformedDropped counts messages the defensive ingress rejected
+	// without mutating state (bad envelope, checksum mismatch, decode
+	// or range failure).
+	MalformedDropped uint64
+	// Quarantines counts peers whose malformed count crossed the
+	// quarantine threshold and raised a suspicion.
+	Quarantines uint64
 }
 
 // Add accumulates another member's (or run's) counters into s — the
@@ -117,6 +138,8 @@ func (s *Stats) Add(o Stats) {
 	s.TokensRegenerated += o.TokensRegenerated
 	s.SwitchesAborted += o.SwitchesAborted
 	s.ForcedAdvances += o.ForcedAdvances
+	s.MalformedDropped += o.MalformedDropped
+	s.Quarantines += o.Quarantines
 }
 
 // Switch is one member's instance of the switching protocol. The
@@ -163,6 +186,10 @@ type Switch struct {
 	stopped bool
 	stats   Stats
 	records []Record
+	// malformedBy tracks per-peer malformed counts toward quarantine
+	// (allocated lazily; nil unless Config.Defense is set and a drop
+	// occurred).
+	malformedBy map[ids.ProcID]uint64
 	// obs is Config.Recorder normalized to non-nil (obs.Nop default).
 	obs obs.Recorder
 
@@ -188,6 +215,11 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 	if cfg.TokenInterval == 0 {
 		cfg.TokenInterval = 5 * time.Millisecond
 	}
+	if cfg.Defense != nil {
+		// Seal below the multiplex: one envelope covers the mux header
+		// and every protocol header above it.
+		transport = sealedTransport{down: transport}
+	}
 	mux, err := NewMultiplex(transport)
 	if err != nil {
 		return nil, err
@@ -201,6 +233,9 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 		recv:   make(map[uint64][]uint64),
 		buffer: make(map[uint64][]bufEntry),
 		obs:    obs.OrNop(cfg.Recorder),
+	}
+	mux.onMalformed = func(src ids.ProcID) {
+		s.countMalformed(src, obs.MalformedDecode)
 	}
 	// Control channel: the token rides a private reliable channel.
 	ctl, err := proto.Build(env,
@@ -245,8 +280,24 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 }
 
 // Recv routes an incoming transport packet; bind the node's network
-// handler here.
-func (s *Switch) Recv(src ids.ProcID, pkt []byte) { s.mux.Recv(src, pkt) }
+// handler here. With Defense enabled the integrity envelope is verified
+// and stripped first: a packet that fails the check is counted and
+// dropped before any protocol layer sees it.
+func (s *Switch) Recv(src ids.ProcID, pkt []byte) {
+	if s.cfg.Defense != nil {
+		payload, err := wire.Open(pkt)
+		if err != nil {
+			reason := obs.MalformedFrame
+			if err == wire.ErrChecksum {
+				reason = obs.MalformedChecksum
+			}
+			s.countMalformed(src, reason)
+			return
+		}
+		pkt = payload
+	}
+	s.mux.Recv(src, pkt)
+}
 
 // Stop shuts down the switch and its sub-stacks.
 func (s *Switch) Stop() {
@@ -340,6 +391,7 @@ func (s *Switch) onData(src ids.ProcID, pkt []byte) {
 	d := wire.NewDecoder(pkt)
 	epoch := d.Uvarint()
 	if d.Err() != nil {
+		s.countMalformed(src, obs.MalformedDecode)
 		return
 	}
 	payload := d.Remaining()
@@ -382,6 +434,15 @@ func (s *Switch) onControl(src ids.ProcID, pkt []byte) {
 	}
 	t, err := DecodeToken(pkt)
 	if err != nil {
+		s.countMalformed(src, obs.MalformedDecode)
+		return
+	}
+	// Range-validate before the state machine touches the token: a
+	// vector longer than the ring would otherwise index past the
+	// per-epoch arrival counts, and a foreign initiator would circulate
+	// forever (no member ever absorbs it as its own round).
+	if len(t.Vector) > s.env.Ring().Size() || s.env.Ring().Position(t.Initiator) < 0 {
+		s.countMalformed(src, obs.MalformedRange)
 		return
 	}
 	if s.rec != nil && !s.rec.admit(t) {

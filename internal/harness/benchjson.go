@@ -31,7 +31,12 @@ import (
 // log-scaled histogram; overhead rows carry the run's delivery-latency
 // stats; the chaos artifact adds per-member metrics and flight-recorder
 // dumps on failures.
-const BenchSchemaVersion = 2
+//
+// Version 3: the chaos artifact adds the adversarial-input hardening
+// counters — schedules with corruption/truncation/garbage faults, and
+// malformed-drop/quarantine totals in the switching section (all
+// omitted when zero, so corruption-free artifacts carry no new keys).
+const BenchSchemaVersion = 3
 
 // BenchTiming is the non-deterministic wall-clock section of an
 // artifact.
@@ -250,6 +255,11 @@ type BenchChaos struct {
 	WithCrashes    int `json:"with_crashes"`
 	WithPartitions int `json:"with_partitions"`
 	WithBursts     int `json:"with_bursts"`
+	// Adversarial-input fault classes (E15); zero on corruption-free
+	// sweeps, and then omitted so legacy artifacts keep their shape.
+	WithCorruption int `json:"with_corruption,omitempty"`
+	WithTruncation int `json:"with_truncation,omitempty"`
+	WithGarbage    int `json:"with_garbage,omitempty"`
 
 	Delivered int              `json:"delivered"`
 	Switching BenchSwitchStats `json:"switching"`
@@ -275,6 +285,8 @@ type BenchSwitchStats struct {
 	TokensRegenerated uint64 `json:"tokens_regenerated"`
 	SwitchesAborted   uint64 `json:"switches_aborted"`
 	ForcedAdvances    uint64 `json:"forced_advances"`
+	MalformedDropped  uint64 `json:"malformed_dropped,omitempty"`
+	Quarantines       uint64 `json:"quarantines,omitempty"`
 }
 
 func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
@@ -287,6 +299,8 @@ func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
 		TokensRegenerated: s.TokensRegenerated,
 		SwitchesAborted:   s.SwitchesAborted,
 		ForcedAdvances:    s.ForcedAdvances,
+		MalformedDropped:  s.MalformedDropped,
+		Quarantines:       s.Quarantines,
 	}
 }
 
@@ -312,6 +326,9 @@ func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
 		WithCrashes:     res.KindCounts[chaos.KindCrash],
 		WithPartitions:  res.KindCounts[chaos.KindPartition],
 		WithBursts:      res.KindCounts[chaos.KindBurst],
+		WithCorruption:  res.KindCounts[chaos.KindCorrupt],
+		WithTruncation:  res.KindCounts[chaos.KindTruncate],
+		WithGarbage:     res.KindCounts[chaos.KindGarbage],
 		Delivered:       res.Delivered,
 		Switching:       toBenchSwitchStats(res.Stats),
 		WorstRecoveryMS: Millis(res.WorstRecovery),

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -58,7 +59,8 @@ func TestEncodeBenchShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := string(b)
-	for _, want := range []string{`"schema": "switchbench/figure2"`, `"version": 2`,
+	for _, want := range []string{`"schema": "switchbench/figure2"`,
+		fmt.Sprintf(`"version": %d`, BenchSchemaVersion),
 		`"rows"`, `"hybrid"`, `"hybrid_threshold": 5.5`, `"timing"`, `"events": 42`,
 		`"stddev_ms"`, `"min_ms"`} {
 		if !strings.Contains(out, want) {

@@ -179,6 +179,11 @@ func (r *ChaosSweepResult) Render() string {
 	fmt.Fprintf(&b, "  with crashes           %10d\n", r.KindCounts[chaos.KindCrash])
 	fmt.Fprintf(&b, "  with partitions        %10d\n", r.KindCounts[chaos.KindPartition])
 	fmt.Fprintf(&b, "  with drop/dup bursts   %10d\n", r.KindCounts[chaos.KindBurst])
+	if n := r.KindCounts[chaos.KindCorrupt] + r.KindCounts[chaos.KindTruncate] + r.KindCounts[chaos.KindGarbage]; n > 0 {
+		fmt.Fprintf(&b, "  with bit corruption    %10d\n", r.KindCounts[chaos.KindCorrupt])
+		fmt.Fprintf(&b, "  with truncation        %10d\n", r.KindCounts[chaos.KindTruncate])
+		fmt.Fprintf(&b, "  with garbage injection %10d\n", r.KindCounts[chaos.KindGarbage])
+	}
 	fmt.Fprintf(&b, "invariant violations     %10d\n", len(r.Failures))
 	fmt.Fprintf(&b, "app deliveries           %10d\n", r.Delivered)
 	fmt.Fprintf(&b, "switches completed       %10d\n", r.Stats.SwitchesCompleted)
@@ -186,6 +191,10 @@ func (r *ChaosSweepResult) Render() string {
 	fmt.Fprintf(&b, "tokens regenerated       %10d\n", r.Stats.TokensRegenerated)
 	fmt.Fprintf(&b, "switch rounds retried    %10d\n", r.Stats.SwitchesAborted)
 	fmt.Fprintf(&b, "forced epoch advances    %10d\n", r.Stats.ForcedAdvances)
+	if r.Stats.MalformedDropped > 0 || r.Stats.Quarantines > 0 {
+		fmt.Fprintf(&b, "malformed pkts dropped   %10d\n", r.Stats.MalformedDropped)
+		fmt.Fprintf(&b, "peers quarantined        %10d\n", r.Stats.Quarantines)
+	}
 	fmt.Fprintf(&b, "worst in-round recovery  %10s (bound %s)\n",
 		FormatMillis(r.WorstRecovery), FormatMillis(r.Bound))
 	for _, f := range r.Failures {

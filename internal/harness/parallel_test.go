@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core/switching"
 	"repro/internal/proto"
 )
@@ -130,6 +131,53 @@ func TestChaosSweepParallelDeterminismAndFailurePropagation(t *testing.T) {
 	if len(resSeq.Failures) != len(res.Failures) {
 		t.Errorf("failure count differs across worker counts: %d vs %d",
 			len(resSeq.Failures), len(res.Failures))
+	}
+}
+
+// TestChaosCorruptionSweepByteIdenticalAcrossWorkers is E15's
+// determinism gate: a corruption-enabled sweep — bit flips, truncation,
+// garbage floods, defensive ingress and quarantine all active — must
+// render the same table and encode a byte-identical artifact (timing
+// scrubbed) for 1 and 4 workers, and must actually exercise the
+// hardening counters so the comparison is not vacuous.
+func TestChaosCorruptionSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	sweep := func(parallel int) (*ChaosSweepResult, []byte) {
+		cfg := DefaultChaosSweepConfig()
+		cfg.Schedules = 20
+		cfg.RecoverySeeds = 3
+		cfg.Gen.Corruption = true
+		cfg.Parallel = parallel
+		res, err := RunChaosSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := NewBenchChaos(cfg.Seed, res)
+		art.SetTiming(time.Duration(parallel)*time.Millisecond, parallel) // differs per run on purpose
+		art.ScrubTiming()
+		b, err := EncodeBench(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, b
+	}
+	seq, seqJSON := sweep(1)
+	par, parJSON := sweep(4)
+	if len(seq.Failures) != 0 {
+		for _, f := range seq.Failures {
+			t.Errorf("seed %d (%v): %v", f.Seed, f.Kinds, f.Violations)
+		}
+	}
+	if seq.Render() != par.Render() {
+		t.Errorf("corruption sweep table diverged across worker counts:\n%s\nvs\n%s", seq.Render(), par.Render())
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Errorf("corruption sweep JSON differs across worker counts:\n%s\nvs\n%s", seqJSON, parJSON)
+	}
+	if seq.Stats.MalformedDropped == 0 {
+		t.Error("corruption sweep dropped no malformed packets — hardening not exercised")
+	}
+	if n := seq.KindCounts[chaos.KindCorrupt] + seq.KindCounts[chaos.KindTruncate] + seq.KindCounts[chaos.KindGarbage]; n == 0 {
+		t.Error("corruption sweep generated no corruption faults")
 	}
 }
 

@@ -148,6 +148,18 @@ func ChromeTrace(events []Event) ([]byte, error) {
 			name(e.Run, e.Proc)
 			out.TraceEvents = append(out.TraceEvents, instant(e, "fault set",
 				map[string]any{"drop_permille": e.Args[0], "dup_permille": e.Args[1], "jitter_ns": e.Args[2]}))
+		case EvCorruptSet:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, "corrupt set",
+				map[string]any{"corrupt_permille": e.Args[0], "truncate_permille": e.Args[1]}))
+		case EvGarbage:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, "garbage",
+				map[string]any{"from": e.Peer, "bytes": e.Args[0]}))
+		case EvQuarantine:
+			name(e.Run, e.Proc)
+			out.TraceEvents = append(out.TraceEvents, instant(e, fmt.Sprintf("quarantine %d", e.Peer),
+				map[string]any{"threshold": e.Args[0]}))
 		}
 	}
 	return json.MarshalIndent(out, "", " ")

@@ -23,13 +23,19 @@ const (
 	KeySwitchesStarted   = "switching/switches_started"
 	KeySwitchRounds      = "switching/switch_rounds"
 	KeySuspects          = "switching/suspects"
+	KeyMalformedDropped  = "switching/malformed_dropped"
+	KeyQuarantines       = "switching/quarantines"
 
-	KeyNetCrashes    = "net/crashes"
-	KeyNetPartitions = "net/partitions"
-	KeyNetHeals      = "net/heals"
-	KeyNetFaultSets  = "net/fault_sets"
-	KeyNetDrops      = "net/drops"
-	KeyNetDelays     = "net/delays"
+	KeyNetCrashes     = "net/crashes"
+	KeyNetPartitions  = "net/partitions"
+	KeyNetHeals       = "net/heals"
+	KeyNetFaultSets   = "net/fault_sets"
+	KeyNetDrops       = "net/drops"
+	KeyNetDelays      = "net/delays"
+	KeyNetCorruptSets = "net/corrupt_sets"
+	KeyNetCorrupts    = "net/corrupts"
+	KeyNetTruncates   = "net/truncates"
+	KeyNetGarbage     = "net/garbage"
 
 	// KeySwitchDuration is the per-member histogram of initiated switch
 	// round durations (EvSwitchComplete).
@@ -56,6 +62,12 @@ var counterKey = [eventTypeCount]string{
 	EvFaultSet:       KeyNetFaultSets,
 	EvDrop:           KeyNetDrops,
 	EvDelay:          KeyNetDelays,
+	EvCorruptSet:     KeyNetCorruptSets,
+	EvCorrupt:        KeyNetCorrupts,
+	EvTruncate:       KeyNetTruncates,
+	EvGarbage:        KeyNetGarbage,
+	EvMalformedDrop:  KeyMalformedDropped,
+	EvQuarantine:     KeyQuarantines,
 }
 
 // CounterKey returns the counter an event type increments ("" for

@@ -88,6 +88,26 @@ const (
 	// EvDelay: the network jittered a packet to Proc from Peer by
 	// Args[0] nanoseconds.
 	EvDelay
+	// EvCorruptSet: the per-receiver corruption knobs changed; Args are
+	// [corrupt per-mille, truncate per-mille] (Proc == NoProc).
+	EvCorruptSet
+	// EvCorrupt: the network flipped Args[0] bits in a packet to Proc
+	// from Peer.
+	EvCorrupt
+	// EvTruncate: the network truncated a packet to Proc from Peer,
+	// keeping Args[0] of Args[1] bytes.
+	EvTruncate
+	// EvGarbage: the network injected Args[0] random bytes to Proc,
+	// forged to look like they came from Peer.
+	EvGarbage
+	// EvMalformedDrop: Proc's defensive ingress rejected a message
+	// apparently from Peer without mutating state; Args[0] is a
+	// MalformedReason code.
+	EvMalformedDrop
+	// EvQuarantine: Proc's malformed-message count for Peer crossed the
+	// quarantine threshold (Args[0]) and raised a suspicion instead of
+	// wedging.
+	EvQuarantine
 
 	eventTypeCount
 )
@@ -113,6 +133,12 @@ var eventNames = [eventTypeCount]string{
 	EvFaultSet:       "fault_set",
 	EvDrop:           "drop",
 	EvDelay:          "delay",
+	EvCorruptSet:     "corrupt_set",
+	EvCorrupt:        "corrupt",
+	EvTruncate:       "truncate",
+	EvGarbage:        "garbage",
+	EvMalformedDrop:  "malformed_drop",
+	EvQuarantine:     "quarantine",
 }
 
 // String renders the type's stable wire name.
@@ -295,6 +321,59 @@ func Delay(at time.Duration, proc, peer ids.ProcID, by time.Duration) Event {
 	return Event{At: at, Type: EvDelay, Proc: proc, Peer: peer, Args: [3]int64{int64(by)}}
 }
 
+// CorruptSet records the per-receiver corruption knobs changing.
+func CorruptSet(at time.Duration, corruptPermille, truncatePermille int64) Event {
+	return Event{At: at, Type: EvCorruptSet, Proc: NoProc, Peer: NoPeer,
+		Args: [3]int64{corruptPermille, truncatePermille}}
+}
+
+// Corrupt records the network flipping bits in a packet to proc from
+// peer.
+func Corrupt(at time.Duration, proc, peer ids.ProcID, bits int) Event {
+	return Event{At: at, Type: EvCorrupt, Proc: proc, Peer: peer, Args: [3]int64{int64(bits)}}
+}
+
+// Truncate records the network truncating a packet to proc from peer,
+// keeping kept of size bytes.
+func Truncate(at time.Duration, proc, peer ids.ProcID, kept, size int) Event {
+	return Event{At: at, Type: EvTruncate, Proc: proc, Peer: peer,
+		Args: [3]int64{int64(kept), int64(size)}}
+}
+
+// Garbage records the network injecting size random bytes to proc,
+// forged to look like they came from peer.
+func Garbage(at time.Duration, proc, peer ids.ProcID, size int) Event {
+	return Event{At: at, Type: EvGarbage, Proc: proc, Peer: peer, Args: [3]int64{int64(size)}}
+}
+
+// MalformedReason codes (Args[0] of EvMalformedDrop) name the ingress
+// check that rejected the message.
+const (
+	// MalformedFrame: the integrity envelope was too short or carried
+	// the wrong magic byte.
+	MalformedFrame int64 = 0
+	// MalformedChecksum: the envelope checksum did not match the
+	// payload.
+	MalformedChecksum int64 = 1
+	// MalformedDecode: a header or token failed to decode.
+	MalformedDecode int64 = 2
+	// MalformedRange: a decoded field was outside its valid range
+	// (e.g. a token vector longer than the ring).
+	MalformedRange int64 = 3
+)
+
+// MalformedDrop records proc's defensive ingress rejecting a message
+// apparently from peer for the given reason code.
+func MalformedDrop(at time.Duration, proc, peer ids.ProcID, reason int64) Event {
+	return Event{At: at, Type: EvMalformedDrop, Proc: proc, Peer: peer, Args: [3]int64{reason}}
+}
+
+// Quarantine records proc crossing the malformed-message threshold for
+// peer and raising a suspicion.
+func Quarantine(at time.Duration, proc, peer ids.ProcID, threshold int) Event {
+	return Event{At: at, Type: EvQuarantine, Proc: proc, Peer: peer, Args: [3]int64{int64(threshold)}}
+}
+
 // Recorder consumes events. Implementations must be deterministic
 // (virtual time only) and cheap; Record is called from protocol hot
 // paths.
@@ -312,7 +391,7 @@ var Nop Recorder = nopRecorder{}
 
 type nopRecorder struct{}
 
-func (nopRecorder) Record(Event) {}
+func (nopRecorder) Record(Event)  {}
 func (nopRecorder) Enabled() bool { return false }
 
 // OrNop returns r, or Nop when r is nil — the normalization every

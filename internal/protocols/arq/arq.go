@@ -65,6 +65,9 @@ type common struct {
 	in      map[ids.ProcID]*inState
 	stopped bool
 	stats   Stats
+	// malformed counts packets dropped by the defensive ingress
+	// (decode failure or unknown kind) before any state mutation.
+	malformed uint64
 }
 
 func newCommon(name string, window int, timeout time.Duration) *common {
@@ -208,6 +211,7 @@ func (c *common) Recv(src ids.ProcID, pkt []byte) {
 	case kindData:
 		seq := d.Uvarint()
 		if d.Err() != nil {
+			c.malformed++
 			return
 		}
 		in := c.in[src]
@@ -230,6 +234,7 @@ func (c *common) Recv(src ids.ProcID, pkt []byte) {
 	case kindAck:
 		next := d.Uvarint()
 		if d.Err() != nil {
+			c.malformed++
 			return
 		}
 		o := c.out[src]
@@ -246,8 +251,14 @@ func (c *common) Recv(src ids.ProcID, pkt []byte) {
 			o.timer = nil
 		}
 		c.pump(src, o)
+	default:
+		c.malformed++
 	}
 }
+
+// MalformedDropped returns how many packets the defensive ingress
+// rejected (decode failure or unknown kind).
+func (c *common) MalformedDropped() uint64 { return c.malformed }
 
 // StopAndWait is the window-1 ARQ: one frame in flight per destination.
 type StopAndWait struct {

@@ -40,6 +40,10 @@ type Layer struct {
 	pending []pendingMsg
 	// buffered is the high-water mark of the pending queue (metrics).
 	buffered int
+	// malformed counts packets dropped by the defensive ingress
+	// (decode failure or stamp-length mismatch) before any state
+	// mutation.
+	malformed uint64
 }
 
 type pendingMsg struct {
@@ -107,6 +111,7 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 	d := wire.NewDecoder(pkt)
 	stamp := d.Counts()
 	if d.Err() != nil || len(stamp) != len(l.vc) {
+		l.malformed++
 		return
 	}
 	if pos := l.env.Ring().Position(src); pos < 0 || stamp[pos] <= l.vc[pos] {
@@ -118,6 +123,10 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 	}
 	l.drain()
 }
+
+// MalformedDropped returns how many packets the defensive ingress
+// rejected (decode failure or stamp-length mismatch).
+func (l *Layer) MalformedDropped() uint64 { return l.malformed }
 
 // deliverable reports whether m's causal past is fully delivered: the
 // next message from its sender, with no knowledge we lack.

@@ -130,6 +130,24 @@ func (d *Detector) Recv(src ids.ProcID, _ []byte) {
 // Suspected reports whether p is currently suspected.
 func (d *Detector) Suspected(p ids.ProcID) bool { return d.suspected[p] }
 
+// ForceSuspect marks p suspected immediately, without waiting for its
+// heartbeats to lapse — the hook the switching layer's quarantine uses
+// when a peer's traffic is persistently malformed. Self cannot be
+// suspected. The suspicion is withdrawn like any other when a heartbeat
+// arrives, so a transiently-noisy link does not evict a member forever;
+// its timestamp is rewound so a quiet peer lapses again on the next
+// check rather than re-earning the full grace period.
+func (d *Detector) ForceSuspect(p ids.ProcID) {
+	if d.stopped || d.env == nil || p == d.env.Self() || d.suspected[p] {
+		return
+	}
+	d.suspected[p] = true
+	d.lastSeen[p] = d.env.Now() - d.cfg.Timeout
+	if d.cfg.OnSuspect != nil {
+		d.cfg.OnSuspect(p)
+	}
+}
+
 // Suspects returns the currently suspected members, in ring order.
 func (d *Detector) Suspects() []ids.ProcID {
 	var out []ids.ProcID

@@ -108,6 +108,9 @@ type Layer struct {
 	timers  []proto.Timer
 	stopped bool
 	stats   Stats
+	// malformed counts packets dropped by the defensive ingress
+	// (decode failure or unknown kind) before any state mutation.
+	malformed uint64
 }
 
 var _ proto.Layer = (*Layer)(nil)
@@ -124,6 +127,14 @@ func New(cfg Config) *Layer {
 		castAcked: make(map[ids.ProcID]uint64),
 	}
 }
+
+// maxSeqAhead bounds how far beyond the in-order horizon an arriving
+// seq (data or heartbeat) may claim to be. A legitimate stream only
+// runs ahead by the messages actually in flight; a corrupted or forged
+// seq far beyond that would poison the reorder buffer's horizon and
+// make gap repair enumerate the whole range. Anything further ahead is
+// dropped as malformed, before any state mutation.
+const maxSeqAhead = 1 << 20
 
 // reorderBuf reassembles one FIFO stream.
 type reorderBuf struct {
@@ -262,19 +273,22 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 	case kindCast:
 		seq := d.Uvarint()
 		if d.Err() != nil {
+			l.malformed++
 			return
 		}
 		l.onData(l.streamIn(l.castIn, src), src, seq, d.Remaining())
 	case kindSend:
 		seq := d.Uvarint()
 		if d.Err() != nil {
+			l.malformed++
 			return
 		}
 		l.onData(l.streamIn(l.sendIn, src), src, seq, d.Remaining())
 	case kindNack:
 		stream := d.U8()
 		seq := d.Uvarint()
-		if d.Err() != nil {
+		if d.Err() != nil || (stream != kindCast && stream != kindSend) {
+			l.malformed++
 			return
 		}
 		l.onNack(src, stream, seq)
@@ -282,18 +296,26 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 		castNext := d.Uvarint()
 		sendNext := d.Uvarint()
 		if d.Err() != nil {
+			l.malformed++
 			return
 		}
 		l.onAck(src, castNext, sendNext)
 	case kindHeartbeat:
 		stream := d.U8()
 		next := d.Uvarint()
-		if d.Err() != nil {
+		if d.Err() != nil || (stream != kindCast && stream != kindSend) {
+			l.malformed++
 			return
 		}
 		l.onHeartbeat(src, stream, next)
+	default:
+		l.malformed++
 	}
 }
+
+// MalformedDropped returns how many packets the defensive ingress
+// rejected (decode failure or unknown kind).
+func (l *Layer) MalformedDropped() uint64 { return l.malformed }
 
 func (l *Layer) streamIn(m map[ids.ProcID]*reorderBuf, src ids.ProcID) *reorderBuf {
 	r := m[src]
@@ -309,6 +331,10 @@ func (l *Layer) onData(r *reorderBuf, src ids.ProcID, seq uint64, payload []byte
 	if seq < r.next {
 		l.stats.DupsSuppressed++
 		return // already delivered
+	}
+	if seq > r.next+maxSeqAhead {
+		l.malformed++
+		return // absurd horizon jump: adversarial or corrupted seq
 	}
 	if _, dup := r.pending[seq]; dup {
 		l.stats.DupsSuppressed++
@@ -418,6 +444,10 @@ func (l *Layer) onHeartbeat(src ids.ProcID, stream uint8, next uint64) {
 		return
 	}
 	top := next - 1
+	if top > r.next+maxSeqAhead {
+		l.malformed++
+		return // absurd horizon jump: adversarial or corrupted seq
+	}
 	if !r.hasHigh || top > r.highest {
 		r.highest, r.hasHigh = top, true
 	}

@@ -26,6 +26,14 @@ const (
 	kindOrder
 )
 
+// maxSeqAhead bounds how far beyond the delivery horizon an arriving
+// global sequence number may claim to be. The sequencer assigns seqs
+// densely, so a legitimate seq only runs ahead by the messages in
+// flight; a corrupted or forged seq far beyond that would poison the
+// pending buffer with an entry the delivery loop can never reach.
+// Anything further ahead is dropped as malformed.
+const maxSeqAhead = 1 << 20
+
 // Layer is one process's instance of the protocol.
 type Layer struct {
 	sequencer ids.ProcID
@@ -41,6 +49,9 @@ type Layer struct {
 	// sequencer's stream in order, but the layer does not rely on it).
 	nextDeliver uint64
 	pending     map[uint64]orderedMsg
+	// malformed counts packets dropped by the defensive ingress
+	// (decode failure or unknown kind) before any state mutation.
+	malformed uint64
 }
 
 type orderedMsg struct {
@@ -107,7 +118,11 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 	d := wire.NewDecoder(pkt)
 	switch d.U8() {
 	case kindSubmit:
-		if d.Err() != nil || l.env.Self() != l.sequencer {
+		if d.Err() != nil {
+			l.malformed++
+			return
+		}
+		if l.env.Self() != l.sequencer {
 			return
 		}
 		// src is the origin: the fifo below reports the true sender.
@@ -115,7 +130,8 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 	case kindOrder:
 		seq := d.Uvarint()
 		origin := d.Proc()
-		if d.Err() != nil {
+		if d.Err() != nil || seq > l.nextDeliver+maxSeqAhead {
+			l.malformed++
 			return
 		}
 		if seq < l.nextDeliver {
@@ -134,5 +150,11 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 			l.nextDeliver++
 			l.up.Deliver(m.origin, m.payload)
 		}
+	default:
+		l.malformed++
 	}
 }
+
+// MalformedDropped returns how many packets the defensive ingress
+// rejected (decode failure or unknown kind).
+func (l *Layer) MalformedDropped() uint64 { return l.malformed }

@@ -28,6 +28,14 @@ const (
 	kindData
 )
 
+// maxSeqAhead bounds how far beyond the delivery horizon an arriving
+// sequence number (token or data) may claim to be. Legitimate seqs only
+// run ahead by the messages in flight; a corrupted or forged seq far
+// beyond that would poison the pending buffer (data) or the token
+// lineage (token) with values the protocol can never reach. Anything
+// further ahead is dropped as malformed, before any state mutation.
+const maxSeqAhead = 1 << 20
+
 // Config tunes the token rotation.
 type Config struct {
 	// HoldDelay is how long a member holds the token before passing it
@@ -59,6 +67,9 @@ type Layer struct {
 
 	timer   proto.Timer
 	stopped bool
+	// malformed counts packets dropped by the defensive ingress
+	// (decode failure or unknown kind) before any state mutation.
+	malformed uint64
 }
 
 type dataMsg struct {
@@ -189,13 +200,15 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 	switch d.U8() {
 	case kindToken:
 		seq := d.Uvarint()
-		if d.Err() != nil {
+		if d.Err() != nil || seq > l.nextDeliver+maxSeqAhead {
+			l.malformed++
 			return
 		}
 		l.acquireToken(seq)
 	case kindData:
 		seq := d.Uvarint()
-		if d.Err() != nil {
+		if d.Err() != nil || seq > l.nextDeliver+maxSeqAhead {
+			l.malformed++
 			return
 		}
 		if seq < l.nextDeliver {
@@ -214,5 +227,11 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 			l.nextDeliver++
 			l.up.Deliver(m.origin, m.payload)
 		}
+	default:
+		l.malformed++
 	}
 }
+
+// MalformedDropped returns how many packets the defensive ingress
+// rejected (decode failure or unknown kind).
+func (l *Layer) MalformedDropped() uint64 { return l.malformed }

@@ -45,6 +45,9 @@ type Layer struct {
 	viewSeq uint64
 	// rejected counts data dropped for out-of-view senders.
 	rejected uint64
+	// malformed counts packets dropped by the defensive ingress
+	// (decode failure or unknown kind) before any state mutation.
+	malformed uint64
 }
 
 var _ proto.Layer = (*Layer)(nil)
@@ -116,6 +119,7 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 	case kindView:
 		members := d.Procs()
 		if d.Err() != nil || len(members) == 0 {
+			l.malformed++
 			return
 		}
 		next := make(map[ids.ProcID]bool, len(members))
@@ -125,5 +129,11 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 		l.view = next
 		l.viewSeq++
 		l.up.Deliver(src, d.Remaining())
+	default:
+		l.malformed++
 	}
 }
+
+// MalformedDropped returns how many packets the defensive ingress
+// rejected (decode failure or unknown kind).
+func (l *Layer) MalformedDropped() uint64 { return l.malformed }

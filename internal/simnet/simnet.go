@@ -52,6 +52,12 @@ type Config struct {
 	// DupProb is the per-receiver probability that a packet is
 	// delivered twice.
 	DupProb float64
+	// CorruptProb is the per-receiver probability that a delivered
+	// packet has 1-3 of its bits flipped (bit rot / line noise).
+	CorruptProb float64
+	// TruncateProb is the per-receiver probability that a delivered
+	// packet loses a random-length tail (a short datagram).
+	TruncateProb float64
 }
 
 // Validate checks the configuration.
@@ -64,6 +70,12 @@ func (c Config) Validate() error {
 	}
 	if c.DupProb < 0 || c.DupProb >= 1 {
 		return fmt.Errorf("simnet: dup probability %v out of [0,1)", c.DupProb)
+	}
+	if c.CorruptProb < 0 || c.CorruptProb >= 1 {
+		return fmt.Errorf("simnet: corrupt probability %v out of [0,1)", c.CorruptProb)
+	}
+	if c.TruncateProb < 0 || c.TruncateProb >= 1 {
+		return fmt.Errorf("simnet: truncate probability %v out of [0,1)", c.TruncateProb)
 	}
 	if c.PropDelay < 0 || c.RecvCPU < 0 || c.SendCPU < 0 || c.Jitter < 0 {
 		return fmt.Errorf("simnet: negative delay in config")
@@ -94,12 +106,15 @@ type Handler func(src ids.ProcID, payload []byte)
 
 // Stats aggregates network-level counters.
 type Stats struct {
-	Unicasts   uint64
-	Multicasts uint64
-	Delivered  uint64
-	Dropped    uint64
-	Duplicated uint64
-	WireBytes  uint64
+	Unicasts        uint64
+	Multicasts      uint64
+	Delivered       uint64
+	Dropped         uint64
+	Duplicated      uint64
+	WireBytes       uint64
+	Corrupted       uint64
+	Truncated       uint64
+	GarbageInjected uint64
 }
 
 // frame is one queued transmission.
@@ -250,6 +265,44 @@ func (n *Network) SetFaults(dropProb, dupProb float64, jitter time.Duration) err
 	n.cfg = probe
 	n.rec.Record(obs.FaultSet(n.sim.Now(),
 		int64(dropProb*1000), int64(dupProb*1000), jitter))
+	return nil
+}
+
+// SetCorruption replaces the per-receiver corruption knobs at run time
+// — the hook the chaos harness uses to inject bit-flip and truncation
+// bursts at virtual times. It returns an error (changing nothing) for
+// values the static Config would reject.
+func (n *Network) SetCorruption(corruptProb, truncateProb float64) error {
+	probe := n.cfg
+	probe.CorruptProb, probe.TruncateProb = corruptProb, truncateProb
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	n.cfg = probe
+	n.rec.Record(obs.CorruptSet(n.sim.Now(),
+		int64(corruptProb*1000), int64(truncateProb*1000)))
+	return nil
+}
+
+// InjectGarbage delivers size seeded-random bytes to dst, forged to
+// look like they came from src — the cross-version/garbage slice of the
+// adversarial fault model. The bytes bypass the sender-side model (like
+// Inject) but still traverse the receiver-side fault pipeline.
+func (n *Network) InjectGarbage(src, dst ids.ProcID, size int) error {
+	if !n.valid(src) || !n.valid(dst) {
+		return fmt.Errorf("simnet: garbage %v -> %v out of range", src, dst)
+	}
+	if size <= 0 {
+		return fmt.Errorf("simnet: garbage size %d must be positive", size)
+	}
+	rng := n.sim.Rand()
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte(rng.Intn(256))
+	}
+	n.stats.GarbageInjected++
+	n.rec.Record(obs.Garbage(n.sim.Now(), dst, src, size))
+	n.scheduleDelivery(src, dst, buf, n.sim.Now()+n.cfg.PropDelay)
 	return nil
 }
 
@@ -434,6 +487,28 @@ func (n *Network) scheduleDelivery(src, dst ids.ProcID, payload []byte, arrival 
 		// Copy the payload per delivery: receivers own their bytes.
 		buf := make([]byte, len(payload))
 		copy(buf, payload)
+		// Corruption faults mutate this delivery's copy only, and every
+		// draw is guarded by its probability so that configurations
+		// without corruption consume exactly the legacy RNG stream.
+		if n.cfg.CorruptProb > 0 && len(buf) > 0 && rng.Float64() < n.cfg.CorruptProb {
+			flips := 1 + rng.Intn(3)
+			for i := 0; i < flips; i++ {
+				bit := rng.Intn(len(buf) * 8)
+				buf[bit/8] ^= 1 << uint(bit%8)
+			}
+			n.stats.Corrupted++
+			if n.rec.Enabled() {
+				n.rec.Record(obs.Corrupt(n.sim.Now(), dst, src, flips))
+			}
+		}
+		if n.cfg.TruncateProb > 0 && len(buf) > 0 && rng.Float64() < n.cfg.TruncateProb {
+			keep := rng.Intn(len(buf))
+			buf = buf[:keep]
+			n.stats.Truncated++
+			if n.rec.Enabled() {
+				n.rec.Record(obs.Truncate(n.sim.Now(), dst, src, keep, len(payload)))
+			}
+		}
 		n.sim.At(at, func() {
 			h := n.handlers[dst]
 			if h == nil || n.crashed[dst] {

@@ -25,6 +25,10 @@ var ErrTruncated = errors.New("wire: truncated input")
 // input (corruption guard).
 var ErrTooLong = errors.New("wire: length prefix exceeds input")
 
+// ErrOverflow is returned when a varint encodes more than 64 bits —
+// only corrupted or adversarial input produces one.
+var ErrOverflow = errors.New("wire: varint overflow")
+
 // Encoder accumulates an encoded header. The zero value is ready to use.
 type Encoder struct {
 	buf []byte
@@ -167,8 +171,12 @@ func (d *Decoder) Uvarint() uint64 {
 		return 0
 	}
 	v, n := binary.Uvarint(d.buf[d.off:])
-	if n <= 0 {
+	if n == 0 {
 		d.fail(ErrTruncated)
+		return 0
+	}
+	if n < 0 {
+		d.fail(ErrOverflow)
 		return 0
 	}
 	d.off += n
@@ -181,8 +189,12 @@ func (d *Decoder) Varint() int64 {
 		return 0
 	}
 	v, n := binary.Varint(d.buf[d.off:])
-	if n <= 0 {
+	if n == 0 {
 		d.fail(ErrTruncated)
+		return 0
+	}
+	if n < 0 {
+		d.fail(ErrOverflow)
 		return 0
 	}
 	d.off += n
