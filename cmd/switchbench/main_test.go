@@ -75,6 +75,18 @@ func TestChaosExperiment(t *testing.T) {
 	}
 }
 
+func TestChaosForgeryExperiment(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-experiment", "chaos", "-schedules", "12",
+			"-chaos-corruption", "-chaos-forgery", "-quiet"})
+	})
+	for _, want := range []string{"with forged frames", "forged frames injected", "auth rejections"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("forgery sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // captureStdout runs fn with os.Stdout redirected to a pipe and returns
 // what it printed.
 func captureStdout(t *testing.T, fn func() error) []byte {

@@ -51,6 +51,13 @@ const (
 	// KindGarbage injects a burst of random bytes at At, addressed to
 	// Target and attributed to From.
 	KindGarbage
+	// KindForge injects a syntactically valid protocol frame sealed
+	// under a key the attacker guessed (not the group session key) at
+	// At, addressed to Target and attributed to From.
+	KindForge
+	// KindReplay re-injects a frame captured earlier off the wire — a
+	// verbatim genuine transmission, possibly from a retired epoch.
+	KindReplay
 )
 
 // String renders the kind.
@@ -68,6 +75,10 @@ func (k Kind) String() string {
 		return "truncate"
 	case KindGarbage:
 		return "garbage"
+	case KindForge:
+		return "forge"
+	case KindReplay:
+		return "replay"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -90,9 +101,15 @@ type Event struct {
 	Corrupt  float64
 	Truncate float64
 	// From/Size parameterize a garbage injection: Size random bytes
-	// delivered to Target, attributed to From.
+	// delivered to Target, attributed to From. For forgeries, Size is a
+	// per-schedule uniqueness tag instead.
 	From ids.ProcID
 	Size int
+	// Epoch is the switching epoch a forged frame claims.
+	Epoch uint64
+	// Index selects a captured frame for a replay, taken modulo the
+	// number of frames captured by injection time (skipped when none).
+	Index int
 }
 
 // SwitchReq schedules a protocol-switch request.
@@ -126,6 +143,21 @@ func (s Schedule) HasCorruption() bool {
 	for _, e := range s.Events {
 		switch e.Kind {
 		case KindCorrupt, KindTruncate, KindGarbage:
+			return true
+		}
+	}
+	return false
+}
+
+// HasForgery reports whether the schedule contains any authentication
+// fault (forged frames or wire replays). The runner upgrades the
+// defensive ingress to the authenticated envelope — epoch-keyed MACs
+// plus replay capture — exactly when this is true, so corruption-only
+// and legacy schedules keep their wire formats byte for byte.
+func (s Schedule) HasForgery() bool {
+	for _, e := range s.Events {
+		switch e.Kind {
+		case KindForge, KindReplay:
 			return true
 		}
 	}
@@ -177,6 +209,16 @@ type GenConfig struct {
 	CorruptProb  float64
 	TruncateProb float64
 	GarbageProb  float64
+	// Forgery enables the authentication fault classes with default
+	// probabilities (ForgeProb 0.5, ReplayProb 0.5). Their draws come
+	// after every legacy and corruption draw, so enabling forgery only
+	// appends to the schedules the other configs would generate.
+	Forgery bool
+	// ForgeProb / ReplayProb are the independent probabilities of each
+	// authentication fault class appearing in a schedule. They default
+	// to zero unless Forgery is set.
+	ForgeProb  float64
+	ReplayProb float64
 }
 
 func (c *GenConfig) defaults() {
@@ -207,6 +249,14 @@ func (c *GenConfig) defaults() {
 		}
 		if c.GarbageProb == 0 {
 			c.GarbageProb = 0.4
+		}
+	}
+	if c.Forgery {
+		if c.ForgeProb == 0 {
+			c.ForgeProb = 0.5
+		}
+		if c.ReplayProb == 0 {
+			c.ReplayProb = 0.5
 		}
 	}
 }
@@ -328,6 +378,65 @@ func Generate(seed int64, cfg GenConfig) (Schedule, error) {
 	}
 	if len(corr) > 0 {
 		s.Events = append(s.Events, corr...)
+		sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	}
+
+	// Authentication faults. Their draws come after every legacy and
+	// corruption draw (and are skipped entirely at probability zero), so
+	// corruption-only and legacy configs consume exactly their own
+	// random streams and expand to byte-identical schedules.
+	var forg []Event
+	if cfg.ForgeProb > 0 && rng.Float64() < cfg.ForgeProb {
+		// A handful of forged frames, each fully determined here
+		// (spoofed source, target, claimed epoch, uniqueness tag) so the
+		// replay needs no draws.
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			from := rng.Intn(cfg.N)
+			forg = append(forg, Event{
+				At:     time.Duration((0.1 + 0.8*rng.Float64()) * float64(h)),
+				Kind:   KindForge,
+				From:   ids.ProcID(from),
+				Target: ids.ProcID((from + 1 + rng.Intn(cfg.N-1)) % cfg.N),
+				Epoch:  uint64(rng.Intn(3)),
+				Size:   i,
+			})
+		}
+		if rng.Float64() < 0.25 {
+			// Occasionally a dense forgery flood from one spoofed source
+			// — enough frames to cross the quarantine threshold, so the
+			// sweep exercises the suspect-instead-of-wedge escalation on
+			// the authentication path too.
+			from := rng.Intn(cfg.N)
+			target := ids.ProcID((from + 1 + rng.Intn(cfg.N-1)) % cfg.N)
+			epoch := uint64(rng.Intn(3))
+			start := time.Duration((0.1 + 0.6*rng.Float64()) * float64(h))
+			for i := 0; i < quarantineThreshold+5; i++ {
+				forg = append(forg, Event{
+					At:     start + time.Duration(i)*50*time.Microsecond,
+					Kind:   KindForge,
+					From:   ids.ProcID(from),
+					Target: target,
+					Epoch:  epoch,
+					Size:   100 + i,
+				})
+			}
+		}
+	}
+	if cfg.ReplayProb > 0 && rng.Float64() < cfg.ReplayProb {
+		// Wire replays land in the later part of the horizon, after
+		// traffic has been captured — and often after a switch round has
+		// retired the epoch the captured frame was sealed in.
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			_ = i
+			forg = append(forg, Event{
+				At:    time.Duration((0.3 + 0.65*rng.Float64()) * float64(h)),
+				Kind:  KindReplay,
+				Index: rng.Intn(1 << 16),
+			})
+		}
+	}
+	if len(forg) > 0 {
+		s.Events = append(s.Events, forg...)
 		sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
 	}
 	return s, nil

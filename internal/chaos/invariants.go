@@ -126,6 +126,44 @@ func checkEpochBoundary(bodies map[ids.ProcID][]string) []string {
 	return v
 }
 
+// checkNoForgedDelivery asserts the authenticated session's first
+// guarantee: no frame fabricated without the group session key ever
+// reaches an application layer. Every forged frame the generator
+// injects carries the FORGED marker in its body, so a marked body in
+// any member's trace means the trust boundary leaked.
+func checkNoForgedDelivery(bodies map[ids.ProcID][]string) []string {
+	var v []string
+	for p, got := range bodies {
+		for i, b := range got {
+			if strings.Contains(b, "FORGED") {
+				v = append(v, fmt.Sprintf("forged delivery: member %v delivered forged body %q at index %d", p, b, i))
+			}
+		}
+	}
+	return v
+}
+
+// checkNoDoubleDelivery asserts the authenticated session's second
+// guarantee: no frame is accepted twice across any epoch sequence.
+// Chaos traffic bodies are unique per cast (sender, sequence, and epoch
+// tag all baked in), so the same body twice in one member's trace means
+// a replay — wire-level, cross-epoch, or duplicate-induced — got past
+// both the transport dedup and the epoch key schedule.
+func checkNoDoubleDelivery(bodies map[ids.ProcID][]string) []string {
+	var v []string
+	for p, got := range bodies {
+		seen := make(map[string]int, len(got))
+		for i, b := range got {
+			if j, dup := seen[b]; dup {
+				v = append(v, fmt.Sprintf("double delivery: member %v accepted body %q at indices %d and %d", p, b, j, i))
+				continue
+			}
+			seen[b] = i
+		}
+	}
+	return v
+}
+
 // MeasureRecovery runs the bounded-recovery experiment: a clean network
 // (no drops), a switch round started at a random time, and a crash of a
 // non-initiator member at a random point while the round is in flight.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/protocols/fifo"
 	"repro/internal/protocols/seqorder"
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // RunConfig tunes the schedule runner.
@@ -72,6 +73,11 @@ type Result struct {
 	// Events is the number of DES events the run executed
 	// (deterministic per seed).
 	Events uint64
+	// Forged and Replayed count the adversary's wire-level injections
+	// (the network's own stats; deterministic per seed, zero on
+	// forgery-free schedules).
+	Forged   uint64
+	Replayed uint64
 	// Violations lists every invariant breach; empty means the run
 	// passed.
 	Violations []string
@@ -133,7 +139,15 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		},
 		Recorder: rec,
 	}
-	if sched.HasCorruption() {
+	if sched.HasForgery() {
+		// An active adversary on the wire: upgrade the defensive ingress
+		// to the authenticated envelope — per-epoch MAC keys derived from
+		// the group session key — which also covers corruption.
+		swCfg.Defense = &switching.DefenseConfig{
+			QuarantineThreshold: quarantineThreshold,
+			Auth:                &switching.AuthConfig{SessionKey: chaosSessionKey},
+		}
+	} else if sched.HasCorruption() {
 		// Adversarial input on the wire: turn on the integrity envelope
 		// and the quarantine escalation. Legacy schedules leave Defense
 		// nil so their wire traffic (and artifacts) stay byte-identical.
@@ -144,6 +158,12 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		return nil, nil, fmt.Errorf("chaos: build cluster: %w", err)
 	}
 	c.Net.SetRecorder(rec)
+	if sched.HasForgery() {
+		// The adversary's packet tap: record genuine wire frames so the
+		// KindReplay events have material to re-inject. Capturing draws
+		// no RNG, so it never perturbs the schedule.
+		c.Net.SetReplayCapture(replayCaptureMax)
+	}
 
 	res := &Result{Seed: sched.Seed, Kinds: sched.Kinds(), Metrics: metrics}
 
@@ -189,6 +209,21 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 				}
 				_ = c.Net.InjectGarbage(ev.From, ev.Target, ev.Size)
 			})
+		case KindForge:
+			c.Sim.At(ev.At, func() {
+				if c.Net.Crashed(ev.From) || c.Net.Crashed(ev.Target) {
+					return
+				}
+				_ = c.Net.InjectForged(ev.From, ev.Target, forgedFrame(ev))
+			})
+		case KindReplay:
+			c.Sim.At(ev.At, func() {
+				n := c.Net.CapturedFrames()
+				if n == 0 {
+					return
+				}
+				_ = c.Net.InjectReplay(ev.Index % n)
+			})
 		default:
 			return nil, nil, fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 		}
@@ -231,6 +266,8 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 	if msg := capturePanic(func() { c.Run(probeAt + cfg.Drain) }); msg != "" {
 		_ = capturePanic(c.Stop)
 		res.Events = c.Sim.Executed()
+		ns := c.Net.Stats()
+		res.Forged, res.Replayed = ns.Forged, ns.Replayed
 		res.Violations = append(res.Violations, msg)
 		res.FlightRecord = flight.Snapshot()
 		res.FlightDropped = flight.Dropped()
@@ -238,6 +275,8 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 	}
 	c.Stop()
 	res.Events = c.Sim.Executed()
+	ns := c.Net.Stats()
+	res.Forged, res.Replayed = ns.Forged, ns.Replayed
 
 	for p := 0; p < sched.N; p++ {
 		if !c.Net.Crashed(ids.ProcID(p)) {
@@ -260,6 +299,8 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 	res.Violations = append(res.Violations, checkLiveness(bodies, res.Live)...)
 	res.Violations = append(res.Violations, checkCommonOrder(bodies, res.Live)...)
 	res.Violations = append(res.Violations, checkEpochBoundary(bodies)...)
+	res.Violations = append(res.Violations, checkNoForgedDelivery(bodies)...)
+	res.Violations = append(res.Violations, checkNoDoubleDelivery(bodies)...)
 	if res.Failed() {
 		res.FlightRecord = flight.Snapshot()
 		res.FlightDropped = flight.Dropped()
@@ -284,8 +325,38 @@ func statsFromMetrics(m *obs.Metrics, live []ids.ProcID) switching.Stats {
 		s.ForcedAdvances += m.Counter(p, obs.KeyForcedAdvances)
 		s.MalformedDropped += m.Counter(p, obs.KeyMalformedDropped)
 		s.Quarantines += m.Counter(p, obs.KeyQuarantines)
+		s.AuthFailed += m.Counter(p, obs.KeyAuthFailed)
 	}
 	return s
+}
+
+// chaosSessionKey is the fixed group session key of forgery runs: every
+// member derives the same epoch keys from it, and the generated forgers
+// do not hold it.
+var chaosSessionKey = []byte("chaos harness group session key")
+
+// replayCaptureMax bounds the adversary tap's buffer per run.
+const replayCaptureMax = 512
+
+// forgedFrame crafts the wire bytes of a KindForge event: a
+// syntactically valid protocol frame — mux header, FIFO cast, epoch
+// tag, well-formed application message — sealed under a key derived
+// from a guessed session secret. Everything about it parses; only the
+// MAC cannot verify. The body carries the FORGED marker the
+// no-forged-delivery invariant scans for.
+func forgedFrame(ev Event) []byte {
+	app := proto.AppMsg{
+		ID:     proto.MakeMsgID(ev.From, uint32(40000+ev.Size)),
+		Sender: ev.From,
+		Body:   []byte(fmt.Sprintf("e%d-FORGED.%d", ev.Epoch, ev.Size)),
+	}
+	e := wire.NewEncoder(16)
+	e.Channel(ids.ProtocolChannel(int(ev.Epoch % 2)))
+	e.U8(1) // FIFO cast
+	e.Uvarint(uint64(40000 + ev.Size))
+	e.Uvarint(ev.Epoch)
+	inner := e.Prepend(app.Encode())
+	return wire.SealAuth(wire.DeriveEpochKey([]byte("attacker guessed key"), ev.Epoch), ev.Epoch, inner)
 }
 
 // capturePanic runs fn and renders a recovered panic as an invariant

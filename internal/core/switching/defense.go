@@ -2,6 +2,7 @@ package switching
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/obs"
@@ -26,16 +27,54 @@ type DefenseConfig struct {
 	// QuarantineThreshold is how many malformed messages apparently
 	// from one peer this member tolerates before raising a suspicion
 	// against it instead of wedging on its garbage. Required (> 0).
+	// With Auth enabled, authentication failures advance the same
+	// per-peer count.
 	QuarantineThreshold int
 	// OnQuarantine, if set, is invoked (once per peer) when the
 	// threshold is crossed.
 	OnQuarantine func(ids.ProcID)
+	// Auth, when non-nil, upgrades the integrity envelope to the
+	// authenticated envelope: frames are MACed under a per-epoch key
+	// derived from the group session key, so forgery — not just
+	// corruption — is rejected at the trust boundary. See AuthConfig.
+	Auth *AuthConfig
+}
+
+// AuthConfig configures the authenticated-session mode of the
+// defensive ingress. Every member of a group must share the same
+// SessionKey (distribution is out of scope — in a deployment it would
+// come from a group key agreement à la mpENC; here the harness hands it
+// out). The per-frame MAC key is wire.DeriveEpochKey(SessionKey,
+// epoch), rolled atomically with the switch protocol's send-epoch
+// advance, which makes the epoch counter part of what a frame
+// authenticates: a frame captured in epoch N fails verification once
+// the group's grace window for N has closed, so cross-epoch replay is
+// rejected even though each individual frame is genuine.
+type AuthConfig struct {
+	// SessionKey is the group session secret. Required (non-empty).
+	SessionKey []byte
+	// Grace bounds how long after this member rolls its send epoch it
+	// keeps accepting frames sealed under the previous epoch's key —
+	// covering legitimately in-flight old-epoch frames during a switch
+	// round. Beyond the window, previous-epoch frames are rejected as
+	// replays. Defaults to 10× the token interval. Same-epoch and
+	// newer-epoch frames are always accepted when their MAC verifies
+	// (an attacker without the session key can forge neither).
+	Grace time.Duration
 }
 
 // Validate checks the defense configuration.
 func (c DefenseConfig) Validate() error {
 	if c.QuarantineThreshold <= 0 {
 		return fmt.Errorf("switching: quarantine threshold %d must be positive", c.QuarantineThreshold)
+	}
+	if c.Auth != nil {
+		if len(c.Auth.SessionKey) == 0 {
+			return fmt.Errorf("switching: auth mode requires a non-empty session key")
+		}
+		if c.Auth.Grace < 0 {
+			return fmt.Errorf("switching: negative auth grace window %v", c.Auth.Grace)
+		}
 	}
 	return nil
 }
@@ -63,15 +102,40 @@ func (t sealedTransport) Send(dst ids.ProcID, payload []byte) error {
 func (s *Switch) countMalformed(src ids.ProcID, reason int64) {
 	s.stats.MalformedDropped++
 	s.obs.Record(obs.MalformedDrop(s.env.Now(), s.env.Self(), src, reason))
-	d := s.cfg.Defense
-	if d == nil {
+	if s.cfg.Defense == nil {
 		return
 	}
 	if s.malformedBy == nil {
 		s.malformedBy = make(map[ids.ProcID]uint64)
 	}
 	s.malformedBy[src]++
-	if s.malformedBy[src] != uint64(d.QuarantineThreshold) {
+	s.noteDefenseDrop(src)
+}
+
+// countAuthFailed records an arrival that failed authentication —
+// structurally broken envelope, bad MAC, or retired epoch — dropped
+// before any state mutation. Auth failures advance the same per-peer
+// quarantine progress as malformed drops: a peer spraying forgeries is
+// routed around exactly like one spraying garbage.
+func (s *Switch) countAuthFailed(src ids.ProcID, epoch uint64, reason int64) {
+	s.stats.AuthFailed++
+	s.obs.Record(obs.AuthFail(s.env.Now(), s.env.Self(), src, epoch, reason))
+	if s.authFailedBy == nil {
+		s.authFailedBy = make(map[ids.ProcID]uint64)
+	}
+	s.authFailedBy[src]++
+	s.noteDefenseDrop(src)
+}
+
+// noteDefenseDrop advances src's combined defensive-drop count toward
+// quarantine. The combined count (malformed + auth-failed) crosses the
+// threshold exactly once, so the suspicion fires exactly once per peer.
+func (s *Switch) noteDefenseDrop(src ids.ProcID) {
+	d := s.cfg.Defense
+	if d == nil {
+		return
+	}
+	if s.malformedBy[src]+s.authFailedBy[src] != uint64(d.QuarantineThreshold) {
 		return
 	}
 	// Crossing the threshold raises a suspicion instead of wedging:
@@ -90,3 +154,115 @@ func (s *Switch) countMalformed(src ids.ProcID, reason int64) {
 // MalformedFrom returns how many malformed messages apparently from p
 // this member has dropped (quarantine progress).
 func (s *Switch) MalformedFrom(p ids.ProcID) uint64 { return s.malformedBy[p] }
+
+// AuthFailedFrom returns how many arrivals apparently from p failed
+// authentication at this member (quarantine progress).
+func (s *Switch) AuthFailedFrom(p ids.ProcID) uint64 { return s.authFailedBy[p] }
+
+// authTransport wraps the real transport, sealing every outgoing packet
+// in the authenticated envelope under the owner's current send-epoch
+// key. It sits below the multiplex, so one MAC covers the mux header
+// and everything above it. Because it consults the Switch at seal time,
+// FIFO retransmissions — which re-traverse the transport — are re-
+// sealed under the key current at retransmission, keeping repair
+// traffic inside the receiver's acceptance window.
+type authTransport struct {
+	s    *Switch
+	down proto.Down
+}
+
+func (t authTransport) Cast(payload []byte) error {
+	return t.down.Cast(t.s.sealCurrent(payload))
+}
+
+func (t authTransport) Send(dst ids.ProcID, payload []byte) error {
+	return t.down.Send(dst, t.s.sealCurrent(payload))
+}
+
+// sealCurrent seals a payload under the current send epoch's key — or
+// the newest authenticated epoch this member has witnessed, when that
+// is ahead (a lagging member sealing under its retired epoch would be
+// rejected by everyone who completed the switch, wedging it out of the
+// group; see maxAuthEpoch).
+func (s *Switch) sealCurrent(payload []byte) []byte {
+	epoch := s.sendEpoch
+	if s.maxAuthEpoch > epoch {
+		epoch = s.maxAuthEpoch
+	}
+	return wire.SealAuth(s.epochKey(epoch), epoch, payload)
+}
+
+// epochKey returns the derived MAC key for an epoch, memoized. The
+// cache is pruned as epochs retire (see rollEpochKey); verification of
+// a from-ahead frame may derive and cache a future epoch's key early,
+// which is harmless — derivation is deterministic.
+func (s *Switch) epochKey(epoch uint64) []byte {
+	if k, ok := s.epochKeys[epoch]; ok {
+		return k
+	}
+	if s.epochKeys == nil {
+		s.epochKeys = make(map[uint64][]byte)
+	}
+	k := wire.DeriveEpochKey(s.cfg.Defense.Auth.SessionKey, epoch)
+	s.epochKeys[epoch] = k
+	return k
+}
+
+// rollEpochKey records the moment the send epoch advanced — opening the
+// grace window for the previous epoch — and prunes retired keys from
+// the cache. Called from every site that advances sendEpoch, so the key
+// schedule rolls atomically with the switch round.
+func (s *Switch) rollEpochKey() {
+	if s.cfg.Defense == nil || s.cfg.Defense.Auth == nil {
+		return
+	}
+	s.keyRolledAt = s.env.Now()
+	for e := range s.epochKeys {
+		if e+1 < s.sendEpoch {
+			delete(s.epochKeys, e)
+		}
+	}
+}
+
+// epochAcceptable implements the receive-side acceptance window for
+// authenticated frames. Frames at or ahead of the local send epoch are
+// always acceptable (an attacker without the session key cannot forge
+// any epoch, and from-ahead frames are how lagging members catch up);
+// the previous epoch is acceptable only while the grace window that
+// opened at the local key roll is still running. Everything older is a
+// cross-epoch replay.
+func (s *Switch) epochAcceptable(epoch uint64) bool {
+	if epoch >= s.sendEpoch {
+		return true
+	}
+	if epoch+1 == s.sendEpoch {
+		return s.env.Now()-s.keyRolledAt <= s.authGrace
+	}
+	return false
+}
+
+// recvAuth verifies and strips the authenticated envelope, or counts
+// and drops. Returns the inner payload and true on acceptance.
+func (s *Switch) recvAuth(src ids.ProcID, pkt []byte) ([]byte, bool) {
+	epoch, err := wire.AuthEpoch(pkt)
+	if err != nil {
+		s.countAuthFailed(src, 0, obs.AuthBadFrame)
+		return nil, false
+	}
+	// Reject retired epochs before verifying: the stale check needs no
+	// crypto, and skipping verification means a replayed frame's key is
+	// never even derived.
+	if !s.epochAcceptable(epoch) {
+		s.countAuthFailed(src, epoch, obs.AuthStaleEpoch)
+		return nil, false
+	}
+	payload, err := wire.OpenAuth(s.epochKey(epoch), pkt)
+	if err != nil {
+		s.countAuthFailed(src, epoch, obs.AuthBadMAC)
+		return nil, false
+	}
+	if epoch > s.maxAuthEpoch {
+		s.maxAuthEpoch = epoch
+	}
+	return payload, true
+}

@@ -125,6 +125,11 @@ type Stats struct {
 	// Quarantines counts peers whose malformed count crossed the
 	// quarantine threshold and raised a suspicion.
 	Quarantines uint64
+	// AuthFailed counts arrivals the authenticated ingress rejected:
+	// forged frames (bad MAC), structurally broken auth envelopes, and
+	// cross-epoch replays (retired epoch). Zero unless Defense.Auth is
+	// set.
+	AuthFailed uint64
 }
 
 // Add accumulates another member's (or run's) counters into s — the
@@ -140,6 +145,7 @@ func (s *Stats) Add(o Stats) {
 	s.ForcedAdvances += o.ForcedAdvances
 	s.MalformedDropped += o.MalformedDropped
 	s.Quarantines += o.Quarantines
+	s.AuthFailed += o.AuthFailed
 }
 
 // Switch is one member's instance of the switching protocol. The
@@ -190,6 +196,26 @@ type Switch struct {
 	// (allocated lazily; nil unless Config.Defense is set and a drop
 	// occurred).
 	malformedBy map[ids.ProcID]uint64
+	// authFailedBy tracks per-peer authentication-failure counts; it
+	// advances the same quarantine progress as malformedBy (allocated
+	// lazily; nil unless Defense.Auth is set and a failure occurred).
+	authFailedBy map[ids.ProcID]uint64
+	// epochKeys memoizes wire.DeriveEpochKey per epoch (auth mode).
+	epochKeys map[uint64][]byte
+	// keyRolledAt is when sendEpoch last advanced — the start of the
+	// grace window during which the previous epoch's key is still
+	// accepted on ingress.
+	keyRolledAt time.Duration
+	// authGrace is Defense.Auth.Grace normalized to its default.
+	authGrace time.Duration
+	// maxAuthEpoch is the newest epoch this member has verified a MAC
+	// under. A member that missed a switch round (partitioned, say)
+	// seals its egress under this instead of its own lagging sendEpoch:
+	// the verified MAC is unforgeable evidence the group rolled, and
+	// sealing under the retired key would get every frame it sends —
+	// heartbeats included — rejected by the advanced majority, leaving
+	// it permanently suspected and unable to rejoin.
+	maxAuthEpoch uint64
 	// obs is Config.Recorder normalized to non-nil (obs.Nop default).
 	obs obs.Recorder
 
@@ -215,25 +241,33 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 	if cfg.TokenInterval == 0 {
 		cfg.TokenInterval = 5 * time.Millisecond
 	}
-	if cfg.Defense != nil {
-		// Seal below the multiplex: one envelope covers the mux header
-		// and every protocol header above it.
-		transport = sealedTransport{down: transport}
-	}
-	mux, err := NewMultiplex(transport)
-	if err != nil {
-		return nil, err
-	}
 	s := &Switch{
 		cfg:    cfg,
 		env:    env,
 		app:    app,
-		mux:    mux,
 		sent:   make(map[uint64]uint64),
 		recv:   make(map[uint64][]uint64),
 		buffer: make(map[uint64][]bufEntry),
 		obs:    obs.OrNop(cfg.Recorder),
 	}
+	if cfg.Defense != nil {
+		// Seal below the multiplex: one envelope covers the mux header
+		// and every protocol header above it.
+		if cfg.Defense.Auth != nil {
+			s.authGrace = cfg.Defense.Auth.Grace
+			if s.authGrace == 0 {
+				s.authGrace = 10 * cfg.TokenInterval
+			}
+			transport = authTransport{s: s, down: transport}
+		} else {
+			transport = sealedTransport{down: transport}
+		}
+	}
+	mux, err := NewMultiplex(transport)
+	if err != nil {
+		return nil, err
+	}
+	s.mux = mux
 	mux.onMalformed = func(src ids.ProcID) {
 		s.countMalformed(src, obs.MalformedDecode)
 	}
@@ -280,21 +314,30 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 }
 
 // Recv routes an incoming transport packet; bind the node's network
-// handler here. With Defense enabled the integrity envelope is verified
-// and stripped first: a packet that fails the check is counted and
-// dropped before any protocol layer sees it.
+// handler here. With Defense enabled the envelope is verified and
+// stripped first — the authenticated envelope when Defense.Auth is set,
+// the integrity envelope otherwise: a packet that fails the check is
+// counted and dropped before any protocol layer sees it.
 func (s *Switch) Recv(src ids.ProcID, pkt []byte) {
-	if s.cfg.Defense != nil {
-		payload, err := wire.Open(pkt)
-		if err != nil {
-			reason := obs.MalformedFrame
-			if err == wire.ErrChecksum {
-				reason = obs.MalformedChecksum
+	if d := s.cfg.Defense; d != nil {
+		if d.Auth != nil {
+			payload, ok := s.recvAuth(src, pkt)
+			if !ok {
+				return
 			}
-			s.countMalformed(src, reason)
-			return
+			pkt = payload
+		} else {
+			payload, err := wire.Open(pkt)
+			if err != nil {
+				reason := obs.MalformedFrame
+				if err == wire.ErrChecksum {
+					reason = obs.MalformedChecksum
+				}
+				s.countMalformed(src, reason)
+				return
+			}
+			pkt = payload
 		}
-		pkt = payload
 	}
 	s.mux.Recv(src, pkt)
 }
@@ -531,7 +574,7 @@ func (s *Switch) onToken(t Token) {
 				// Late join: the round's PREPARE skipped this member
 				// (it was suspected). Redirect now; the vector is
 				// already fixed without its counts.
-				s.sendEpoch = t.Epoch + 1
+				s.setSendEpoch(t.Epoch + 1)
 				s.obs.Record(obs.Phase(s.env.Now(), self, uint8(ModeSwitch), t.Epoch, t.Gen))
 			}
 		}
@@ -576,13 +619,27 @@ func (s *Switch) onToken(t Token) {
 	}
 }
 
+// setSendEpoch advances the epoch new sends go to. This is the atomic
+// key-roll point of the authenticated session: outgoing frames seal
+// under the new epoch's derived key from this instant, the grace window
+// for the previous epoch's key opens (rollEpochKey), and every
+// epoch-aware sub-layer is told the new epoch so per-epoch MAC keys and
+// replay windows roll with the switch round instead of resetting.
+func (s *Switch) setSendEpoch(epoch uint64) {
+	s.sendEpoch = epoch
+	for _, p := range s.protos {
+		p.SetEpoch(epoch)
+	}
+	s.rollEpochKey()
+}
+
 // applyPrepare redirects sending to the new epoch (first PREPARE for the
 // current epoch) and records this member's send count in the token's
 // vector. On a recovery retry the member has already redirected — or
 // even completed — and simply reports its retained, now-final count.
 func (s *Switch) applyPrepare(t *Token) {
 	if t.Epoch == s.deliverEpoch && !s.Switching() {
-		s.sendEpoch = t.Epoch + 1
+		s.setSendEpoch(t.Epoch + 1)
 		s.obs.Record(obs.Phase(s.env.Now(), s.env.Self(), uint8(ModePrepare), t.Epoch, t.Gen))
 	}
 	if t.Epoch >= s.sendEpoch {
@@ -619,7 +676,7 @@ func (s *Switch) forceAdvance(target uint64) {
 		}
 	}
 	if s.sendEpoch < s.deliverEpoch {
-		s.sendEpoch = s.deliverEpoch
+		s.setSendEpoch(s.deliverEpoch)
 	}
 	if s.rec != nil {
 		s.rec.noteEpoch(s.deliverEpoch)

@@ -36,7 +36,12 @@ import (
 // counters — schedules with corruption/truncation/garbage faults, and
 // malformed-drop/quarantine totals in the switching section (all
 // omitted when zero, so corruption-free artifacts carry no new keys).
-const BenchSchemaVersion = 3
+//
+// Version 4: the chaos artifact adds the authenticated-session counters
+// (E16) — schedules with forgery/replay faults, forged/replayed frame
+// totals, and the auth-rejection total in the switching section (all
+// omitted when zero, so forgery-free artifacts keep their v3 shape).
+const BenchSchemaVersion = 4
 
 // BenchTiming is the non-deterministic wall-clock section of an
 // artifact.
@@ -260,9 +265,16 @@ type BenchChaos struct {
 	WithCorruption int `json:"with_corruption,omitempty"`
 	WithTruncation int `json:"with_truncation,omitempty"`
 	WithGarbage    int `json:"with_garbage,omitempty"`
+	// Authenticated-session fault classes (E16); zero on forgery-free
+	// sweeps, and then omitted so earlier artifacts keep their shape.
+	WithForgery int `json:"with_forgery,omitempty"`
+	WithReplay  int `json:"with_replay,omitempty"`
 
-	Delivered int              `json:"delivered"`
-	Switching BenchSwitchStats `json:"switching"`
+	Delivered int `json:"delivered"`
+	// Forged/Replayed total the adversary's wire-level injections.
+	ForgedFrames   uint64           `json:"forged_frames,omitempty"`
+	ReplayedFrames uint64           `json:"replayed_frames,omitempty"`
+	Switching      BenchSwitchStats `json:"switching"`
 
 	WorstRecoveryMS float64 `json:"worst_recovery_ms"`
 	RecoveryBoundMS float64 `json:"recovery_bound_ms"`
@@ -287,6 +299,7 @@ type BenchSwitchStats struct {
 	ForcedAdvances    uint64 `json:"forced_advances"`
 	MalformedDropped  uint64 `json:"malformed_dropped,omitempty"`
 	Quarantines       uint64 `json:"quarantines,omitempty"`
+	AuthFailed        uint64 `json:"auth_failed,omitempty"`
 }
 
 func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
@@ -301,6 +314,7 @@ func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
 		ForcedAdvances:    s.ForcedAdvances,
 		MalformedDropped:  s.MalformedDropped,
 		Quarantines:       s.Quarantines,
+		AuthFailed:        s.AuthFailed,
 	}
 }
 
@@ -329,7 +343,11 @@ func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
 		WithCorruption:  res.KindCounts[chaos.KindCorrupt],
 		WithTruncation:  res.KindCounts[chaos.KindTruncate],
 		WithGarbage:     res.KindCounts[chaos.KindGarbage],
+		WithForgery:     res.KindCounts[chaos.KindForge],
+		WithReplay:      res.KindCounts[chaos.KindReplay],
 		Delivered:       res.Delivered,
+		ForgedFrames:    res.Forged,
+		ReplayedFrames:  res.Replayed,
 		Switching:       toBenchSwitchStats(res.Stats),
 		WorstRecoveryMS: Millis(res.WorstRecovery),
 		RecoveryBoundMS: Millis(res.Bound),

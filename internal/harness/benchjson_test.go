@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/core/switching"
 )
 
 func TestBenchStatsMillis(t *testing.T) {
@@ -118,5 +119,59 @@ func TestNewBenchChaosCounts(t *testing.T) {
 	}
 	if strings.Contains(string(b), `"failures"`) {
 		t.Error("passing sweep artifact includes failures key")
+	}
+}
+
+// TestBenchChaosForgeryShape pins the v4 schema compatibility contract
+// both ways: a forgery sweep's artifact carries the new forgery/auth
+// keys, while a forgery-free sweep's artifact omits every one of them —
+// byte-wise it keeps its v3 shape (modulo the version number), so
+// existing artifact diffing across the repo's history still lines up.
+func TestBenchChaosForgeryShape(t *testing.T) {
+	forgeryRes := &ChaosSweepResult{
+		Schedules: 5,
+		KindCounts: map[chaos.Kind]int{
+			chaos.KindCrash: 2, chaos.KindForge: 3, chaos.KindReplay: 2,
+		},
+		Delivered: 100,
+		Forged:    17,
+		Replayed:  4,
+		Stats:     switching.Stats{AuthFailed: 29, Quarantines: 1},
+	}
+	art := NewBenchChaos(3, forgeryRes)
+	if art.WithForgery != 3 || art.WithReplay != 2 || art.ForgedFrames != 17 ||
+		art.ReplayedFrames != 4 || art.Switching.AuthFailed != 29 {
+		t.Errorf("forgery artifact = %+v", art)
+	}
+	b, err := EncodeBench(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"with_forgery": 3`, `"with_replay": 2`,
+		`"forged_frames": 17`, `"replayed_frames": 4`, `"auth_failed": 29`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("forgery artifact missing %s:\n%s", want, b)
+		}
+	}
+
+	// Forgery-free sweep: none of the v4 keys may appear.
+	legacyRes := &ChaosSweepResult{
+		Schedules: 5,
+		KindCounts: map[chaos.Kind]int{
+			chaos.KindCrash: 2, chaos.KindPartition: 3,
+		},
+		Delivered: 100,
+		Stats:     switching.Stats{SwitchesCompleted: 7},
+	}
+	b, err = EncodeBench(NewBenchChaos(3, legacyRes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"with_forgery", "with_replay",
+		"forged_frames", "replayed_frames", "auth_failed",
+		"with_corruption", "malformed_dropped", "quarantines"} {
+		if strings.Contains(string(b), banned) {
+			t.Errorf("forgery-free artifact leaks key %q:\n%s", banned, b)
+		}
 	}
 }

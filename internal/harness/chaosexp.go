@@ -63,6 +63,10 @@ type ChaosSweepResult struct {
 	// Events is the total DES event count over all schedule runs
 	// (deterministic per base seed).
 	Events uint64
+	// Forged and Replayed total the adversary's wire-level injections
+	// over all runs (zero on forgery-free sweeps).
+	Forged   uint64
+	Replayed uint64
 	// Metrics merges the per-member registries of every schedule run.
 	Metrics *obs.Metrics
 	// Trace is the merged event stream (runs in index order) when
@@ -143,6 +147,8 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		}
 		res.Delivered += r.Delivered
 		res.Events += r.Events
+		res.Forged += r.Forged
+		res.Replayed += r.Replayed
 		res.Stats.Add(r.Stats)
 		res.Metrics.Merge(r.Metrics)
 		traces = append(traces, run.trace)
@@ -184,6 +190,10 @@ func (r *ChaosSweepResult) Render() string {
 		fmt.Fprintf(&b, "  with truncation        %10d\n", r.KindCounts[chaos.KindTruncate])
 		fmt.Fprintf(&b, "  with garbage injection %10d\n", r.KindCounts[chaos.KindGarbage])
 	}
+	if n := r.KindCounts[chaos.KindForge] + r.KindCounts[chaos.KindReplay]; n > 0 {
+		fmt.Fprintf(&b, "  with forged frames     %10d\n", r.KindCounts[chaos.KindForge])
+		fmt.Fprintf(&b, "  with wire replays      %10d\n", r.KindCounts[chaos.KindReplay])
+	}
 	fmt.Fprintf(&b, "invariant violations     %10d\n", len(r.Failures))
 	fmt.Fprintf(&b, "app deliveries           %10d\n", r.Delivered)
 	fmt.Fprintf(&b, "switches completed       %10d\n", r.Stats.SwitchesCompleted)
@@ -194,6 +204,11 @@ func (r *ChaosSweepResult) Render() string {
 	if r.Stats.MalformedDropped > 0 || r.Stats.Quarantines > 0 {
 		fmt.Fprintf(&b, "malformed pkts dropped   %10d\n", r.Stats.MalformedDropped)
 		fmt.Fprintf(&b, "peers quarantined        %10d\n", r.Stats.Quarantines)
+	}
+	if r.Forged > 0 || r.Replayed > 0 || r.Stats.AuthFailed > 0 {
+		fmt.Fprintf(&b, "forged frames injected   %10d\n", r.Forged)
+		fmt.Fprintf(&b, "captured frames replayed %10d\n", r.Replayed)
+		fmt.Fprintf(&b, "auth rejections          %10d\n", r.Stats.AuthFailed)
 	}
 	fmt.Fprintf(&b, "worst in-round recovery  %10s (bound %s)\n",
 		FormatMillis(r.WorstRecovery), FormatMillis(r.Bound))

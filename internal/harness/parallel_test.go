@@ -308,3 +308,55 @@ func TestSwitchedRunLeavesNoInFlightEntries(t *testing.T) {
 		t.Errorf("collector retains %d entries after a drained run", n)
 	}
 }
+
+// TestChaosForgerySweepByteIdenticalAcrossWorkers is E16's determinism
+// gate: a forgery-enabled sweep — crafted frames, the wire-replay tap,
+// epoch-keyed authenticated ingress, quarantine — must render the same
+// table and encode a byte-identical artifact (timing scrubbed) for 1
+// and 4 workers, and must actually exercise the authentication counters
+// so the comparison is not vacuous.
+func TestChaosForgerySweepByteIdenticalAcrossWorkers(t *testing.T) {
+	sweep := func(parallel int) (*ChaosSweepResult, []byte) {
+		cfg := DefaultChaosSweepConfig()
+		cfg.Schedules = 20
+		cfg.RecoverySeeds = 3
+		cfg.Gen.Corruption = true
+		cfg.Gen.Forgery = true
+		cfg.Parallel = parallel
+		res, err := RunChaosSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := NewBenchChaos(cfg.Seed, res)
+		art.SetTiming(time.Duration(parallel)*time.Millisecond, parallel) // differs per run on purpose
+		art.ScrubTiming()
+		b, err := EncodeBench(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, b
+	}
+	seq, seqJSON := sweep(1)
+	par, parJSON := sweep(4)
+	if len(seq.Failures) != 0 {
+		for _, f := range seq.Failures {
+			t.Errorf("seed %d (%v): %v", f.Seed, f.Kinds, f.Violations)
+		}
+	}
+	if seq.Render() != par.Render() {
+		t.Errorf("forgery sweep table diverged across worker counts:\n%s\nvs\n%s", seq.Render(), par.Render())
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Errorf("forgery sweep JSON differs across worker counts:\n%s\nvs\n%s", seqJSON, parJSON)
+	}
+	if seq.Forged == 0 || seq.Replayed == 0 {
+		t.Errorf("forgery sweep injected %d forged and %d replayed frames — adversary never acted",
+			seq.Forged, seq.Replayed)
+	}
+	if seq.Stats.AuthFailed == 0 {
+		t.Error("forgery sweep rejected nothing at the auth boundary — authenticated ingress not exercised")
+	}
+	if n := seq.KindCounts[chaos.KindForge] + seq.KindCounts[chaos.KindReplay]; n == 0 {
+		t.Error("forgery sweep generated no forgery faults")
+	}
+}

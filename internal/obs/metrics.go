@@ -25,6 +25,7 @@ const (
 	KeySuspects          = "switching/suspects"
 	KeyMalformedDropped  = "switching/malformed_dropped"
 	KeyQuarantines       = "switching/quarantines"
+	KeyAuthFailed        = "switching/auth_failed"
 
 	KeyNetCrashes     = "net/crashes"
 	KeyNetPartitions  = "net/partitions"
@@ -36,6 +37,8 @@ const (
 	KeyNetCorrupts    = "net/corrupts"
 	KeyNetTruncates   = "net/truncates"
 	KeyNetGarbage     = "net/garbage"
+	KeyNetForged      = "net/forged"
+	KeyNetReplayed    = "net/replayed"
 
 	// KeySwitchDuration is the per-member histogram of initiated switch
 	// round durations (EvSwitchComplete).
@@ -68,6 +71,9 @@ var counterKey = [eventTypeCount]string{
 	EvGarbage:        KeyNetGarbage,
 	EvMalformedDrop:  KeyMalformedDropped,
 	EvQuarantine:     KeyQuarantines,
+	EvAuthFail:       KeyAuthFailed,
+	EvForged:         KeyNetForged,
+	EvReplayed:       KeyNetReplayed,
 }
 
 // CounterKey returns the counter an event type increments ("" for

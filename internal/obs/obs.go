@@ -108,6 +108,16 @@ const (
 	// quarantine threshold (Args[0]) and raised a suspicion instead of
 	// wedging.
 	EvQuarantine
+	// EvAuthFail: Proc's authenticated ingress rejected a frame
+	// apparently from Peer; Args[0] is an AuthFailReason code, Epoch the
+	// frame's claimed epoch where one parsed (zero otherwise).
+	EvAuthFail
+	// EvForged: the network injected a forged frame of Args[0] bytes to
+	// Proc, claiming to come from Peer.
+	EvForged
+	// EvReplayed: the network re-delivered a previously captured frame
+	// of Args[0] bytes to Proc, originally from Peer.
+	EvReplayed
 
 	eventTypeCount
 )
@@ -139,6 +149,9 @@ var eventNames = [eventTypeCount]string{
 	EvGarbage:        "garbage",
 	EvMalformedDrop:  "malformed_drop",
 	EvQuarantine:     "quarantine",
+	EvAuthFail:       "auth_fail",
+	EvForged:         "forged",
+	EvReplayed:       "replayed",
 }
 
 // String renders the type's stable wire name.
@@ -372,6 +385,39 @@ func MalformedDrop(at time.Duration, proc, peer ids.ProcID, reason int64) Event 
 // peer and raising a suspicion.
 func Quarantine(at time.Duration, proc, peer ids.ProcID, threshold int) Event {
 	return Event{At: at, Type: EvQuarantine, Proc: proc, Peer: peer, Args: [3]int64{int64(threshold)}}
+}
+
+// AuthFailReason codes (Args[0] of EvAuthFail) name the authenticated
+// ingress check that rejected the frame.
+const (
+	// AuthBadFrame: the frame was not structurally an authenticated
+	// envelope (wrong magic, truncated header or MAC).
+	AuthBadFrame int64 = 0
+	// AuthBadMAC: the envelope parsed but its MAC did not verify under
+	// the claimed epoch's key — a forgery or corruption.
+	AuthBadMAC int64 = 1
+	// AuthStaleEpoch: the frame authenticated to an epoch the receiver
+	// has retired (grace window closed) — a cross-epoch replay.
+	AuthStaleEpoch int64 = 2
+)
+
+// AuthFail records proc's authenticated ingress rejecting a frame
+// apparently from peer for the given reason code, claiming the given
+// epoch (zero when the epoch header did not parse).
+func AuthFail(at time.Duration, proc, peer ids.ProcID, epoch uint64, reason int64) Event {
+	return Event{At: at, Type: EvAuthFail, Proc: proc, Peer: peer, Epoch: epoch, Args: [3]int64{reason}}
+}
+
+// Forged records the network injecting a forged frame of size bytes to
+// proc, claiming to come from peer.
+func Forged(at time.Duration, proc, peer ids.ProcID, size int) Event {
+	return Event{At: at, Type: EvForged, Proc: proc, Peer: peer, Args: [3]int64{int64(size)}}
+}
+
+// Replayed records the network re-delivering a captured frame of size
+// bytes to proc, originally from peer.
+func Replayed(at time.Duration, proc, peer ids.ProcID, size int) Event {
+	return Event{At: at, Type: EvReplayed, Proc: proc, Peer: peer, Args: [3]int64{int64(size)}}
 }
 
 // Recorder consumes events. Implementations must be deterministic

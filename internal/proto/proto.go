@@ -93,3 +93,13 @@ type Layer interface {
 	// Stop cancels timers and releases resources. Idempotent.
 	Stop()
 }
+
+// EpochAware is implemented by layers whose state is keyed to the
+// switching protocol's epoch counter (per-epoch MAC keys, replay
+// windows that must survive a protocol switch). The switching layer
+// calls SetEpoch on every sub-stack each time its delivery epoch
+// advances; epochs are monotonically non-decreasing. Layers that do not
+// implement the interface are unaffected.
+type EpochAware interface {
+	SetEpoch(epoch uint64)
+}

@@ -113,5 +113,15 @@ func (s *Stack) Stop() {
 	}
 }
 
+// SetEpoch informs every EpochAware layer of the current switching
+// epoch (a no-op for layers that are not epoch-keyed).
+func (s *Stack) SetEpoch(epoch uint64) {
+	for _, l := range s.layers {
+		if ea, ok := l.(EpochAware); ok {
+			ea.SetEpoch(epoch)
+		}
+	}
+}
+
 // Len returns the number of layers.
 func (s *Stack) Len() int { return len(s.layers) }

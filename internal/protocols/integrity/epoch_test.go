@@ -1,0 +1,153 @@
+package integrity
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/protocols/ptest"
+)
+
+var sessionKey = []byte("epoch-test session key")
+
+func newEpochUnit(t *testing.T) (*Layer, *ptest.RecordDown, *ptest.RecordUp) {
+	t.Helper()
+	l := NewEpoch(sessionKey)
+	down := &ptest.RecordDown{}
+	up := &ptest.RecordUp{}
+	if err := l.Init(ptest.NewFakeEnv(0, 2), down, up); err != nil {
+		t.Fatal(err)
+	}
+	return l, down, up
+}
+
+// sealAt returns the wire bytes the layer would emit for payload at the
+// given epoch — the test's stand-in for a frame captured off the wire.
+func sealAt(t *testing.T, epoch uint64, payload string) []byte {
+	t.Helper()
+	l := NewEpoch(sessionKey)
+	down := &ptest.RecordDown{}
+	if err := l.Init(ptest.NewFakeEnv(1, 2), down, &ptest.RecordUp{}); err != nil {
+		t.Fatal(err)
+	}
+	l.SetEpoch(epoch)
+	if err := l.Cast([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	return down.Casts[0]
+}
+
+func TestEpochRoundTripSameEpoch(t *testing.T) {
+	l, _, up := newEpochUnit(t)
+	l.Recv(1, sealAt(t, 0, "hello"))
+	if len(up.Deliveries) != 1 || string(up.Deliveries[0].Payload) != "hello" {
+		t.Fatalf("deliveries = %v", up.Deliveries)
+	}
+	if l.Rejected() != 0 {
+		t.Errorf("Rejected = %d, want 0", l.Rejected())
+	}
+}
+
+// TestEpochWindowAcceptsNeighbours: frames sealed one epoch behind or
+// ahead of the receiver still verify — they are legitimately in flight
+// around a key roll.
+func TestEpochWindowAcceptsNeighbours(t *testing.T) {
+	l, _, up := newEpochUnit(t)
+	l.SetEpoch(5)
+	l.Recv(1, sealAt(t, 4, "behind"))
+	l.Recv(1, sealAt(t, 5, "level"))
+	l.Recv(1, sealAt(t, 6, "ahead"))
+	if got := len(up.Deliveries); got != 3 {
+		t.Fatalf("delivered %d of the ±1 window, want 3; rejected=%d", got, l.Rejected())
+	}
+}
+
+// TestEpochCrossEpochReplayRejected is the §6.2 fix at the layer level:
+// a frame recorded in a retired epoch no longer verifies, even though
+// every byte of it is genuine.
+func TestEpochCrossEpochReplayRejected(t *testing.T) {
+	l, _, up := newEpochUnit(t)
+	captured := sealAt(t, 0, "recorded in epoch 0")
+	l.SetEpoch(2)
+	l.Recv(1, captured)
+	if len(up.Deliveries) != 0 {
+		t.Fatal("cross-epoch replay delivered")
+	}
+	if l.Rejected() != 1 || l.StaleRejected() != 1 {
+		t.Errorf("Rejected=%d StaleRejected=%d, want 1/1", l.Rejected(), l.StaleRejected())
+	}
+}
+
+// TestEpochSetEpochMonotonic: SetEpoch never moves backwards, so a
+// delayed or replayed control message cannot reopen a retired epoch.
+func TestEpochSetEpochMonotonic(t *testing.T) {
+	l, _, up := newEpochUnit(t)
+	captured := sealAt(t, 0, "old")
+	l.SetEpoch(3)
+	l.SetEpoch(1) // ignored
+	l.SetEpoch(0) // ignored
+	l.Recv(1, captured)
+	if len(up.Deliveries) != 0 {
+		t.Fatal("backwards SetEpoch reopened a retired epoch")
+	}
+	l.Recv(1, sealAt(t, 3, "current"))
+	if len(up.Deliveries) != 1 {
+		t.Fatal("current-epoch frame rejected after monotonic guard")
+	}
+}
+
+// TestEpochKeyCachePruned: retired epoch keys are dropped from the memo
+// as the epoch advances, so the cache stays bounded over a long run.
+func TestEpochKeyCachePruned(t *testing.T) {
+	l, _, _ := newEpochUnit(t)
+	for e := uint64(1); e <= 100; e++ {
+		l.SetEpoch(e)
+		if err := l.Cast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(l.epochKeys); n > 3 {
+		t.Errorf("epoch key cache holds %d entries after 100 rolls, want <= 3", n)
+	}
+}
+
+// TestEpochWrongSessionKeyRejected: epoch-keyed mode still rejects
+// plain forgeries, same as the static-key layer.
+func TestEpochWrongSessionKeyRejected(t *testing.T) {
+	l, _, up := newEpochUnit(t)
+	forger := NewEpoch([]byte("some other session"))
+	down := &ptest.RecordDown{}
+	if err := forger.Init(ptest.NewFakeEnv(1, 2), down, &ptest.RecordUp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := forger.Cast([]byte("forged")); err != nil {
+		t.Fatal(err)
+	}
+	l.Recv(1, down.Casts[0])
+	if len(up.Deliveries) != 0 {
+		t.Fatal("wrong-session frame delivered")
+	}
+	if l.Rejected() != 1 {
+		t.Errorf("Rejected = %d, want 1", l.Rejected())
+	}
+}
+
+// TestEpochStaticLayerUnaffected: New()'s behaviour is untouched by the
+// epoch machinery — SetEpoch on it is a no-op and the static key keeps
+// verifying.
+func TestEpochStaticLayerUnaffected(t *testing.T) {
+	l := New(sessionKey)
+	down := &ptest.RecordDown{}
+	up := &ptest.RecordUp{}
+	if err := l.Init(ptest.NewFakeEnv(0, 2), down, up); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Cast([]byte("static")); err != nil {
+		t.Fatal(err)
+	}
+	l.SetEpoch(7) // no-op for static layers
+	l.Recv(1, down.Casts[0])
+	if len(up.Deliveries) != 1 {
+		t.Fatal("static layer broken by SetEpoch")
+	}
+	var _ proto.EpochAware = l // both modes satisfy the interface
+}

@@ -28,8 +28,17 @@ type Layer struct {
 	env  proto.Env
 	down proto.Down
 	up   proto.Up
+	// Epoch-keyed mode (NewEpoch): the MAC key is derived per switching
+	// epoch from key via wire.DeriveEpochKey, rolled by SetEpoch.
+	epochKeyed bool
+	epoch      uint64
+	epochKeys  map[uint64][]byte
 	// rejected counts dropped forgeries (metrics/test hook).
 	rejected uint64
+	// staleRejected counts payloads that carried a structurally valid
+	// MAC but verified under no key in the current acceptance window —
+	// in epoch-keyed mode this is where cross-epoch replays land.
+	staleRejected uint64
 }
 
 var _ proto.Layer = (*Layer)(nil)
@@ -41,6 +50,54 @@ func New(key []byte) *Layer {
 	k := make([]byte, len(key))
 	copy(k, key)
 	return &Layer{key: k}
+}
+
+// NewEpoch creates an integrity layer whose MAC key is derived per
+// switching epoch from the session key (wire.DeriveEpochKey) and rolled
+// by the switching layer through proto.EpochAware. Receivers accept the
+// current epoch and its two neighbours (frames legitimately in flight
+// across a key roll); anything older fails verification — so a payload
+// recorded under one epoch cannot be replayed after the group has moved
+// on, even when the same protocol becomes active again at a later
+// epoch. This is the "replay window survives the switch" half of the
+// mpENC-style session; compare noreplay.NewShared for the exact-dup
+// half.
+func NewEpoch(sessionKey []byte) *Layer {
+	l := New(sessionKey)
+	l.epochKeyed = true
+	l.epochKeys = make(map[uint64][]byte)
+	return l
+}
+
+// SetEpoch implements proto.EpochAware: roll the MAC key to the given
+// (monotonically non-decreasing) switching epoch. A no-op for layers
+// built with New.
+func (l *Layer) SetEpoch(epoch uint64) {
+	if !l.epochKeyed || epoch <= l.epoch {
+		return
+	}
+	l.epoch = epoch
+	for e := range l.epochKeys {
+		if e+1 < epoch {
+			delete(l.epochKeys, e)
+		}
+	}
+}
+
+var _ proto.EpochAware = (*Layer)(nil)
+
+// macKey returns the MAC key for an epoch (the static group key when
+// not epoch-keyed).
+func (l *Layer) macKey(epoch uint64) []byte {
+	if !l.epochKeyed {
+		return l.key
+	}
+	if k, ok := l.epochKeys[epoch]; ok {
+		return k
+	}
+	k := wire.DeriveEpochKey(l.key, epoch)
+	l.epochKeys[epoch] = k
+	return k
 }
 
 // Init implements proto.Layer.
@@ -58,13 +115,23 @@ func (l *Layer) Init(env proto.Env, down proto.Down, up proto.Up) error {
 // Stop implements proto.Layer.
 func (l *Layer) Stop() {}
 
-// Rejected returns the number of payloads dropped for MAC failure.
+// Rejected returns the number of payloads dropped for MAC failure
+// (including stale-epoch rejections).
 func (l *Layer) Rejected() uint64 { return l.rejected }
 
-func (l *Layer) seal(payload []byte) []byte {
-	mac := hmac.New(sha256.New, l.key)
+// StaleRejected returns how many of the rejected payloads carried a
+// well-formed MAC that verified under no key in the acceptance window —
+// cross-epoch replays, in epoch-keyed mode.
+func (l *Layer) StaleRejected() uint64 { return l.staleRejected }
+
+func macSum(key, payload []byte) []byte {
+	mac := hmac.New(sha256.New, key)
 	mac.Write(payload)
-	sum := mac.Sum(nil)[:macSize]
+	return mac.Sum(nil)[:macSize]
+}
+
+func (l *Layer) seal(payload []byte) []byte {
+	sum := macSum(l.macKey(l.epoch), payload)
 	e := wire.NewEncoder(macSize + 2)
 	e.BytesField(sum)
 	return e.Prepend(payload)
@@ -81,7 +148,10 @@ func (l *Layer) Send(dst ids.ProcID, payload []byte) error {
 }
 
 // Recv implements proto.Layer: verify and strip the MAC, dropping
-// forgeries.
+// forgeries. In epoch-keyed mode the acceptance window is the current
+// epoch and its immediate neighbours — a frame sealed just before the
+// sender rolled (epoch-1) or by a sender that rolled first (epoch+1)
+// still verifies; anything further is rejected as stale.
 func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 	d := wire.NewDecoder(pkt)
 	sum := d.BytesField()
@@ -90,12 +160,25 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 		return
 	}
 	payload := d.Remaining()
-	mac := hmac.New(sha256.New, l.key)
-	mac.Write(payload)
-	want := mac.Sum(nil)[:macSize]
-	if !hmac.Equal(sum, want) {
-		l.rejected++
+	if !l.epochKeyed {
+		if !hmac.Equal(sum, macSum(l.key, payload)) {
+			l.rejected++
+			return
+		}
+		l.up.Deliver(src, payload)
 		return
 	}
-	l.up.Deliver(src, payload)
+	candidates := [3]uint64{l.epoch, l.epoch + 1, l.epoch - 1}
+	n := 3
+	if l.epoch == 0 {
+		n = 2
+	}
+	for _, e := range candidates[:n] {
+		if hmac.Equal(sum, macSum(l.macKey(e), payload)) {
+			l.up.Deliver(src, payload)
+			return
+		}
+	}
+	l.rejected++
+	l.staleRejected++
 }

@@ -23,12 +23,30 @@ import (
 	"repro/internal/proto"
 )
 
+// History is the record of delivered bodies. Each New() layer owns a
+// private one — the §6.2 semantics, where the property holds per
+// protocol execution only. A single History shared across the layer
+// instances of several protocols (NewShared) is what makes No Replay
+// survive a protocol switch: the window persists across the epoch
+// boundary instead of resetting with the new protocol's fresh instance.
+type History struct {
+	seen map[[sha256.Size]byte]bool
+}
+
+// NewHistory returns an empty delivered-body record.
+func NewHistory() *History {
+	return &History{seen: make(map[[sha256.Size]byte]bool)}
+}
+
+// Len returns the number of distinct bodies recorded.
+func (h *History) Len() int { return len(h.seen) }
+
 // Layer suppresses repeated payload bodies.
 type Layer struct {
 	env  proto.Env
 	down proto.Down
 	up   proto.Up
-	seen map[[sha256.Size]byte]bool
+	hist *History
 	// key extracts the "body" replay protection applies to.
 	key func([]byte) []byte
 	// suppressed counts dropped replays (metrics/test hook).
@@ -37,8 +55,8 @@ type Layer struct {
 
 var _ proto.Layer = (*Layer)(nil)
 
-// New creates a no-replay layer with an empty history, keyed on the
-// whole payload.
+// New creates a no-replay layer with an empty private history, keyed on
+// the whole payload.
 func New() *Layer {
 	return NewKeyed(nil)
 }
@@ -48,10 +66,26 @@ func New() *Layer {
 // from a framed message, so that transport framing (sequence numbers,
 // epoch tags) does not defeat suppression. A nil key means identity.
 func NewKeyed(key func([]byte) []byte) *Layer {
+	return NewSharedKeyed(NewHistory(), key)
+}
+
+// NewShared creates a no-replay layer recording into the given shared
+// history, keyed on the whole payload. Hand the same History to one
+// instance per switchable protocol and the replay window survives
+// protocol switches — the composability fix for §6.2.
+func NewShared(h *History) *Layer {
+	return NewSharedKeyed(h, nil)
+}
+
+// NewSharedKeyed combines NewShared and NewKeyed.
+func NewSharedKeyed(h *History, key func([]byte) []byte) *Layer {
+	if h == nil {
+		h = NewHistory()
+	}
 	if key == nil {
 		key = func(b []byte) []byte { return b }
 	}
-	return &Layer{seen: make(map[[sha256.Size]byte]bool), key: key}
+	return &Layer{hist: h, key: key}
 }
 
 // Init implements proto.Layer.
@@ -77,13 +111,14 @@ func (l *Layer) Send(dst ids.ProcID, payload []byte) error {
 	return l.down.Send(dst, payload)
 }
 
-// Recv implements proto.Layer: deliver each distinct body at most once.
+// Recv implements proto.Layer: deliver each distinct body at most once
+// per history.
 func (l *Layer) Recv(src ids.ProcID, payload []byte) {
 	key := sha256.Sum256(l.key(payload))
-	if l.seen[key] {
+	if l.hist.seen[key] {
 		l.suppressed++
 		return
 	}
-	l.seen[key] = true
+	l.hist.seen[key] = true
 	l.up.Deliver(src, payload)
 }

@@ -1,0 +1,80 @@
+package noreplay
+
+import (
+	"testing"
+
+	"repro/internal/protocols/ptest"
+)
+
+func newSharedUnit(t *testing.T, h *History) (*Layer, *ptest.RecordUp) {
+	t.Helper()
+	l := NewShared(h)
+	up := &ptest.RecordUp{}
+	if err := l.Init(ptest.NewFakeEnv(0, 2), &ptest.RecordDown{}, up); err != nil {
+		t.Fatal(err)
+	}
+	return l, up
+}
+
+// TestSharedHistorySuppressesAcrossInstances is the §6.2 composability
+// fix in miniature: two layer instances — one per "protocol execution"
+// — share a History, so a body delivered through the first is
+// suppressed by the second.
+func TestSharedHistorySuppressesAcrossInstances(t *testing.T) {
+	h := NewHistory()
+	l1, up1 := newSharedUnit(t, h)
+	l2, up2 := newSharedUnit(t, h)
+
+	l1.Recv(1, []byte("body"))
+	l2.Recv(1, []byte("body")) // replay through the *other* instance
+	if len(up1.Deliveries) != 1 || len(up2.Deliveries) != 0 {
+		t.Fatalf("deliveries = %d/%d, want 1/0", len(up1.Deliveries), len(up2.Deliveries))
+	}
+	if l2.Suppressed() != 1 {
+		t.Errorf("second instance Suppressed = %d, want 1", l2.Suppressed())
+	}
+	if h.Len() != 1 {
+		t.Errorf("history records %d bodies, want 1", h.Len())
+	}
+}
+
+// TestPrivateHistoriesStillIndependent: New() keeps the legacy per-
+// instance semantics — the violation the switching tests demonstrate
+// must stay demonstrable.
+func TestPrivateHistoriesStillIndependent(t *testing.T) {
+	l1, up1 := newSharedUnit(t, nil) // nil history → fresh private one
+	l2 := New()
+	up2 := &ptest.RecordUp{}
+	if err := l2.Init(ptest.NewFakeEnv(1, 2), &ptest.RecordDown{}, up2); err != nil {
+		t.Fatal(err)
+	}
+	l1.Recv(1, []byte("body"))
+	l2.Recv(1, []byte("body"))
+	if len(up1.Deliveries) != 1 || len(up2.Deliveries) != 1 {
+		t.Fatalf("deliveries = %d/%d, want 1/1 (independent histories)",
+			len(up1.Deliveries), len(up2.Deliveries))
+	}
+}
+
+// TestSharedKeyedExtractsBody: NewSharedKeyed suppresses on the
+// extracted body even when the framing differs between instances.
+func TestSharedKeyedExtractsBody(t *testing.T) {
+	h := NewHistory()
+	stripFirst := func(b []byte) []byte { return b[1:] }
+	mk := func(self int) (*Layer, *ptest.RecordUp) {
+		l := NewSharedKeyed(h, stripFirst)
+		up := &ptest.RecordUp{}
+		if err := l.Init(ptest.NewFakeEnv(0, 2), &ptest.RecordDown{}, up); err != nil {
+			t.Fatal(err)
+		}
+		return l, up
+	}
+	l1, up1 := mk(0)
+	l2, up2 := mk(1)
+	l1.Recv(1, []byte("Abody")) // framing byte 'A'
+	l2.Recv(1, []byte("Bbody")) // different framing, same body
+	if len(up1.Deliveries) != 1 || len(up2.Deliveries) != 0 || l2.Suppressed() != 1 {
+		t.Fatalf("keyed shared suppression failed: %d/%d suppressed=%d",
+			len(up1.Deliveries), len(up2.Deliveries), l2.Suppressed())
+	}
+}

@@ -115,6 +115,8 @@ type Stats struct {
 	Corrupted       uint64
 	Truncated       uint64
 	GarbageInjected uint64
+	Forged          uint64
+	Replayed        uint64
 }
 
 // frame is one queued transmission.
@@ -153,6 +155,16 @@ type Network struct {
 	crashed map[ids.ProcID]bool
 	stats   Stats
 	rec     obs.Recorder
+	// captured holds wire frames recorded for later replay injection
+	// (SetReplayCapture); capMax bounds the buffer.
+	captured []capturedFrame
+	capMax   int
+}
+
+// capturedFrame is one recorded wire delivery, replayable verbatim.
+type capturedFrame struct {
+	src, dst ids.ProcID
+	payload  []byte
 }
 
 // New creates a network over the given simulator.
@@ -306,6 +318,63 @@ func (n *Network) InjectGarbage(src, dst ids.ProcID, size int) error {
 	return nil
 }
 
+// InjectForged delivers an attacker-crafted wire frame to dst, forged
+// to appear from src — the forgery slice of the adversarial fault
+// model. Unlike InjectGarbage's random bytes, the caller supplies the
+// exact frame (a syntactically valid protocol message sealed under the
+// wrong — or no — key, say), modeling an adversary who knows the wire
+// format but not the group secret. The bytes bypass the sender-side
+// model but still traverse the receiver-side fault pipeline. Consumes
+// no RNG beyond what delivery itself draws, so forgery-free schedules
+// keep the legacy random stream.
+func (n *Network) InjectForged(src, dst ids.ProcID, payload []byte) error {
+	if !n.valid(src) || !n.valid(dst) {
+		return fmt.Errorf("simnet: forged %v -> %v out of range", src, dst)
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("simnet: forged frame must be non-empty")
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	n.stats.Forged++
+	n.rec.Record(obs.Forged(n.sim.Now(), dst, src, len(buf)))
+	n.scheduleDelivery(src, dst, buf, n.sim.Now()+n.cfg.PropDelay)
+	return nil
+}
+
+// SetReplayCapture starts recording delivered wire frames — up to max
+// of them — for later replay via InjectReplay, modeling an adversary
+// with a packet capture. Frames are recorded at delivery scheduling,
+// before the receiver-side fault pipeline, so a replayed frame is the
+// genuine bytes the sender emitted. Capturing consumes no RNG. max <= 0
+// stops capturing (and discards the buffer).
+func (n *Network) SetReplayCapture(max int) {
+	n.capMax = max
+	if max <= 0 {
+		n.captured = nil
+	}
+}
+
+// CapturedFrames reports how many frames the replay capture holds.
+func (n *Network) CapturedFrames() int { return len(n.captured) }
+
+// InjectReplay re-delivers captured frame i (0-based, in capture order)
+// to its original destination with its original apparent source — a
+// verbatim replay of a genuine transmission, possibly from a retired
+// epoch. The frame re-traverses the receiver-side fault pipeline.
+func (n *Network) InjectReplay(i int) error {
+	if i < 0 || i >= len(n.captured) {
+		return fmt.Errorf("simnet: replay index %d out of range [0,%d)", i, len(n.captured))
+	}
+	f := n.captured[i]
+	buf := make([]byte, len(f.payload))
+	copy(buf, f.payload)
+	n.stats.Replayed++
+	n.rec.Record(obs.Replayed(n.sim.Now(), f.dst, f.src, len(buf)))
+	n.scheduleDelivery(f.src, f.dst, buf, n.sim.Now()+n.cfg.PropDelay)
+	return nil
+}
+
 func (n *Network) isBlocked(src, dst ids.ProcID) bool {
 	return n.blocked[src][dst]
 }
@@ -455,6 +524,14 @@ func (n *Network) Inject(src, dst ids.ProcID, payload []byte) error {
 // scheduleDelivery applies the per-receiver fault model and queues the
 // handler invocation behind dst's CPU.
 func (n *Network) scheduleDelivery(src, dst ids.ProcID, payload []byte, arrival time.Duration) {
+	// Replay capture records the frame before the fault model touches it
+	// — the adversary's tap sees what the sender put on the wire. No RNG
+	// is consumed here, so enabling capture never perturbs a schedule.
+	if n.capMax > 0 && len(n.captured) < n.capMax {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		n.captured = append(n.captured, capturedFrame{src: src, dst: dst, payload: buf})
+	}
 	if n.isBlocked(src, dst) || n.crashed[src] || n.crashed[dst] {
 		n.stats.Dropped++
 		if n.rec.Enabled() {

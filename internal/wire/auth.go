@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+)
+
+// This file is the authenticated envelope: the keyed sibling of the CRC
+// envelope in seal.go. The CRC envelope detects accidental damage; this
+// one rejects deliberate forgery. The MAC key is not used directly —
+// each switching epoch derives its own subkey from the group session
+// key (DeriveEpochKey), so a frame authenticates both its bytes AND the
+// epoch it was sealed in. That per-epoch binding is what lets the
+// switching layer reject a frame captured in epoch N and replayed after
+// the group has moved to epoch N+1: the recorded MAC only verifies
+// under epoch N's key, and the receiver stopped accepting that key when
+// the grace window closed. The design follows the mpENC pattern of
+// rolling authentication state forward with group membership/protocol
+// changes instead of resetting it.
+//
+// Envelope layout: [magic 0xA7][epoch uvarint][mac 16][payload], where
+// mac = HMAC-SHA256(epochKey, epochHeader || payload) truncated to 16
+// bytes. The epoch header bytes are inside the MAC so an attacker
+// cannot splice a valid epoch-N frame into an epoch-M envelope.
+
+// authMagic distinguishes authenticated frames from CRC-sealed frames
+// (0xD5) and stray bytes before any crypto runs.
+const authMagic = 0xA7
+
+// authMACSize is the truncated HMAC-SHA256 length. 128 bits keeps the
+// per-frame overhead comparable to a UUID while leaving forgery
+// probability negligible for a session's lifetime.
+const authMACSize = 16
+
+// MaxAuthOverhead bounds the envelope size: magic + max uvarint epoch
+// (10 bytes) + MAC.
+const MaxAuthOverhead = 1 + binary.MaxVarintLen64 + authMACSize
+
+// ErrAuthFrame is returned by OpenAuth and AuthEpoch for input that is
+// not structurally an authenticated envelope (too short, wrong magic,
+// malformed epoch varint).
+var ErrAuthFrame = errors.New("wire: bad auth envelope")
+
+// ErrAuth is returned by OpenAuth when the envelope is well-formed but
+// the MAC does not verify under the given key: a forgery, a replay
+// sealed under a retired epoch key, or corruption.
+var ErrAuth = errors.New("wire: authentication failed")
+
+// DeriveEpochKey derives the per-epoch MAC key from the group session
+// key: HMAC-SHA256(sessionKey, "switch-epoch" || epoch LE64). Epoch
+// keys are independent — compromise or exposure of one epoch's key
+// reveals nothing about any other epoch's.
+func DeriveEpochKey(sessionKey []byte, epoch uint64) []byte {
+	mac := hmac.New(sha256.New, sessionKey)
+	var label [20]byte
+	copy(label[:], "switch-epoch")
+	binary.LittleEndian.PutUint64(label[12:], epoch)
+	mac.Write(label[:])
+	return mac.Sum(nil)
+}
+
+// authMAC computes the truncated envelope MAC over the epoch header
+// bytes followed by the payload.
+func authMAC(key, epochHeader, payload []byte) [authMACSize]byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(epochHeader)
+	mac.Write(payload)
+	var sum [sha256.Size]byte
+	mac.Sum(sum[:0])
+	var out [authMACSize]byte
+	copy(out[:], sum[:authMACSize])
+	return out
+}
+
+// SealAuth wraps payload in the authenticated envelope under the given
+// per-epoch key (see DeriveEpochKey), returning a fresh slice.
+func SealAuth(key []byte, epoch uint64, payload []byte) []byte {
+	out := make([]byte, 1, MaxAuthOverhead+len(payload))
+	out[0] = authMagic
+	out = binary.AppendUvarint(out, epoch)
+	mac := authMAC(key, out[1:], payload)
+	out = append(out, mac[:]...)
+	return append(out, payload...)
+}
+
+// AuthEpoch peeks the epoch counter from an authenticated envelope
+// without verifying it. The switching layer uses this to pick which
+// epoch key to verify under; the value is UNTRUSTED until OpenAuth
+// succeeds with that epoch's key (the epoch bytes are inside the MAC,
+// so a lying header cannot verify).
+func AuthEpoch(pkt []byte) (uint64, error) {
+	if len(pkt) < 1 || pkt[0] != authMagic {
+		return 0, ErrAuthFrame
+	}
+	epoch, n := binary.Uvarint(pkt[1:])
+	if n <= 0 || len(pkt) < 1+n+authMACSize {
+		return 0, ErrAuthFrame
+	}
+	return epoch, nil
+}
+
+// OpenAuth verifies and strips the authenticated envelope under the
+// given per-epoch key. The returned payload aliases pkt; callers that
+// retain it must copy. The MAC comparison is constant-time. OpenAuth
+// never panics: any input that is not a well-formed envelope yields
+// ErrAuthFrame, and any MAC mismatch yields ErrAuth.
+func OpenAuth(key []byte, pkt []byte) ([]byte, error) {
+	if len(pkt) < 1 || pkt[0] != authMagic {
+		return nil, ErrAuthFrame
+	}
+	_, n := binary.Uvarint(pkt[1:])
+	if n <= 0 || len(pkt) < 1+n+authMACSize {
+		return nil, ErrAuthFrame
+	}
+	epochHeader := pkt[1 : 1+n]
+	payload := pkt[1+n+authMACSize:]
+	want := authMAC(key, epochHeader, payload)
+	if !hmac.Equal(want[:], pkt[1+n:1+n+authMACSize]) {
+		return nil, ErrAuth
+	}
+	return payload, nil
+}

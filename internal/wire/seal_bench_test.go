@@ -1,0 +1,72 @@
+package wire
+
+import "testing"
+
+// Micro-benchmarks comparing the CRC envelope with the authenticated
+// envelope: the baseline for the zero-alloc envelope roadmap item. Run
+// with `go test -bench Envelope -benchmem ./internal/wire`.
+
+var benchPayload = func() []byte {
+	b := make([]byte, 256)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}()
+
+var benchSink []byte
+
+func BenchmarkEnvelopeSeal(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPayload)))
+	for i := 0; i < b.N; i++ {
+		benchSink = Seal(benchPayload)
+	}
+}
+
+func BenchmarkEnvelopeOpen(b *testing.B) {
+	pkt := Seal(benchPayload)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := Open(pkt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = p
+	}
+}
+
+func BenchmarkEnvelopeSealAuth(b *testing.B) {
+	key := DeriveEpochKey([]byte("bench session"), 1)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = SealAuth(key, 1, benchPayload)
+	}
+}
+
+func BenchmarkEnvelopeOpenAuth(b *testing.B) {
+	key := DeriveEpochKey([]byte("bench session"), 1)
+	pkt := SealAuth(key, 1, benchPayload)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := OpenAuth(key, pkt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = p
+	}
+}
+
+func BenchmarkDeriveEpochKey(b *testing.B) {
+	session := []byte("bench session")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = DeriveEpochKey(session, uint64(i))
+	}
+}
