@@ -1,0 +1,156 @@
+// Command benchdiff compares two switchbench BENCH_*.json artifacts and
+// prints every changed field, ignoring the wall-clock "timing" section
+// (the only non-deterministic part of an artifact).
+//
+//	benchdiff old.json new.json
+//
+// The exit status encodes the comparison: 0 when nothing regressed, 1
+// on a regression, 2 on usage or decode errors. A regression is a
+// delta no perf-tracking run should wave through silently:
+//
+//   - "failed" counts that rose (invariant violations appeared),
+//   - "passed" or "delivered" counts that fell (coverage or throughput
+//     lost), or
+//   - "shed" counts that rose (the overload layer turned away more of
+//     the same workload).
+//
+// Everything else — latency drift, event-count changes, new fields from
+// a schema bump — is printed for the record but does not gate, so the
+// tool is useful as a non-blocking CI step against a committed
+// baseline.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> <new.json>")
+		os.Exit(2)
+	}
+	oldDoc, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldFlat := flatten("", oldDoc)
+	newFlat := flatten("", newDoc)
+
+	keys := map[string]bool{}
+	for k := range oldFlat {
+		keys[k] = true
+	}
+	for k := range newFlat {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	changed, regressions := 0, 0
+	for _, k := range sorted {
+		ov, inOld := oldFlat[k]
+		nv, inNew := newFlat[k]
+		switch {
+		case !inOld:
+			fmt.Printf("+ %s = %v\n", k, nv)
+			changed++
+		case !inNew:
+			fmt.Printf("- %s (was %v)\n", k, ov)
+			changed++
+		case ov != nv:
+			mark := "  "
+			if regressed(k, ov, nv) {
+				mark = "! "
+				regressions++
+			}
+			fmt.Printf("%s%s: %v -> %v\n", mark, k, ov, nv)
+			changed++
+		}
+	}
+	if changed == 0 {
+		fmt.Println("artifacts identical (timing ignored)")
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s)\n", regressions)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// flatten turns nested JSON into "a.b[2].c" -> scalar, dropping every
+// "timing" object (wall clock, worker count, events/sec).
+func flatten(prefix string, v any) map[string]any {
+	out := map[string]any{}
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			if k == "timing" {
+				continue
+			}
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			for fk, fv := range flatten(p, child) {
+				out[fk] = fv
+			}
+		}
+	case []any:
+		for i, child := range t {
+			for fk, fv := range flatten(fmt.Sprintf("%s[%d]", prefix, i), child) {
+				out[fk] = fv
+			}
+		}
+	default:
+		out[prefix] = v
+	}
+	return out
+}
+
+// regressed reports whether the (old, new) delta at this key is one of
+// the gating directions. JSON numbers decode as float64.
+func regressed(key string, ov, nv any) bool {
+	of, ok1 := ov.(float64)
+	nf, ok2 := nv.(float64)
+	if !ok1 || !ok2 {
+		return false
+	}
+	leaf := key
+	if i := strings.LastIndexAny(key, "."); i >= 0 {
+		leaf = key[i+1:]
+	}
+	switch {
+	case leaf == "failed" || strings.HasSuffix(leaf, "_failed"):
+		return nf > of
+	case leaf == "passed" || leaf == "delivered":
+		return nf < of
+	case leaf == "shed" || strings.HasSuffix(leaf, "_shed"):
+		return nf > of
+	}
+	return false
+}

@@ -55,6 +55,7 @@ func run(args []string) error {
 		chaosDrain   = fs.Duration("chaos-drain", 0, "chaos: drain window for liveness probes (0: package default)")
 		chaosCorrupt = fs.Bool("chaos-corruption", false, "chaos: add corruption/truncation/garbage faults (E15) and enable the defensive ingress")
 		chaosForgery = fs.Bool("chaos-forgery", false, "chaos: add forged-frame/wire-replay faults (E16) and enable the authenticated ingress")
+		chaosCrowd   = fs.Bool("chaos-flashcrowd", false, "chaos: add flash-crowd faults and the overload layer, plus the E17 latency/shed study")
 		senders      = fs.Int("senders", 10, "maximum active senders for figure2")
 		measure      = fs.Duration("measure", 10*time.Second, "virtual measurement window per point")
 		warmup       = fs.Duration("warmup", 2*time.Second, "virtual warmup discarded from statistics")
@@ -220,6 +221,7 @@ func run(args []string) error {
 		cfg.Run.Drain = *chaosDrain
 		cfg.Gen.Corruption = *chaosCorrupt
 		cfg.Gen.Forgery = *chaosForgery
+		cfg.FlashCrowd = *chaosCrowd
 		cfg.Parallel = workers
 		cfg.Trace = tracing
 		cfg.Progress = progress

@@ -58,6 +58,10 @@ const (
 	// KindReplay re-injects a frame captured earlier off the wire — a
 	// verbatim genuine transmission, possibly from a retired epoch.
 	KindReplay
+	// KindFlashCrowd multiplies the active sender population by Size
+	// from At until Until — the ROADMAP's "sender count spikes 10x
+	// mid-run" scenario, exercised against the overload layer.
+	KindFlashCrowd
 )
 
 // String renders the kind.
@@ -79,6 +83,8 @@ func (k Kind) String() string {
 		return "forge"
 	case KindReplay:
 		return "replay"
+	case KindFlashCrowd:
+		return "flashcrowd"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -164,6 +170,20 @@ func (s Schedule) HasForgery() bool {
 	return false
 }
 
+// HasFlashCrowd reports whether the schedule contains a flash-crowd
+// sender spike. The runner enables the switching layer's overload
+// protection (bounded queues, backpressure, shedding) exactly when
+// this is true, so every other schedule keeps the legacy unqueued
+// message path.
+func (s Schedule) HasFlashCrowd() bool {
+	for _, e := range s.Events {
+		if e.Kind == KindFlashCrowd {
+			return true
+		}
+	}
+	return false
+}
+
 // Kinds returns the distinct fault kinds present, in order.
 func (s Schedule) Kinds() []Kind {
 	seen := map[Kind]bool{}
@@ -219,6 +239,15 @@ type GenConfig struct {
 	// to zero unless Forgery is set.
 	ForgeProb  float64
 	ReplayProb float64
+	// FlashCrowd enables the flash-crowd fault class with its default
+	// probability (FlashCrowdProb 0.6). Its draws come after every
+	// legacy, corruption and forgery draw, so enabling flash crowds
+	// only appends to the schedules the other configs would generate.
+	FlashCrowd bool
+	// FlashCrowdProb is the probability of a flash-crowd spike
+	// appearing in a schedule. It defaults to zero unless FlashCrowd is
+	// set.
+	FlashCrowdProb float64
 }
 
 func (c *GenConfig) defaults() {
@@ -257,6 +286,11 @@ func (c *GenConfig) defaults() {
 		}
 		if c.ReplayProb == 0 {
 			c.ReplayProb = 0.5
+		}
+	}
+	if c.FlashCrowd {
+		if c.FlashCrowdProb == 0 {
+			c.FlashCrowdProb = 0.6
 		}
 	}
 }
@@ -437,6 +471,20 @@ func Generate(seed int64, cfg GenConfig) (Schedule, error) {
 	}
 	if len(forg) > 0 {
 		s.Events = append(s.Events, forg...)
+		sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	}
+
+	// Flash-crowd faults. Their draws come after every legacy,
+	// corruption and forgery draw (and are skipped entirely at
+	// probability zero), so all earlier tiers consume exactly their own
+	// random streams and expand to byte-identical schedules.
+	if cfg.FlashCrowdProb > 0 && rng.Float64() < cfg.FlashCrowdProb {
+		at, until := window(0.15, 0.6)
+		s.Events = append(s.Events, Event{
+			At: at, Kind: KindFlashCrowd, Until: until,
+			// Size is the sender multiplier: 4x up to the ROADMAP's 10x.
+			Size: 4 + rng.Intn(7),
+		})
 		sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
 	}
 	return s, nil

@@ -123,3 +123,91 @@ func TestStatsTraceConsistency(t *testing.T) {
 			sawWedge, sawRegen, sawAbort)
 	}
 }
+
+// TestOverloadTraceConsistency extends the obs-consistency invariant to
+// the overload counters: across seeded flash-crowd schedules, each live
+// member's EvShed / EvBackpressureOn / EvRetrySend trace events must
+// equal that member's own Stats().Shed / Backpressured / RetriedSends,
+// the per-peer ingress-shed attribution must equal ShedFrom, the
+// metrics-derived Result.Stats must equal the manual sum, and the
+// watermark edges must pair up (never more resumes than pauses at any
+// prefix). The sweep must be non-vacuous on all three counters.
+func TestOverloadTraceConsistency(t *testing.T) {
+	var sawShed, sawPause, sawRetry bool
+	for seed := int64(1); seed <= 30; seed++ {
+		sched, err := Generate(seed, GenConfig{FlashCrowd: true})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		col := obs.NewCollector()
+		res, c, err := run(sched, RunConfig{Recorder: col})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: invariants violated: %v", seed, res.Violations)
+		}
+
+		shedBy := map[ids.ProcID]uint64{}
+		shedByPeer := map[ids.ProcID]map[ids.ProcID]uint64{}
+		pauses := map[ids.ProcID]uint64{}
+		resumes := map[ids.ProcID]uint64{}
+		retries := map[ids.ProcID]uint64{}
+		for _, e := range col.Events() {
+			switch e.Type {
+			case obs.EvShed:
+				shedBy[e.Proc]++
+				if e.Args[0] == obs.ShedIngress {
+					if shedByPeer[e.Proc] == nil {
+						shedByPeer[e.Proc] = map[ids.ProcID]uint64{}
+					}
+					shedByPeer[e.Proc][e.Peer]++
+				}
+			case obs.EvBackpressureOn:
+				pauses[e.Proc]++
+			case obs.EvBackpressureOff:
+				resumes[e.Proc]++
+				if resumes[e.Proc] > pauses[e.Proc] {
+					t.Errorf("seed %d: member %v resumed at t=%v with no preceding pause",
+						seed, e.Proc, e.At)
+				}
+			case obs.EvRetrySend:
+				retries[e.Proc]++
+			}
+		}
+		var manual switching.Stats
+		for _, p := range res.Live {
+			st := c.Members[p].Switch.Stats()
+			manual.Add(st)
+			if shedBy[p] != st.Shed {
+				t.Errorf("seed %d: member %v: trace shows %d sheds, Switch.Stats() %d",
+					seed, p, shedBy[p], st.Shed)
+			}
+			if pauses[p] != st.Backpressured {
+				t.Errorf("seed %d: member %v: trace shows %d pauses, Switch.Stats() %d",
+					seed, p, pauses[p], st.Backpressured)
+			}
+			if retries[p] != st.RetriedSends {
+				t.Errorf("seed %d: member %v: trace shows %d retries, Switch.Stats() %d",
+					seed, p, retries[p], st.RetriedSends)
+			}
+			for peer, n := range shedByPeer[p] {
+				if got := c.Members[p].Switch.ShedFrom(peer); got != n {
+					t.Errorf("seed %d: member %v: trace attributes %d ingress sheds to peer %v, ShedFrom %d",
+						seed, p, n, peer, got)
+				}
+			}
+			sawShed = sawShed || st.Shed > 0
+			sawPause = sawPause || st.Backpressured > 0
+			sawRetry = sawRetry || st.RetriedSends > 0
+		}
+		if res.Stats != manual {
+			t.Errorf("seed %d: Result.Stats %+v != summed member stats %+v",
+				seed, res.Stats, manual)
+		}
+	}
+	if !sawShed || !sawPause || !sawRetry {
+		t.Errorf("sweep never exercised the overload path (shed=%v pause=%v retry=%v) — widen the seed range",
+			sawShed, sawPause, sawRetry)
+	}
+}

@@ -126,6 +126,48 @@ func checkEpochBoundary(bodies map[ids.ProcID][]string) []string {
 	return v
 }
 
+// checkBoundedMemory asserts the overload layer's first guarantee: no
+// bounded queue ever exceeded its configured cap at any virtual time.
+// The accounting tracks the high-water mark at every admission, so a
+// single overshoot anywhere in the run is visible here. Vacuously true
+// (caps zero, depths zero) when Config.Overload is off.
+func checkBoundedMemory(c *swtest.SwitchedCluster, live []ids.ProcID) []string {
+	var v []string
+	for _, p := range live {
+		a := c.Members[p].Switch.OverloadAccounting()
+		if a.IngressCap > 0 && a.IngressMaxDepth > a.IngressCap {
+			v = append(v, fmt.Sprintf("bounded memory: member %v ingress queue peaked at %d, cap %d", p, a.IngressMaxDepth, a.IngressCap))
+		}
+		if a.EgressCap > 0 && a.EgressMaxDepth > a.EgressCap {
+			v = append(v, fmt.Sprintf("bounded memory: member %v egress queue peaked at %d, cap %d", p, a.EgressMaxDepth, a.EgressCap))
+		}
+	}
+	return v
+}
+
+// checkNoSilentLoss asserts the overload layer's second guarantee: every
+// message it admitted and did not deliver onward is accounted for in a
+// shed, queued or retrying bucket — the conservation ledger balances.
+// An unbalanced ledger means a frame vanished without a counter
+// incrementing, i.e. a silent drop. Vacuously true when Config.Overload
+// is off (every bucket zero).
+func checkNoSilentLoss(c *swtest.SwitchedCluster, live []ids.ProcID) []string {
+	var v []string
+	for _, p := range live {
+		a := c.Members[p].Switch.OverloadAccounting()
+		if a.Casts != a.EgressAdmitted+a.EgressRetrying+a.EgressShed {
+			v = append(v, fmt.Sprintf("silent loss: member %v casts=%d != admitted=%d + retrying=%d + shed=%d", p, a.Casts, a.EgressAdmitted, a.EgressRetrying, a.EgressShed))
+		}
+		if a.EgressAdmitted != a.EgressSent+a.EgressQueued {
+			v = append(v, fmt.Sprintf("silent loss: member %v egress admitted=%d != sent=%d + queued=%d", p, a.EgressAdmitted, a.EgressSent, a.EgressQueued))
+		}
+		if a.IngressAdmitted != a.IngressServed+a.IngressQueued {
+			v = append(v, fmt.Sprintf("silent loss: member %v ingress admitted=%d != served=%d + queued=%d", p, a.IngressAdmitted, a.IngressServed, a.IngressQueued))
+		}
+	}
+	return v
+}
+
 // checkNoForgedDelivery asserts the authenticated session's first
 // guarantee: no frame fabricated without the group session key ever
 // reaches an application layer. Every forged frame the generator

@@ -153,6 +153,23 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		// nil so their wire traffic (and artifacts) stay byte-identical.
 		swCfg.Defense = &switching.DefenseConfig{QuarantineThreshold: quarantineThreshold}
 	}
+	if sched.HasFlashCrowd() {
+		// A sender spike is coming: bound every per-member queue. The
+		// caps are deliberately tight against the spike cadence (~30µs
+		// between spike casts vs a 200µs service interval) so the runs
+		// actually exercise shedding, backpressure and retries rather
+		// than absorbing the crowd. Spike-free schedules leave Overload
+		// nil so their message path stays byte-identical.
+		swCfg.Overload = &switching.OverloadConfig{
+			IngressQueueCap: 16,
+			EgressQueueCap:  8,
+			LowWatermark:    2,
+			HighWatermark:   6,
+			ServiceInterval: 200 * time.Microsecond,
+			RetryBackoff:    800 * time.Microsecond,
+			MaxRetryShift:   3,
+		}
+	}
 	c, err := swtest.NewSwitched(sched.Seed, simnet.Config{Nodes: sched.N, PropDelay: cfg.PropDelay}, sched.N, swCfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("chaos: build cluster: %w", err)
@@ -163,6 +180,12 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		// KindReplay events have material to re-inject. Capturing draws
 		// no RNG, so it never perturbs the schedule.
 		c.Net.SetReplayCapture(replayCaptureMax)
+	}
+	if sched.HasFlashCrowd() {
+		// Per-node egress depth samples over the fault window, for the
+		// trace. Sampling draws no RNG and emits trace-only events, so it
+		// never perturbs the schedule or the event-derived stats.
+		_ = c.Net.SampleQueueDepths(time.Millisecond, sched.Horizon)
 	}
 
 	res := &Result{Seed: sched.Seed, Kinds: sched.Kinds(), Metrics: metrics}
@@ -224,6 +247,29 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 				}
 				_ = c.Net.InjectReplay(ev.Index % n)
 			})
+		case KindFlashCrowd:
+			c.Sim.At(ev.At, func() { _ = c.Net.SetSenderSpike(ev.Size) })
+			c.Sim.At(ev.Until, func() { _ = c.Net.SetSenderSpike(1) })
+			// The crowd itself: Size× the normal sender population, each
+			// member casting in a tight rotation far faster than the
+			// overload layer's service interval. Bodies are epoch-tagged
+			// like all chaos traffic (the overload layer stamps the wire
+			// epoch at cast time, so a retried send still carries its
+			// original tag and the boundary invariant holds).
+			for k := 0; k < ev.Size*spikeCastsPerMult; k++ {
+				k := k
+				at := ev.At + time.Duration(k)*spikeCastSpacing
+				if at > ev.Until {
+					break
+				}
+				from := ids.ProcID(k % sched.N)
+				c.Sim.At(at, func() {
+					if c.Net.Crashed(from) {
+						return
+					}
+					cast(c, from, uint32(2000+k), fmt.Sprintf("fc%d.m%03d", from, k))
+				})
+			}
 		default:
 			return nil, nil, fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 		}
@@ -301,6 +347,8 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 	res.Violations = append(res.Violations, checkEpochBoundary(bodies)...)
 	res.Violations = append(res.Violations, checkNoForgedDelivery(bodies)...)
 	res.Violations = append(res.Violations, checkNoDoubleDelivery(bodies)...)
+	res.Violations = append(res.Violations, checkBoundedMemory(c, res.Live)...)
+	res.Violations = append(res.Violations, checkNoSilentLoss(c, res.Live)...)
 	if res.Failed() {
 		res.FlightRecord = flight.Snapshot()
 		res.FlightDropped = flight.Dropped()
@@ -326,9 +374,20 @@ func statsFromMetrics(m *obs.Metrics, live []ids.ProcID) switching.Stats {
 		s.MalformedDropped += m.Counter(p, obs.KeyMalformedDropped)
 		s.Quarantines += m.Counter(p, obs.KeyQuarantines)
 		s.AuthFailed += m.Counter(p, obs.KeyAuthFailed)
+		s.Shed += m.Counter(p, obs.KeyShed)
+		s.Backpressured += m.Counter(p, obs.KeyBackpressured)
+		s.RetriedSends += m.Counter(p, obs.KeyRetriedSends)
 	}
 	return s
 }
+
+// spikeCastsPerMult and spikeCastSpacing shape the flash crowd: Size×8
+// extra casts at a fixed 30µs cadence — far below the overload tier's
+// 200µs service interval, so the queues genuinely fill.
+const (
+	spikeCastsPerMult = 8
+	spikeCastSpacing  = 30 * time.Microsecond
+)
 
 // chaosSessionKey is the fixed group session key of forgery runs: every
 // member derives the same epoch keys from it, and the generated forgers

@@ -8,13 +8,13 @@ import (
 
 	"repro/internal/core/switching"
 	"repro/internal/ids"
+	"repro/internal/property"
 	"repro/internal/proto"
 	"repro/internal/protocols/fifo"
 	"repro/internal/protocols/integrity"
 	"repro/internal/protocols/noreplay"
 	"repro/internal/protocols/ptest"
 	"repro/internal/protocols/seqorder"
-	"repro/internal/property"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )

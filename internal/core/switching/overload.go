@@ -1,0 +1,434 @@
+package switching
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// OverloadConfig enables the overload-protection layer: bounded
+// per-peer ingress queues with paced service, a bounded egress queue
+// with watermark-based backpressure toward local senders, deterministic
+// drop-newest load shedding when a hard limit is hit, and a seeded,
+// jittered retry/backoff for application sends rejected at the egress
+// limit.
+//
+// Nil Config.Overload preserves the legacy message path exactly: no
+// queueing, no pacing, no shedding. With the layer enabled, switch-round
+// control frames (the token channel) and failure-detector heartbeats
+// always bypass the ingress queue — overload must never stall the
+// switch state machine or make the ring suspect healthy members.
+//
+// An ingress shed is indistinguishable from network loss to the layers
+// above, so reliable sub-protocols (fifo) repair it by retransmission;
+// an egress shed abandons the send after the retry budget and is
+// final. Both are counted (Stats.Shed, obs.EvShed) — shedding is loud,
+// never silent.
+type OverloadConfig struct {
+	// IngressQueueCap bounds each peer's ingress queue of data frames
+	// (frames beyond it are shed drop-newest). Required, positive.
+	IngressQueueCap int
+	// EgressQueueCap bounds the queue of outgoing application casts.
+	// Required, positive.
+	EgressQueueCap int
+	// LowWatermark and HighWatermark drive backpressure on the egress
+	// queue depth: crossing High pauses local senders
+	// (OnBackpressure(true), Stats.Backpressured), draining back to Low
+	// resumes them. Defaults: High = 3/4 of EgressQueueCap, Low =
+	// High/3. When both are set, Low must be below High.
+	LowWatermark  int
+	HighWatermark int
+	// ServiceInterval paces both queues: one ingress frame is handed to
+	// the demultiplexer and one egress cast is handed to the active
+	// protocol per interval — the model of bounded processing capacity
+	// that makes overload observable. Defaults to TokenInterval/4.
+	ServiceInterval time.Duration
+	// RetryBackoff is the base delay before retrying an application
+	// send rejected at the egress cap; attempt k waits
+	// RetryBackoff << (k-1) plus a seeded jitter of up to half that.
+	// Defaults to 2*ServiceInterval.
+	RetryBackoff time.Duration
+	// MaxRetryShift caps the exponential backoff shift and doubles as
+	// the retry budget: after MaxRetryShift failed attempts the send is
+	// shed for good. Defaults to 4; must be in [0, 16].
+	MaxRetryShift int
+	// OnBackpressure, if set, is invoked on every pause (true) / resume
+	// (false) transition of the egress watermarks.
+	OnBackpressure func(paused bool)
+}
+
+// Validate checks the overload knobs (Config.Validate calls this).
+func (c OverloadConfig) Validate() error {
+	if c.IngressQueueCap <= 0 {
+		return fmt.Errorf("switching: overload ingress queue cap %d must be positive", c.IngressQueueCap)
+	}
+	if c.EgressQueueCap <= 0 {
+		return fmt.Errorf("switching: overload egress queue cap %d must be positive", c.EgressQueueCap)
+	}
+	if c.LowWatermark < 0 || c.HighWatermark < 0 {
+		return fmt.Errorf("switching: negative overload watermark")
+	}
+	if c.HighWatermark > 0 && c.LowWatermark >= c.HighWatermark {
+		return fmt.Errorf("switching: overload low watermark %d must be below high watermark %d",
+			c.LowWatermark, c.HighWatermark)
+	}
+	if c.HighWatermark > c.EgressQueueCap {
+		return fmt.Errorf("switching: overload high watermark %d above egress queue cap %d",
+			c.HighWatermark, c.EgressQueueCap)
+	}
+	if c.ServiceInterval < 0 || c.RetryBackoff < 0 {
+		return fmt.Errorf("switching: negative overload interval")
+	}
+	if c.MaxRetryShift < 0 || c.MaxRetryShift > 16 {
+		return fmt.Errorf("switching: overload retry backoff shift %d out of range [0, 16]", c.MaxRetryShift)
+	}
+	return nil
+}
+
+// OverloadAccounting is the overload layer's conservation ledger,
+// snapshot at call time. Every message that crossed the layer is in
+// exactly one bucket, so
+//
+//	IngressAdmitted == IngressServed + IngressQueued
+//	Casts           == EgressAdmitted + EgressRetrying + EgressShed
+//	EgressAdmitted  == EgressSent + EgressQueued
+//
+// hold at every virtual instant — the no-silent-loss invariant the
+// chaos harness checks after every run. The MaxDepth fields are
+// high-water marks proving bounded memory against the caps.
+type OverloadAccounting struct {
+	// Casts is every application cast that entered the layer.
+	Casts uint64
+	// IngressAdmitted counts data frames accepted into a per-peer
+	// ingress queue; IngressServed those handed on to the
+	// demultiplexer; IngressShed those dropped at the cap (shed frames
+	// are in no other bucket — they left the system, loudly).
+	IngressAdmitted uint64
+	IngressServed   uint64
+	IngressShed     uint64
+	// IngressQueued is the frames currently queued across all peers.
+	IngressQueued uint64
+	// IngressMaxDepth is the deepest any single per-peer queue ever got.
+	IngressMaxDepth int
+	// EgressAdmitted counts casts accepted into the egress queue
+	// (possibly after retries); EgressSent those handed to the active
+	// protocol; EgressShed those abandoned after the retry budget.
+	EgressAdmitted uint64
+	EgressSent     uint64
+	EgressShed     uint64
+	// EgressQueued and EgressRetrying are the casts currently queued
+	// and currently waiting on a scheduled retry.
+	EgressQueued   uint64
+	EgressRetrying uint64
+	// EgressMaxDepth is the deepest the egress queue ever got.
+	EgressMaxDepth int
+	// IngressCap and EgressCap echo the configured caps (zero means
+	// the layer is disabled and the ledger is empty).
+	IngressCap, EgressCap int
+}
+
+// egressEntry is one queued (or retrying) application cast. The epoch
+// is captured when the application called Cast, so the wire frame and
+// any caller-side epoch tagging agree even when the send is delayed
+// across a switch round.
+type egressEntry struct {
+	frame []byte
+	epoch uint64
+}
+
+// overload is one member's overload-protection state.
+type overload struct {
+	s   *Switch
+	cfg OverloadConfig
+
+	// ingress holds per-peer bounded queues of verified mux frames;
+	// service is one frame per interval, round-robin in ring order
+	// (serveIdx) so draining is deterministic.
+	ingress      map[ids.ProcID][][]byte
+	serveIdx     int
+	draining     bool
+	ingressTimer proto.Timer
+
+	// egress is the bounded queue of outgoing casts; paused is the
+	// backpressure state; retrying counts casts waiting on a retry.
+	egress      []egressEntry
+	sending     bool
+	egressTimer proto.Timer
+	paused      bool
+	retrying    uint64
+
+	// shedBy is the per-peer ingress shed breakdown (lazy).
+	shedBy map[ids.ProcID]uint64
+
+	acct OverloadAccounting
+}
+
+// newOverload normalizes the defaults and builds the layer.
+func newOverload(s *Switch, cfg OverloadConfig) (*overload, error) {
+	if cfg.ServiceInterval == 0 {
+		cfg.ServiceInterval = s.cfg.TokenInterval / 4
+		if cfg.ServiceInterval <= 0 {
+			cfg.ServiceInterval = time.Millisecond
+		}
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 2 * cfg.ServiceInterval
+	}
+	if cfg.MaxRetryShift == 0 {
+		cfg.MaxRetryShift = 4
+	}
+	if cfg.HighWatermark == 0 {
+		cfg.HighWatermark = cfg.EgressQueueCap * 3 / 4
+		if cfg.HighWatermark < 1 {
+			cfg.HighWatermark = 1
+		}
+	}
+	if cfg.LowWatermark == 0 {
+		cfg.LowWatermark = cfg.HighWatermark / 3
+	}
+	if cfg.LowWatermark >= cfg.HighWatermark {
+		return nil, fmt.Errorf("switching: overload low watermark %d must be below high watermark %d",
+			cfg.LowWatermark, cfg.HighWatermark)
+	}
+	o := &overload{
+		s:       s,
+		cfg:     cfg,
+		ingress: make(map[ids.ProcID][][]byte),
+	}
+	o.acct.IngressCap = cfg.IngressQueueCap
+	o.acct.EgressCap = cfg.EgressQueueCap
+	return o, nil
+}
+
+func (o *overload) stop() {
+	if o.ingressTimer != nil {
+		o.ingressTimer.Stop()
+	}
+	if o.egressTimer != nil {
+		o.egressTimer.Stop()
+	}
+}
+
+// shed counts one shed message at the exact site its event is recorded.
+func (o *overload) shed(peer ids.ProcID, reason int64, depth int) {
+	s := o.s
+	s.stats.Shed++
+	if reason == obs.ShedIngress {
+		if o.shedBy == nil {
+			o.shedBy = make(map[ids.ProcID]uint64)
+		}
+		o.shedBy[peer]++
+	}
+	s.obs.Record(obs.Shed(s.env.Now(), s.env.Self(), peer, reason, depth))
+}
+
+// --- ingress ---
+
+// admitIngress classifies one verified transport frame. It returns
+// false for frames the overload layer must never touch — the token
+// channel and failure-detector heartbeats, which keep their direct
+// path — and for frames whose channel header does not decode (the
+// demultiplexer owns malformed accounting). Everything else is consumed:
+// queued under its sender, or shed drop-newest at the cap.
+func (o *overload) admitIngress(src ids.ProcID, pkt []byte) bool {
+	d := wire.NewDecoder(pkt)
+	ch := d.Channel()
+	if d.Err() != nil || ch == ids.ControlChannel || ch == detectorChannel {
+		return false
+	}
+	q := o.ingress[src]
+	if len(q) >= o.cfg.IngressQueueCap {
+		o.acct.IngressShed++
+		o.shed(src, obs.ShedIngress, len(q))
+		return true
+	}
+	// Own the bytes: the frame outlives the network callback.
+	o.ingress[src] = append(q, append([]byte(nil), pkt...))
+	o.acct.IngressAdmitted++
+	if d := len(o.ingress[src]); d > o.acct.IngressMaxDepth {
+		o.acct.IngressMaxDepth = d
+	}
+	o.armIngress()
+	return true
+}
+
+func (o *overload) armIngress() {
+	if o.draining || o.s.stopped {
+		return
+	}
+	o.draining = true
+	o.ingressTimer = o.s.env.After(o.cfg.ServiceInterval, o.serveIngress)
+}
+
+// serveIngress hands exactly one queued frame to the demultiplexer,
+// round-robin over the ring order, then re-arms while work remains.
+func (o *overload) serveIngress() {
+	o.draining = false
+	s := o.s
+	if s.stopped {
+		return
+	}
+	members := s.env.Ring().Members()
+	for range members {
+		p := members[o.serveIdx%len(members)]
+		o.serveIdx++
+		q := o.ingress[p]
+		if len(q) == 0 {
+			continue
+		}
+		pkt := q[0]
+		o.ingress[p] = q[1:]
+		o.acct.IngressServed++
+		s.mux.Recv(p, pkt)
+		break
+	}
+	if o.ingressQueued() > 0 {
+		o.armIngress()
+	}
+}
+
+func (o *overload) ingressQueued() int {
+	n := 0
+	for _, q := range o.ingress {
+		n += len(q)
+	}
+	return n
+}
+
+// --- egress ---
+
+// admitCast runs one application cast through the egress queue. The
+// epoch is stamped here — Cast time — so callers that tag payloads with
+// the send epoch stay consistent even if the frame drains later.
+func (o *overload) admitCast(payload []byte) error {
+	s := o.s
+	o.acct.Casts++
+	epoch := s.sendEpoch
+	e := wire.NewEncoder(10)
+	e.Uvarint(epoch)
+	ent := egressEntry{frame: e.Prepend(payload), epoch: epoch}
+	if len(o.egress) >= o.cfg.EgressQueueCap {
+		o.scheduleRetry(ent, 1)
+		return nil
+	}
+	o.enqueueEgress(ent)
+	return nil
+}
+
+// enqueueEgress admits one cast: only now does it count toward the
+// epoch's send vector, because only queued casts are guaranteed to go
+// out (retrying casts may yet be shed, and a phantom count would wedge
+// the switch round waiting for a message that never comes).
+func (o *overload) enqueueEgress(ent egressEntry) {
+	s := o.s
+	s.sent[ent.epoch]++
+	o.egress = append(o.egress, ent)
+	o.acct.EgressAdmitted++
+	if d := len(o.egress); d > o.acct.EgressMaxDepth {
+		o.acct.EgressMaxDepth = d
+	}
+	if !o.paused && len(o.egress) >= o.cfg.HighWatermark {
+		o.paused = true
+		s.stats.Backpressured++
+		s.obs.Record(obs.BackpressureOn(s.env.Now(), s.env.Self(), len(o.egress)))
+		if o.cfg.OnBackpressure != nil {
+			o.cfg.OnBackpressure(true)
+		}
+	}
+	o.armEgress()
+}
+
+func (o *overload) armEgress() {
+	if o.sending || o.s.stopped || len(o.egress) == 0 {
+		return
+	}
+	o.sending = true
+	o.egressTimer = o.s.env.After(o.cfg.ServiceInterval, o.drainEgress)
+}
+
+// drainEgress hands one queued cast to its epoch's protocol.
+func (o *overload) drainEgress() {
+	o.sending = false
+	s := o.s
+	if s.stopped || len(o.egress) == 0 {
+		return
+	}
+	ent := o.egress[0]
+	o.egress = o.egress[1:]
+	o.acct.EgressSent++
+	_ = s.protos[ent.epoch%uint64(len(s.protos))].Cast(ent.frame)
+	if o.paused && len(o.egress) <= o.cfg.LowWatermark {
+		o.paused = false
+		s.obs.Record(obs.BackpressureOff(s.env.Now(), s.env.Self(), len(o.egress)))
+		if o.cfg.OnBackpressure != nil {
+			o.cfg.OnBackpressure(false)
+		}
+	}
+	o.armEgress()
+}
+
+// scheduleRetry backs off a cast rejected at the egress cap. Attempt k
+// fires after RetryBackoff << (k-1) plus a jitter drawn from the
+// member's seeded stream (deterministic in simulation); attempts past
+// MaxRetryShift shed the cast for good.
+func (o *overload) scheduleRetry(ent egressEntry, attempt int) {
+	s := o.s
+	if attempt > o.cfg.MaxRetryShift {
+		o.acct.EgressShed++
+		o.shed(obs.NoPeer, obs.ShedEgress, len(o.egress))
+		return
+	}
+	backoff := o.cfg.RetryBackoff << (attempt - 1)
+	backoff += time.Duration(s.env.Rand().Int63n(int64(backoff/2) + 1))
+	s.stats.RetriedSends++
+	s.obs.Record(obs.RetrySend(s.env.Now(), s.env.Self(), attempt, backoff))
+	o.retrying++
+	s.env.After(backoff, func() {
+		if s.stopped {
+			return // ledger freezes where it was: the cast stays "retrying"
+		}
+		o.retrying--
+		if len(o.egress) < o.cfg.EgressQueueCap {
+			o.enqueueEgress(ent)
+			return
+		}
+		o.scheduleRetry(ent, attempt+1)
+	})
+}
+
+// accounting snapshots the conservation ledger.
+func (o *overload) accounting() OverloadAccounting {
+	a := o.acct
+	a.IngressQueued = uint64(o.ingressQueued())
+	a.EgressQueued = uint64(len(o.egress))
+	a.EgressRetrying = o.retrying
+	return a
+}
+
+// OverloadAccounting returns the overload layer's conservation ledger
+// (the zero value when Config.Overload is nil).
+func (s *Switch) OverloadAccounting() OverloadAccounting {
+	if s.ovl == nil {
+		return OverloadAccounting{}
+	}
+	return s.ovl.accounting()
+}
+
+// Backpressured reports whether the egress watermarks currently ask
+// local senders to pause (always false when Config.Overload is nil).
+func (s *Switch) Backpressured() bool {
+	return s.ovl != nil && s.ovl.paused
+}
+
+// ShedFrom returns how many ingress frames from peer p this member has
+// shed at the queue cap.
+func (s *Switch) ShedFrom(p ids.ProcID) uint64 {
+	if s.ovl == nil {
+		return 0
+	}
+	return s.ovl.shedBy[p]
+}

@@ -57,6 +57,12 @@ type Config struct {
 	// drops of malformed input, and per-peer quarantine. Nil preserves
 	// the legacy wire format byte-for-byte.
 	Defense *DefenseConfig
+	// Overload, when non-nil, enables the overload-protection layer:
+	// bounded per-peer ingress and egress queues, watermark
+	// backpressure toward local senders, deterministic load shedding at
+	// the hard limits, and seeded retry/backoff for rejected sends. Nil
+	// preserves the legacy unbounded message path exactly.
+	Overload *OverloadConfig
 	// Recorder receives the structured observability events (token
 	// lifecycle, phase transitions, epoch advances, recovery actions).
 	// Every event is emitted at the exact site the matching Stats
@@ -82,6 +88,11 @@ func (c Config) Validate() error {
 	}
 	if c.Defense != nil {
 		if err := c.Defense.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Overload != nil {
+		if err := c.Overload.Validate(); err != nil {
 			return err
 		}
 	}
@@ -130,6 +141,20 @@ type Stats struct {
 	// cross-epoch replays (retired epoch). Zero unless Defense.Auth is
 	// set.
 	AuthFailed uint64
+
+	// Overload counters; all zero unless Config.Overload is set.
+
+	// Shed counts messages dropped at a hard queue limit: ingress
+	// frames at a full per-peer queue (drop-newest; per-peer breakdown
+	// via ShedFrom) and application casts abandoned after the retry
+	// budget.
+	Shed uint64
+	// Backpressured counts pause transitions: the egress queue crossed
+	// its high watermark and local senders were asked to pause.
+	Backpressured uint64
+	// RetriedSends counts retry attempts scheduled for application
+	// casts rejected at the egress cap.
+	RetriedSends uint64
 }
 
 // Add accumulates another member's (or run's) counters into s — the
@@ -146,6 +171,9 @@ func (s *Stats) Add(o Stats) {
 	s.MalformedDropped += o.MalformedDropped
 	s.Quarantines += o.Quarantines
 	s.AuthFailed += o.AuthFailed
+	s.Shed += o.Shed
+	s.Backpressured += o.Backpressured
+	s.RetriedSends += o.RetriedSends
 }
 
 // Switch is one member's instance of the switching protocol. The
@@ -222,6 +250,10 @@ type Switch struct {
 	// rec is the crash-recovery state; nil unless Config.Recovery is
 	// set, in which case the §2 protocol runs unmodified.
 	rec *recovery
+
+	// ovl is the overload-protection state; nil unless Config.Overload
+	// is set, in which case the message path is unqueued and unpaced.
+	ovl *overload
 }
 
 type bufEntry struct {
@@ -301,6 +333,13 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 		}
 		s.rec = rec
 	}
+	if cfg.Overload != nil {
+		ovl, err := newOverload(s, *cfg.Overload)
+		if err != nil {
+			return nil, err
+		}
+		s.ovl = ovl
+	}
 	// The first ring member injects the NORMAL token.
 	if env.Self() == env.Ring().Members()[0] {
 		s.timer = env.After(cfg.TokenInterval, func() {
@@ -339,6 +378,11 @@ func (s *Switch) Recv(src ids.ProcID, pkt []byte) {
 			pkt = payload
 		}
 	}
+	// The overload layer consumes data frames (queueing or shedding
+	// them); token and heartbeat frames keep their direct path.
+	if s.ovl != nil && s.ovl.admitIngress(src, pkt) {
+		return
+	}
 	s.mux.Recv(src, pkt)
 }
 
@@ -350,6 +394,9 @@ func (s *Switch) Stop() {
 	}
 	if s.rec != nil {
 		s.rec.stop()
+	}
+	if s.ovl != nil {
+		s.ovl.stop()
 	}
 	s.ctl.Stop()
 	for _, p := range s.protos {
@@ -418,9 +465,16 @@ func (s *Switch) SwitchPending() bool { return s.wantSwitch }
 
 // Cast multicasts an application payload over the currently active
 // protocol. Sending is never blocked by a switch in progress (§7).
+// With Config.Overload set, the cast enters the bounded egress queue
+// instead of going straight to the protocol: it drains at the service
+// pace, and at the hard cap it is retried with seeded backoff and
+// ultimately shed — Cast itself still never blocks or fails.
 func (s *Switch) Cast(payload []byte) error {
 	if s.stopped {
 		return fmt.Errorf("switching: stopped")
+	}
+	if s.ovl != nil {
+		return s.ovl.admitCast(payload)
 	}
 	epoch := s.sendEpoch
 	e := wire.NewEncoder(10)

@@ -58,6 +58,9 @@ type RunConfig struct {
 	// Recorder, when set, receives the run's structured events: the
 	// switching layer's (hybrid runs only) and the simulated network's.
 	Recorder obs.Recorder
+	// Net overrides the simulated network (nil uses the paper's
+	// calibrated 10 Mbit Ethernet). Nodes is forced to Group.
+	Net *simnet.Config
 }
 
 // DefaultRunConfig returns the §7 parameters.
@@ -104,6 +107,16 @@ func (rc RunConfig) withDefaults() RunConfig {
 	return rc
 }
 
+// netConfig resolves the run's simulated network.
+func (rc RunConfig) netConfig() simnet.Config {
+	if rc.Net == nil {
+		return simnet.Ethernet10Mbit(rc.Group)
+	}
+	cfg := *rc.Net
+	cfg.Nodes = rc.Group
+	return cfg
+}
+
 // Layers builds the stack (top first) for one protocol kind.
 func Layers(kind ProtocolKind, tokenHold time.Duration) []proto.Layer {
 	switch kind {
@@ -131,11 +144,22 @@ type sendRecord struct {
 	remaining int
 }
 
+// timedSample pairs one latency sample with the send time that
+// produced it, so experiments can bucket latency by workload phase
+// (the flash-crowd study's before/during/after split).
+type timedSample struct {
+	sentAt time.Duration
+	lat    time.Duration
+}
+
 // collector gathers latency samples from one group execution.
 type collector struct {
 	rc       RunConfig
 	sendTime map[ids.MsgID]sendRecord
 	samples  []time.Duration
+	// keepTimes additionally retains (sendAt, latency) pairs in timed.
+	keepTimes bool
+	timed     []timedSample
 	// delivered counts all app-level deliveries (for throughput).
 	delivered uint64
 	// hook, if set, observes every delivery (used by the overhead
@@ -173,6 +197,9 @@ func (c *collector) onDeliver(now time.Duration, id ids.MsgID) {
 		return
 	}
 	c.samples = append(c.samples, now-rec.at)
+	if c.keepTimes {
+		c.timed = append(c.timed, timedSample{sentAt: rec.at, lat: now - rec.at})
+	}
 	rec.remaining--
 	if rec.remaining <= 0 {
 		delete(c.sendTime, id)
@@ -246,7 +273,7 @@ func RunDirect(kind ProtocolKind, rc RunConfig) (Result, error) {
 	rc = rc.withDefaults()
 	col := newCollector(rc)
 	app := measuringApp(col)
-	cluster, err := ptest.NewWithApp(rc.Seed, simnet.Ethernet10Mbit(rc.Group), rc.Group,
+	cluster, err := ptest.NewWithApp(rc.Seed, rc.netConfig(), rc.Group,
 		func(proto.Env) []proto.Layer { return Layers(kind, rc.TokenHold) },
 		func(_ *ptest.Member, sim *des.Sim) proto.Up { return app(sim) })
 	if err != nil {
@@ -297,7 +324,7 @@ func NewSwitchedRun(rc RunConfig, swCfg switching.Config) (*SwitchedRun, error) 
 	}
 	col := newCollector(rc)
 	app := measuringApp(col)
-	cluster, err := swtest.NewSwitchedWithApp(rc.Seed, simnet.Ethernet10Mbit(rc.Group), rc.Group, swCfg,
+	cluster, err := swtest.NewSwitchedWithApp(rc.Seed, rc.netConfig(), rc.Group, swCfg,
 		func(_ *swtest.SwitchedMember, sim *des.Sim) proto.Up { return app(sim) })
 	if err != nil {
 		return nil, err

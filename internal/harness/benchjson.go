@@ -41,7 +41,13 @@ import (
 // (E16) — schedules with forgery/replay faults, forged/replayed frame
 // totals, and the auth-rejection total in the switching section (all
 // omitted when zero, so forgery-free artifacts keep their v3 shape).
-const BenchSchemaVersion = 4
+//
+// Version 5: the chaos artifact adds the overload counters (E17) —
+// schedules with flash-crowd faults, shed/backpressure/retry totals in
+// the switching section, and the flash-crowd latency/shed-rate rows
+// (all omitted when zero or absent, so crowd-free artifacts keep their
+// v4 shape).
+const BenchSchemaVersion = 5
 
 // BenchTiming is the non-deterministic wall-clock section of an
 // artifact.
@@ -269,6 +275,8 @@ type BenchChaos struct {
 	// sweeps, and then omitted so earlier artifacts keep their shape.
 	WithForgery int `json:"with_forgery,omitempty"`
 	WithReplay  int `json:"with_replay,omitempty"`
+	// Overload fault class (E17); zero on crowd-free sweeps.
+	WithFlashCrowd int `json:"with_flash_crowd,omitempty"`
 
 	Delivered int `json:"delivered"`
 	// Forged/Replayed total the adversary's wire-level injections.
@@ -285,6 +293,29 @@ type BenchChaos struct {
 	Members []obs.MemberMetrics `json:"members,omitempty"`
 
 	Failures []BenchChaosFailure `json:"failures,omitempty"`
+
+	// FlashCrowd holds the E17 latency/shed-rate rows when the sweep ran
+	// the flash-crowd study.
+	FlashCrowd []BenchFlashCrowdRow `json:"flash_crowd,omitempty"`
+}
+
+// BenchFlashCrowdRow is one E17 spike multiplier.
+type BenchFlashCrowdRow struct {
+	Multiplier      int        `json:"multiplier"`
+	Before          BenchStats `json:"before"`
+	During          BenchStats `json:"during"`
+	After           BenchStats `json:"after"`
+	Shed            uint64     `json:"shed"`
+	Backpressured   uint64     `json:"backpressured"`
+	RetriedSends    uint64     `json:"retried_sends"`
+	BasePaused      uint64     `json:"base_paused"`
+	ShedRate        float64    `json:"shed_rate"`
+	MaxIngressDepth int        `json:"max_ingress_depth"`
+	MaxEgressDepth  int        `json:"max_egress_depth"`
+	IngressCap      int        `json:"ingress_cap"`
+	EgressCap       int        `json:"egress_cap"`
+	Delivered       uint64     `json:"delivered"`
+	Events          uint64     `json:"events"`
 }
 
 // BenchSwitchStats mirrors switching.Stats with stable snake_case keys.
@@ -300,6 +331,9 @@ type BenchSwitchStats struct {
 	MalformedDropped  uint64 `json:"malformed_dropped,omitempty"`
 	Quarantines       uint64 `json:"quarantines,omitempty"`
 	AuthFailed        uint64 `json:"auth_failed,omitempty"`
+	Shed              uint64 `json:"shed,omitempty"`
+	Backpressured     uint64 `json:"backpressured,omitempty"`
+	RetriedSends      uint64 `json:"retried_sends,omitempty"`
 }
 
 func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
@@ -315,6 +349,9 @@ func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
 		MalformedDropped:  s.MalformedDropped,
 		Quarantines:       s.Quarantines,
 		AuthFailed:        s.AuthFailed,
+		Shed:              s.Shed,
+		Backpressured:     s.Backpressured,
+		RetriedSends:      s.RetriedSends,
 	}
 }
 
@@ -345,6 +382,7 @@ func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
 		WithGarbage:     res.KindCounts[chaos.KindGarbage],
 		WithForgery:     res.KindCounts[chaos.KindForge],
 		WithReplay:      res.KindCounts[chaos.KindReplay],
+		WithFlashCrowd:  res.KindCounts[chaos.KindFlashCrowd],
 		Delivered:       res.Delivered,
 		ForgedFrames:    res.Forged,
 		ReplayedFrames:  res.Replayed,
@@ -366,6 +404,25 @@ func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
 			bf.Kinds = append(bf.Kinds, k.String())
 		}
 		out.Failures = append(out.Failures, bf)
+	}
+	for _, r := range res.FlashCrowd {
+		out.FlashCrowd = append(out.FlashCrowd, BenchFlashCrowdRow{
+			Multiplier:      r.Multiplier,
+			Before:          toBenchStats(r.Before),
+			During:          toBenchStats(r.During),
+			After:           toBenchStats(r.After),
+			Shed:            r.Shed,
+			Backpressured:   r.Backpressured,
+			RetriedSends:    r.RetriedSends,
+			BasePaused:      r.BasePaused,
+			ShedRate:        r.ShedRate,
+			MaxIngressDepth: r.MaxIngressDepth,
+			MaxEgressDepth:  r.MaxEgressDepth,
+			IngressCap:      r.IngressCap,
+			EgressCap:       r.EgressCap,
+			Delivered:       r.Delivered,
+			Events:          r.Events,
+		})
 	}
 	out.BenchMeta = benchMeta("chaos", seed, res.Events)
 	return out

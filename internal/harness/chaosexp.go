@@ -22,6 +22,11 @@ type ChaosSweepConfig struct {
 	Seed int64
 	// Gen tunes the fault-schedule generator.
 	Gen chaos.GenConfig
+	// FlashCrowd adds the overload tier: the generator draws flash-crowd
+	// windows (Gen.FlashCrowd), and the sweep appends the E17 latency/
+	// shed-rate study (RunFlashCrowd with its defaults, seeded from
+	// Seed) to the result.
+	FlashCrowd bool
 	// Run tunes the schedule runner.
 	Run chaos.RunConfig
 	// RecoverySeeds is how many crash-during-round runs to measure for
@@ -72,6 +77,9 @@ type ChaosSweepResult struct {
 	// Trace is the merged event stream (runs in index order) when
 	// ChaosSweepConfig.Trace was set.
 	Trace []obs.Event
+	// FlashCrowd holds the E17 rows when ChaosSweepConfig.FlashCrowd was
+	// set.
+	FlashCrowd []FlashCrowdRow
 }
 
 // RunChaosSweep runs the sweep and the recovery-bound family.
@@ -89,6 +97,9 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 	progress := cfg.Progress
 	if progress == nil {
 		progress = func(string) {}
+	}
+	if cfg.FlashCrowd {
+		cfg.Gen.FlashCrowd = true
 	}
 
 	res := &ChaosSweepResult{
@@ -174,6 +185,15 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		}
 	}
 	progress("recovery bound family done")
+
+	if cfg.FlashCrowd {
+		rows, err := RunFlashCrowd(FlashCrowdConfig{Seed: cfg.Seed, Parallel: cfg.Parallel})
+		if err != nil {
+			return nil, err
+		}
+		res.FlashCrowd = rows
+		progress("flash-crowd study done")
+	}
 	return res, nil
 }
 
@@ -194,6 +214,9 @@ func (r *ChaosSweepResult) Render() string {
 		fmt.Fprintf(&b, "  with forged frames     %10d\n", r.KindCounts[chaos.KindForge])
 		fmt.Fprintf(&b, "  with wire replays      %10d\n", r.KindCounts[chaos.KindReplay])
 	}
+	if n := r.KindCounts[chaos.KindFlashCrowd]; n > 0 {
+		fmt.Fprintf(&b, "  with flash crowds      %10d\n", n)
+	}
 	fmt.Fprintf(&b, "invariant violations     %10d\n", len(r.Failures))
 	fmt.Fprintf(&b, "app deliveries           %10d\n", r.Delivered)
 	fmt.Fprintf(&b, "switches completed       %10d\n", r.Stats.SwitchesCompleted)
@@ -210,6 +233,11 @@ func (r *ChaosSweepResult) Render() string {
 		fmt.Fprintf(&b, "captured frames replayed %10d\n", r.Replayed)
 		fmt.Fprintf(&b, "auth rejections          %10d\n", r.Stats.AuthFailed)
 	}
+	if r.Stats.Shed > 0 || r.Stats.Backpressured > 0 || r.Stats.RetriedSends > 0 {
+		fmt.Fprintf(&b, "frames shed              %10d\n", r.Stats.Shed)
+		fmt.Fprintf(&b, "backpressure pauses      %10d\n", r.Stats.Backpressured)
+		fmt.Fprintf(&b, "sends retried            %10d\n", r.Stats.RetriedSends)
+	}
 	fmt.Fprintf(&b, "worst in-round recovery  %10s (bound %s)\n",
 		FormatMillis(r.WorstRecovery), FormatMillis(r.Bound))
 	for _, f := range r.Failures {
@@ -217,6 +245,10 @@ func (r *ChaosSweepResult) Render() string {
 		for _, v := range f.Violations {
 			fmt.Fprintf(&b, "  %s\n", v)
 		}
+	}
+	if len(r.FlashCrowd) > 0 {
+		b.WriteString("\n")
+		b.WriteString(RenderFlashCrowd(r.FlashCrowd))
 	}
 	return b.String()
 }

@@ -181,6 +181,56 @@ func TestChaosCorruptionSweepByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestChaosFlashCrowdSweepByteIdenticalAcrossWorkers is E17's
+// determinism gate: a flash-crowd-enabled sweep — sender spikes against
+// the bounded-queue overload layer, plus the E17 latency/shed study —
+// must render the same table and encode a byte-identical artifact
+// (timing scrubbed) for 1 and 4 workers, and must actually exercise the
+// overload counters so the comparison is not vacuous.
+func TestChaosFlashCrowdSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	sweep := func(parallel int) (*ChaosSweepResult, []byte) {
+		cfg := DefaultChaosSweepConfig()
+		cfg.Schedules = 20
+		cfg.RecoverySeeds = 3
+		cfg.FlashCrowd = true
+		cfg.Parallel = parallel
+		res, err := RunChaosSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := NewBenchChaos(cfg.Seed, res)
+		art.SetTiming(time.Duration(parallel)*time.Millisecond, parallel) // differs per run on purpose
+		art.ScrubTiming()
+		b, err := EncodeBench(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, b
+	}
+	seq, seqJSON := sweep(1)
+	par, parJSON := sweep(4)
+	if len(seq.Failures) != 0 {
+		for _, f := range seq.Failures {
+			t.Errorf("seed %d (%v): %v", f.Seed, f.Kinds, f.Violations)
+		}
+	}
+	if seq.Render() != par.Render() {
+		t.Errorf("flash-crowd sweep table diverged across worker counts:\n%s\nvs\n%s", seq.Render(), par.Render())
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Errorf("flash-crowd sweep JSON differs across worker counts:\n%s\nvs\n%s", seqJSON, parJSON)
+	}
+	if seq.KindCounts[chaos.KindFlashCrowd] == 0 {
+		t.Error("flash-crowd sweep generated no flash-crowd faults")
+	}
+	if seq.Stats.Shed == 0 {
+		t.Error("flash-crowd sweep shed nothing — the overload layer was not exercised")
+	}
+	if len(seq.FlashCrowd) == 0 {
+		t.Error("flash-crowd sweep produced no E17 rows")
+	}
+}
+
 // TestOverheadAndP2PSweepsParallelDeterminism covers the remaining
 // drivers: rows are identical for 1 and 4 workers.
 func TestOverheadAndP2PSweepsParallelDeterminism(t *testing.T) {

@@ -26,6 +26,9 @@ const (
 	KeyMalformedDropped  = "switching/malformed_dropped"
 	KeyQuarantines       = "switching/quarantines"
 	KeyAuthFailed        = "switching/auth_failed"
+	KeyShed              = "switching/shed"
+	KeyBackpressured     = "switching/backpressured"
+	KeyRetriedSends      = "switching/retried_sends"
 
 	KeyNetCrashes     = "net/crashes"
 	KeyNetPartitions  = "net/partitions"
@@ -39,6 +42,7 @@ const (
 	KeyNetGarbage     = "net/garbage"
 	KeyNetForged      = "net/forged"
 	KeyNetReplayed    = "net/replayed"
+	KeyNetSpikes      = "net/sender_spikes"
 
 	// KeySwitchDuration is the per-member histogram of initiated switch
 	// round durations (EvSwitchComplete).
@@ -74,6 +78,10 @@ var counterKey = [eventTypeCount]string{
 	EvAuthFail:       KeyAuthFailed,
 	EvForged:         KeyNetForged,
 	EvReplayed:       KeyNetReplayed,
+	EvShed:           KeyShed,
+	EvBackpressureOn: KeyBackpressured,
+	EvRetrySend:      KeyRetriedSends,
+	EvSenderSpike:    KeyNetSpikes,
 }
 
 // CounterKey returns the counter an event type increments ("" for

@@ -118,40 +118,66 @@ const (
 	// EvReplayed: the network re-delivered a previously captured frame
 	// of Args[0] bytes to Proc, originally from Peer.
 	EvReplayed
+	// EvShed: Proc's overload layer dropped a message at a hard queue
+	// limit; Args[0] is a ShedReason code (ingress frame from Peer, or
+	// an egress application send with Peer == NoPeer), Args[1] the queue
+	// depth at the drop.
+	EvShed
+	// EvBackpressureOn: Proc's egress queue depth (Args[0]) crossed the
+	// high watermark and local senders were asked to pause.
+	EvBackpressureOn
+	// EvBackpressureOff: Proc's egress queue depth (Args[0]) fell back
+	// to the low watermark and local senders were asked to resume.
+	EvBackpressureOff
+	// EvRetrySend: Proc's overload layer scheduled retry attempt
+	// Args[0] of a rejected application send, Args[1] nanoseconds out.
+	EvRetrySend
+	// EvQueueDepth: the network sampled Proc's egress queue at depth
+	// Args[0] (periodic gauge; trace-only).
+	EvQueueDepth
+	// EvSenderSpike: the network's flash-crowd knob changed to an
+	// Args[0]× sender multiplier (Proc == NoProc).
+	EvSenderSpike
 
 	eventTypeCount
 )
 
 // eventNames are the stable wire names used by the JSONL exporter.
 var eventNames = [eventTypeCount]string{
-	EvTokenPass:      "token_pass",
-	EvTokenHold:      "token_hold",
-	EvTokenRegen:     "token_regen",
-	EvPhase:          "phase",
-	EvSwitchStart:    "switch_start",
-	EvSwitchComplete: "switch_complete",
-	EvSwitchAbort:    "switch_abort",
-	EvEpochAdvance:   "epoch_advance",
-	EvEpochForced:    "epoch_forced",
-	EvBuffered:       "buffered",
-	EvStaleDrop:      "stale_drop",
-	EvWedgeTimeout:   "wedge_timeout",
-	EvSuspect:        "suspect",
-	EvCrash:          "crash",
-	EvPartition:      "partition",
-	EvHeal:           "heal",
-	EvFaultSet:       "fault_set",
-	EvDrop:           "drop",
-	EvDelay:          "delay",
-	EvCorruptSet:     "corrupt_set",
-	EvCorrupt:        "corrupt",
-	EvTruncate:       "truncate",
-	EvGarbage:        "garbage",
-	EvMalformedDrop:  "malformed_drop",
-	EvQuarantine:     "quarantine",
-	EvAuthFail:       "auth_fail",
-	EvForged:         "forged",
-	EvReplayed:       "replayed",
+	EvTokenPass:       "token_pass",
+	EvTokenHold:       "token_hold",
+	EvTokenRegen:      "token_regen",
+	EvPhase:           "phase",
+	EvSwitchStart:     "switch_start",
+	EvSwitchComplete:  "switch_complete",
+	EvSwitchAbort:     "switch_abort",
+	EvEpochAdvance:    "epoch_advance",
+	EvEpochForced:     "epoch_forced",
+	EvBuffered:        "buffered",
+	EvStaleDrop:       "stale_drop",
+	EvWedgeTimeout:    "wedge_timeout",
+	EvSuspect:         "suspect",
+	EvCrash:           "crash",
+	EvPartition:       "partition",
+	EvHeal:            "heal",
+	EvFaultSet:        "fault_set",
+	EvDrop:            "drop",
+	EvDelay:           "delay",
+	EvCorruptSet:      "corrupt_set",
+	EvCorrupt:         "corrupt",
+	EvTruncate:        "truncate",
+	EvGarbage:         "garbage",
+	EvMalformedDrop:   "malformed_drop",
+	EvQuarantine:      "quarantine",
+	EvAuthFail:        "auth_fail",
+	EvForged:          "forged",
+	EvReplayed:        "replayed",
+	EvShed:            "shed",
+	EvBackpressureOn:  "backpressure_on",
+	EvBackpressureOff: "backpressure_off",
+	EvRetrySend:       "retry_send",
+	EvQueueDepth:      "queue_depth",
+	EvSenderSpike:     "sender_spike",
 }
 
 // String renders the type's stable wire name.
@@ -322,6 +348,9 @@ const (
 	DropBlocked = 0
 	// DropRandom: the packet fell to the configured loss probability.
 	DropRandom = 1
+	// DropMailbox: a realtime node's event-loop mailbox was full and
+	// the posted work was discarded (overload at the runtime boundary).
+	DropMailbox = 2
 )
 
 // Drop records the network dropping a packet to proc from peer.
@@ -418,6 +447,55 @@ func Forged(at time.Duration, proc, peer ids.ProcID, size int) Event {
 // bytes to proc, originally from peer.
 func Replayed(at time.Duration, proc, peer ids.ProcID, size int) Event {
 	return Event{At: at, Type: EvReplayed, Proc: proc, Peer: peer, Args: [3]int64{int64(size)}}
+}
+
+// ShedReason codes (Args[0] of EvShed) name the hard limit that shed
+// the message.
+const (
+	// ShedIngress: a data frame from Peer arrived with the per-peer
+	// ingress queue at its cap (drop-newest).
+	ShedIngress int64 = 0
+	// ShedEgress: an application send found the egress queue at its cap
+	// and exhausted its retry budget.
+	ShedEgress int64 = 1
+)
+
+// Shed records proc's overload layer dropping a message at a hard
+// queue limit (peer is the frame's sender for ingress sheds, NoPeer
+// for egress sheds).
+func Shed(at time.Duration, proc, peer ids.ProcID, reason int64, depth int) Event {
+	return Event{At: at, Type: EvShed, Proc: proc, Peer: peer, Args: [3]int64{reason, int64(depth)}}
+}
+
+// BackpressureOn records proc's egress depth crossing the high
+// watermark (senders asked to pause).
+func BackpressureOn(at time.Duration, proc ids.ProcID, depth int) Event {
+	return Event{At: at, Type: EvBackpressureOn, Proc: proc, Peer: NoPeer, Args: [3]int64{int64(depth)}}
+}
+
+// BackpressureOff records proc's egress depth reaching the low
+// watermark again (senders asked to resume).
+func BackpressureOff(at time.Duration, proc ids.ProcID, depth int) Event {
+	return Event{At: at, Type: EvBackpressureOff, Proc: proc, Peer: NoPeer, Args: [3]int64{int64(depth)}}
+}
+
+// RetrySend records proc scheduling retry number attempt of a rejected
+// application send, firing after the given backoff.
+func RetrySend(at time.Duration, proc ids.ProcID, attempt int, backoff time.Duration) Event {
+	return Event{At: at, Type: EvRetrySend, Proc: proc, Peer: NoPeer,
+		Args: [3]int64{int64(attempt), int64(backoff)}}
+}
+
+// QueueDepth records the network sampling proc's egress queue depth.
+func QueueDepth(at time.Duration, proc ids.ProcID, depth int) Event {
+	return Event{At: at, Type: EvQueueDepth, Proc: proc, Peer: NoPeer, Args: [3]int64{int64(depth)}}
+}
+
+// SenderSpike records the network's flash-crowd sender multiplier
+// changing (1 restores the baseline sender population).
+func SenderSpike(at time.Duration, multiplier int) Event {
+	return Event{At: at, Type: EvSenderSpike, Proc: NoProc, Peer: NoPeer,
+		Args: [3]int64{int64(multiplier)}}
 }
 
 // Recorder consumes events. Implementations must be deterministic

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -29,6 +31,12 @@ type Config struct {
 	Seed int64
 	// MailboxDepth bounds each member's pending-event queue.
 	MailboxDepth int
+	// Recorder, if set, receives an obs.EvDrop event for every posted
+	// event discarded at a full mailbox. Unlike the DES runtime, nodes
+	// here run on separate goroutines, so the recorder must be safe for
+	// concurrent use (wrap obs.Collector in a lock; the stock recorders
+	// are single-threaded).
+	Recorder obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +127,10 @@ type Node struct {
 	rng     *rand.Rand
 	done    chan struct{}
 
+	// dropped counts events discarded at a full mailbox; atomic because
+	// post is called from peers' loops and timer goroutines.
+	dropped atomic.Uint64
+
 	// recv is the bound packet receiver (the stack's Recv).
 	recv func(src ids.ProcID, payload []byte)
 }
@@ -140,15 +152,24 @@ func (n *Node) loop(wg *sync.WaitGroup) {
 
 // post enqueues fn on the node's event loop, dropping it if the node
 // has stopped or the mailbox is full (overload behaves like loss, which
-// the fifo layer repairs).
+// the fifo layer repairs). A full-mailbox drop is never silent: it is
+// counted in Dropped and reported to the configured recorder.
 func (n *Node) post(fn func()) {
 	select {
 	case n.mailbox <- fn:
 	case <-n.done:
 	default:
-		// Mailbox full: drop.
+		// Mailbox full: drop, loudly.
+		n.dropped.Add(1)
+		if r := n.group.cfg.Recorder; r != nil && r.Enabled() {
+			r.Record(obs.Drop(n.Now(), n.self, obs.NoPeer, obs.DropMailbox))
+		}
 	}
 }
+
+// Dropped reports how many posted events this node has discarded at a
+// full mailbox.
+func (n *Node) Dropped() uint64 { return n.dropped.Load() }
 
 // Self implements proto.Env.
 func (n *Node) Self() ids.ProcID { return n.self }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core/switching"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/protocols/fifo"
 	"repro/internal/protocols/seqorder"
@@ -270,5 +271,63 @@ func TestSwitchOverRealtime(t *testing.T) {
 		if got[0] != "before" || got[1] != "after" {
 			t.Fatalf("member %d delivered %v", p, got)
 		}
+	}
+}
+
+// lockedCollector is an obs.Collector safe for the realtime runtime's
+// concurrent post sites.
+type lockedCollector struct {
+	mu  sync.Mutex
+	col *obs.Collector
+}
+
+func (l *lockedCollector) Record(e obs.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.col.Record(e)
+}
+
+func (l *lockedCollector) Enabled() bool { return true }
+
+// TestMailboxDropCounted pins the no-silent-drop contract at the
+// runtime boundary: an event posted to a full mailbox increments the
+// node's Dropped counter and emits an obs drop event with the mailbox
+// reason, instead of vanishing.
+func TestMailboxDropCounted(t *testing.T) {
+	rec := &lockedCollector{col: obs.NewCollector()}
+	g, err := NewGroup(Config{Nodes: 1, MailboxDepth: 1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	n := g.Node(0)
+
+	started := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	n.post(func() { close(started); <-block })
+	<-started // the loop is now parked inside the blocker
+	n.post(func() {})
+	if got := n.Dropped(); got != 0 {
+		t.Fatalf("drop counted while the mailbox still had room: %d", got)
+	}
+	n.post(func() {}) // mailbox full: must be dropped, loudly
+	if got := n.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d, want 1", got)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	drops := 0
+	for _, e := range rec.col.Events() {
+		if e.Type == obs.EvDrop {
+			drops++
+			if e.Proc != 0 || e.Peer != obs.NoPeer || e.Args[0] != obs.DropMailbox {
+				t.Errorf("malformed mailbox drop event: %+v", e)
+			}
+		}
+	}
+	if drops != 1 {
+		t.Errorf("trace has %d drop events, want 1", drops)
 	}
 }

@@ -117,6 +117,7 @@ type Stats struct {
 	GarbageInjected uint64
 	Forged          uint64
 	Replayed        uint64
+	SenderSpikes    uint64
 }
 
 // frame is one queued transmission.
@@ -159,6 +160,9 @@ type Network struct {
 	// (SetReplayCapture); capMax bounds the buffer.
 	captured []capturedFrame
 	capMax   int
+	// spikeMult is the flash-crowd sender multiplier (1 = baseline);
+	// workload generators consult it via SpikeMultiplier.
+	spikeMult int
 }
 
 // capturedFrame is one recorded wire delivery, replayable verbatim.
@@ -293,6 +297,59 @@ func (n *Network) SetCorruption(corruptProb, truncateProb float64) error {
 	n.cfg = probe
 	n.rec.Record(obs.CorruptSet(n.sim.Now(),
 		int64(corruptProb*1000), int64(truncateProb*1000)))
+	return nil
+}
+
+// SetSenderSpike replaces the flash-crowd sender multiplier at run
+// time — the hook the chaos harness uses to multiply the active sender
+// population mid-run. The network cannot originate application traffic
+// itself; workload generators consult SpikeMultiplier and scale their
+// send rate by it, so the spike stays seeded and deterministic. A
+// multiplier of 1 restores the baseline. It returns an error (changing
+// nothing) for a non-positive multiplier.
+func (n *Network) SetSenderSpike(mult int) error {
+	if mult < 1 {
+		return fmt.Errorf("simnet: sender spike multiplier %d must be at least 1", mult)
+	}
+	n.spikeMult = mult
+	n.stats.SenderSpikes++
+	n.rec.Record(obs.SenderSpike(n.sim.Now(), mult))
+	return nil
+}
+
+// SpikeMultiplier returns the current flash-crowd sender multiplier
+// (1 when no spike is in effect).
+func (n *Network) SpikeMultiplier() int {
+	if n.spikeMult < 1 {
+		return 1
+	}
+	return n.spikeMult
+}
+
+// SampleQueueDepths emits a per-node egress queue-depth gauge event
+// every interval until the given virtual time — the live overload
+// signal for a policy layer watching the trace. Sampling draws no
+// randomness and schedules nothing when no recorder is installed, so
+// it never perturbs an execution's fault schedule.
+func (n *Network) SampleQueueDepths(every, until time.Duration) error {
+	if every <= 0 {
+		return fmt.Errorf("simnet: non-positive sample interval %v", every)
+	}
+	if !n.rec.Enabled() {
+		return nil
+	}
+	var tick func()
+	tick = func() {
+		now := n.sim.Now()
+		if now > until {
+			return
+		}
+		for i := range n.egress {
+			n.rec.Record(obs.QueueDepth(now, ids.ProcID(i), len(n.egress[i])))
+		}
+		n.sim.After(every, tick)
+	}
+	n.sim.After(every, tick)
 	return nil
 }
 
