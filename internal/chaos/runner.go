@@ -159,15 +159,23 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		// between spike casts vs a 200µs service interval) so the runs
 		// actually exercise shedding, backpressure and retries rather
 		// than absorbing the crowd. Spike-free schedules leave Overload
-		// nil so their message path stays byte-identical.
+		// nil so their message path stays byte-identical. BatchMax puts
+		// the egress batcher (and the batch wire format) under the same
+		// chaos coverage: sweeps must stay byte-identical at any
+		// -parallel with batching on. The service interval doubles
+		// against BatchMax 2 so the frames-per-second capacity is
+		// unchanged from the pre-batching tier — the spike still
+		// overruns the queues, so shedding, backpressure and retries
+		// all stay exercised.
 		swCfg.Overload = &switching.OverloadConfig{
 			IngressQueueCap: 16,
 			EgressQueueCap:  8,
 			LowWatermark:    2,
 			HighWatermark:   6,
-			ServiceInterval: 200 * time.Microsecond,
+			ServiceInterval: 400 * time.Microsecond,
 			RetryBackoff:    800 * time.Microsecond,
 			MaxRetryShift:   3,
+			BatchMax:        2,
 		}
 	}
 	c, err := swtest.NewSwitched(sched.Seed, simnet.Config{Nodes: sched.N, PropDelay: cfg.PropDelay}, sched.N, swCfg)

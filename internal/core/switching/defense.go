@@ -87,11 +87,21 @@ type sealedTransport struct {
 }
 
 func (t sealedTransport) Cast(payload []byte) error {
-	return t.down.Cast(wire.Seal(payload))
+	bp := wire.GetBuf()
+	pkt := wire.SealTo(*bp, payload)
+	err := t.down.Cast(pkt)
+	*bp = pkt[:0]
+	wire.PutBuf(bp)
+	return err
 }
 
 func (t sealedTransport) Send(dst ids.ProcID, payload []byte) error {
-	return t.down.Send(dst, wire.Seal(payload))
+	bp := wire.GetBuf()
+	pkt := wire.SealTo(*bp, payload)
+	err := t.down.Send(dst, pkt)
+	*bp = pkt[:0]
+	wire.PutBuf(bp)
+	return err
 }
 
 // countMalformed records a defensively-dropped message apparently from
@@ -172,54 +182,65 @@ type authTransport struct {
 }
 
 func (t authTransport) Cast(payload []byte) error {
-	return t.down.Cast(t.s.sealCurrent(payload))
+	bp := wire.GetBuf()
+	pkt := t.s.sealCurrentTo(*bp, payload)
+	err := t.down.Cast(pkt)
+	*bp = pkt[:0]
+	wire.PutBuf(bp)
+	return err
 }
 
 func (t authTransport) Send(dst ids.ProcID, payload []byte) error {
-	return t.down.Send(dst, t.s.sealCurrent(payload))
+	bp := wire.GetBuf()
+	pkt := t.s.sealCurrentTo(*bp, payload)
+	err := t.down.Send(dst, pkt)
+	*bp = pkt[:0]
+	wire.PutBuf(bp)
+	return err
 }
 
-// sealCurrent seals a payload under the current send epoch's key — or
-// the newest authenticated epoch this member has witnessed, when that
-// is ahead (a lagging member sealing under its retired epoch would be
-// rejected by everyone who completed the switch, wedging it out of the
-// group; see maxAuthEpoch).
-func (s *Switch) sealCurrent(payload []byte) []byte {
+// sealCurrentTo appends payload sealed under the current send epoch's
+// key — or the newest authenticated epoch this member has witnessed,
+// when that is ahead (a lagging member sealing under its retired epoch
+// would be rejected by everyone who completed the switch, wedging it
+// out of the group; see maxAuthEpoch).
+func (s *Switch) sealCurrentTo(dst, payload []byte) []byte {
 	epoch := s.sendEpoch
 	if s.maxAuthEpoch > epoch {
 		epoch = s.maxAuthEpoch
 	}
-	return wire.SealAuth(s.epochKey(epoch), epoch, payload)
+	return s.epochSealer(epoch).SealTo(dst, payload)
 }
 
-// epochKey returns the derived MAC key for an epoch, memoized. The
-// cache is pruned as epochs retire (see rollEpochKey); verification of
-// a from-ahead frame may derive and cache a future epoch's key early,
-// which is harmless — derivation is deterministic.
-func (s *Switch) epochKey(epoch uint64) []byte {
-	if k, ok := s.epochKeys[epoch]; ok {
-		return k
+// epochSealer returns the cached sealer (derived key + keyed HMAC +
+// precomputed header) for an epoch, memoized. The schedule is pruned as
+// epochs retire (see rollEpochKey); verification of a from-ahead frame
+// may derive and cache a future epoch's sealer early, which is
+// harmless — derivation is deterministic.
+func (s *Switch) epochSealer(epoch uint64) *wire.AuthSealer {
+	if a, ok := s.epochSealers[epoch]; ok {
+		return a
 	}
-	if s.epochKeys == nil {
-		s.epochKeys = make(map[uint64][]byte)
+	if s.epochSealers == nil {
+		s.epochSealers = make(map[uint64]*wire.AuthSealer)
 	}
-	k := wire.DeriveEpochKey(s.cfg.Defense.Auth.SessionKey, epoch)
-	s.epochKeys[epoch] = k
-	return k
+	a := wire.NewAuthSealer(wire.DeriveEpochKey(s.cfg.Defense.Auth.SessionKey, epoch), epoch)
+	s.epochSealers[epoch] = a
+	return a
 }
 
 // rollEpochKey records the moment the send epoch advanced — opening the
-// grace window for the previous epoch — and prunes retired keys from
-// the cache. Called from every site that advances sendEpoch, so the key
-// schedule rolls atomically with the switch round.
+// grace window for the previous epoch — and prunes retired sealers from
+// the schedule. Called from every site that advances sendEpoch, so the
+// key schedule rolls atomically with the switch round.
 func (s *Switch) rollEpochKey() {
 	if s.cfg.Defense == nil || s.cfg.Defense.Auth == nil {
 		return
 	}
 	s.keyRolledAt = s.env.Now()
-	for e := range s.epochKeys {
+	for e := range s.epochSealers {
 		if e+1 < s.sendEpoch {
-			delete(s.epochKeys, e)
+			delete(s.epochSealers, e)
 		}
 	}
 }
@@ -256,12 +277,18 @@ func (s *Switch) recvAuth(src ids.ProcID, pkt []byte) ([]byte, bool) {
 		s.countAuthFailed(src, epoch, obs.AuthStaleEpoch)
 		return nil, false
 	}
-	payload, err := wire.OpenAuth(s.epochKey(epoch), pkt)
+	payload, err := s.epochSealer(epoch).Open(pkt)
 	if err != nil {
 		s.countAuthFailed(src, epoch, obs.AuthBadMAC)
 		return nil, false
 	}
 	if epoch > s.maxAuthEpoch {
+		// The group provably rolled past this member's send epoch: flush
+		// any batch accumulated under the old sealing epoch before egress
+		// starts sealing under the new one.
+		if s.batch != nil {
+			s.batch.flush()
+		}
 		s.maxAuthEpoch = epoch
 	}
 	return payload, true

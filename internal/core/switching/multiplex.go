@@ -86,16 +86,22 @@ type muxPort struct {
 
 var _ proto.Down = muxPort{}
 
-func (p muxPort) frame(payload []byte) []byte {
-	e := wire.NewEncoder(4)
-	e.Channel(p.ch)
-	return e.Prepend(payload)
-}
+// The channel tag rides a pooled encoder: everything below the mux —
+// batcher, envelope, transport — consumes or copies the frame
+// synchronously, so the buffer is free again when the call returns.
 
 func (p muxPort) Cast(payload []byte) error {
-	return p.m.down.Cast(p.frame(payload))
+	e := wire.GetEncoder()
+	e.Channel(p.ch)
+	err := p.m.down.Cast(e.Frame(payload))
+	wire.PutEncoder(e)
+	return err
 }
 
 func (p muxPort) Send(dst ids.ProcID, payload []byte) error {
-	return p.m.down.Send(dst, p.frame(payload))
+	e := wire.GetEncoder()
+	e.Channel(p.ch)
+	err := p.m.down.Send(dst, e.Frame(payload))
+	wire.PutEncoder(e)
+	return err
 }

@@ -59,6 +59,15 @@ type OverloadConfig struct {
 	// OnBackpressure, if set, is invoked on every pause (true) / resume
 	// (false) transition of the egress watermarks.
 	OnBackpressure func(paused bool)
+	// BatchMax, when > 1, enables egress frame batching: each egress
+	// service tick drains up to BatchMax same-epoch casts instead of
+	// one, and every mux frame generated within one event-loop step
+	// coalesces into a single sealed wire write per destination (one
+	// envelope — and in auth mode one MAC — per batch; see batch.go).
+	// 0 or 1 preserves the legacy one-frame-per-write format exactly.
+	// Must be set uniformly across the group: an unbatched receiver
+	// counts batch frames as malformed. Must be at most 256.
+	BatchMax int
 }
 
 // Validate checks the overload knobs (Config.Validate calls this).
@@ -85,6 +94,9 @@ func (c OverloadConfig) Validate() error {
 	}
 	if c.MaxRetryShift < 0 || c.MaxRetryShift > 16 {
 		return fmt.Errorf("switching: overload retry backoff shift %d out of range [0, 16]", c.MaxRetryShift)
+	}
+	if c.BatchMax < 0 || c.BatchMax > 256 {
+		return fmt.Errorf("switching: overload batch max %d out of range [0, 256]", c.BatchMax)
 	}
 	return nil
 }
@@ -131,6 +143,30 @@ type OverloadAccounting struct {
 	IngressCap, EgressCap int
 }
 
+// ingressQ is one peer's bounded ingress queue. A head index instead
+// of re-slicing keeps the backing array reusable: serving a frame
+// advances head, and an emptied queue resets to its full capacity, so
+// the steady state appends without reallocating.
+type ingressQ struct {
+	frames [][]byte
+	head   int
+}
+
+func (q *ingressQ) depth() int { return len(q.frames) - q.head }
+
+func (q *ingressQ) push(pkt []byte) { q.frames = append(q.frames, pkt) }
+
+func (q *ingressQ) pop() []byte {
+	pkt := q.frames[q.head]
+	q.frames[q.head] = nil // release for GC: the slot may idle in the backing array
+	q.head++
+	if q.head == len(q.frames) {
+		q.frames = q.frames[:0]
+		q.head = 0
+	}
+	return pkt
+}
+
 // egressEntry is one queued (or retrying) application cast. The epoch
 // is captured when the application called Cast, so the wire frame and
 // any caller-side epoch tagging agree even when the send is delayed
@@ -147,8 +183,14 @@ type overload struct {
 
 	// ingress holds per-peer bounded queues of verified mux frames;
 	// service is one frame per interval, round-robin in ring order
-	// (serveIdx) so draining is deterministic.
-	ingress      map[ids.ProcID][][]byte
+	// (serveIdx) so draining is deterministic. members caches the ring
+	// order (Ring.Members copies on every call — too hot for a per-tick
+	// path) and serveFn/drainFn are the timer callbacks, bound once so
+	// arming a timer does not allocate a method-value closure.
+	ingress      map[ids.ProcID]*ingressQ
+	members      []ids.ProcID
+	serveFn      func()
+	drainFn      func()
 	serveIdx     int
 	draining     bool
 	ingressTimer proto.Timer
@@ -197,8 +239,10 @@ func newOverload(s *Switch, cfg OverloadConfig) (*overload, error) {
 	o := &overload{
 		s:       s,
 		cfg:     cfg,
-		ingress: make(map[ids.ProcID][][]byte),
+		ingress: make(map[ids.ProcID]*ingressQ),
 	}
+	o.serveFn = o.serveIngress
+	o.drainFn = o.drainEgress
 	o.acct.IngressCap = cfg.IngressQueueCap
 	o.acct.EgressCap = cfg.EgressQueueCap
 	return o, nil
@@ -233,23 +277,33 @@ func (o *overload) shed(peer ids.ProcID, reason int64, depth int) {
 // channel and failure-detector heartbeats, which keep their direct
 // path — and for frames whose channel header does not decode (the
 // demultiplexer owns malformed accounting). Everything else is consumed:
-// queued under its sender, or shed drop-newest at the cap.
-func (o *overload) admitIngress(src ids.ProcID, pkt []byte) bool {
+// queued under its sender, or shed drop-newest at the cap. owned tells
+// the layer the frame's bytes already outlive the network callback
+// (recvBatch copies a whole batch body once and admits aliasing
+// sub-slices); otherwise the queue takes its own copy.
+func (o *overload) admitIngress(src ids.ProcID, pkt []byte, owned bool) bool {
 	d := wire.NewDecoder(pkt)
 	ch := d.Channel()
 	if d.Err() != nil || ch == ids.ControlChannel || ch == detectorChannel {
 		return false
 	}
 	q := o.ingress[src]
-	if len(q) >= o.cfg.IngressQueueCap {
+	if q == nil {
+		q = &ingressQ{}
+		o.ingress[src] = q
+	}
+	if q.depth() >= o.cfg.IngressQueueCap {
 		o.acct.IngressShed++
-		o.shed(src, obs.ShedIngress, len(q))
+		o.shed(src, obs.ShedIngress, q.depth())
 		return true
 	}
 	// Own the bytes: the frame outlives the network callback.
-	o.ingress[src] = append(q, append([]byte(nil), pkt...))
+	if !owned {
+		pkt = append([]byte(nil), pkt...)
+	}
+	q.push(pkt)
 	o.acct.IngressAdmitted++
-	if d := len(o.ingress[src]); d > o.acct.IngressMaxDepth {
+	if d := q.depth(); d > o.acct.IngressMaxDepth {
 		o.acct.IngressMaxDepth = d
 	}
 	o.armIngress()
@@ -261,30 +315,49 @@ func (o *overload) armIngress() {
 		return
 	}
 	o.draining = true
-	o.ingressTimer = o.s.env.After(o.cfg.ServiceInterval, o.serveIngress)
+	o.ingressTimer = o.s.env.After(o.cfg.ServiceInterval, o.serveFn)
 }
 
-// serveIngress hands exactly one queued frame to the demultiplexer,
-// round-robin over the ring order, then re-arms while work remains.
+// serveIngress hands queued frames to the demultiplexer, round-robin
+// over the ring order, then re-arms while work remains: one frame per
+// service tick in the legacy configuration, up to BatchMax per tick
+// with batching enabled — the ingress mirror of drainEgress's
+// multi-drain. Serving a batch's worth of frames in one event is what
+// lets the responses they trigger (a sequencer's ordered multicasts,
+// acks) coalesce in the egress batcher instead of trickling out one
+// wire write per served frame.
 func (o *overload) serveIngress() {
 	o.draining = false
 	s := o.s
 	if s.stopped {
 		return
 	}
-	members := s.env.Ring().Members()
-	for range members {
-		p := members[o.serveIdx%len(members)]
-		o.serveIdx++
-		q := o.ingress[p]
-		if len(q) == 0 {
-			continue
+	max := o.cfg.BatchMax
+	if max < 1 {
+		max = 1
+	}
+	if o.members == nil {
+		o.members = s.env.Ring().Members()
+	}
+	members := o.members
+	for n := 0; n < max && !s.stopped; n++ {
+		served := false
+		for range members {
+			p := members[o.serveIdx%len(members)]
+			o.serveIdx++
+			q := o.ingress[p]
+			if q == nil || q.depth() == 0 {
+				continue
+			}
+			pkt := q.pop()
+			o.acct.IngressServed++
+			s.mux.Recv(p, pkt)
+			served = true
+			break
 		}
-		pkt := q[0]
-		o.ingress[p] = q[1:]
-		o.acct.IngressServed++
-		s.mux.Recv(p, pkt)
-		break
+		if !served {
+			break
+		}
 	}
 	if o.ingressQueued() > 0 {
 		o.armIngress()
@@ -294,7 +367,7 @@ func (o *overload) serveIngress() {
 func (o *overload) ingressQueued() int {
 	n := 0
 	for _, q := range o.ingress {
-		n += len(q)
+		n += q.depth()
 	}
 	return n
 }
@@ -308,9 +381,11 @@ func (o *overload) admitCast(payload []byte) error {
 	s := o.s
 	o.acct.Casts++
 	epoch := s.sendEpoch
-	e := wire.NewEncoder(10)
+	// The queue retains the frame, so it must be independently owned:
+	// one right-sized allocation via Frame (Prepend would cost two).
+	e := wire.NewEncoder(10 + len(payload))
 	e.Uvarint(epoch)
-	ent := egressEntry{frame: e.Prepend(payload), epoch: epoch}
+	ent := egressEntry{frame: e.Frame(payload), epoch: epoch}
 	if len(o.egress) >= o.cfg.EgressQueueCap {
 		o.scheduleRetry(ent, 1)
 		return nil
@@ -347,20 +422,31 @@ func (o *overload) armEgress() {
 		return
 	}
 	o.sending = true
-	o.egressTimer = o.s.env.After(o.cfg.ServiceInterval, o.drainEgress)
+	o.egressTimer = o.s.env.After(o.cfg.ServiceInterval, o.drainFn)
 }
 
-// drainEgress hands one queued cast to its epoch's protocol.
+// drainEgress hands queued casts to their epoch's protocol: one per
+// service tick in the legacy configuration, up to BatchMax per tick
+// with batching enabled — but only a same-epoch prefix, so a single
+// tick's worth of frames (which the batcher coalesces into one wire
+// write) never mixes epochs.
 func (o *overload) drainEgress() {
 	o.sending = false
 	s := o.s
 	if s.stopped || len(o.egress) == 0 {
 		return
 	}
-	ent := o.egress[0]
-	o.egress = o.egress[1:]
-	o.acct.EgressSent++
-	_ = s.protos[ent.epoch%uint64(len(s.protos))].Cast(ent.frame)
+	max := o.cfg.BatchMax
+	if max < 1 {
+		max = 1
+	}
+	epoch := o.egress[0].epoch
+	for n := 0; n < max && len(o.egress) > 0 && o.egress[0].epoch == epoch; n++ {
+		ent := o.egress[0]
+		o.egress = o.egress[1:]
+		o.acct.EgressSent++
+		_ = s.protos[ent.epoch%uint64(len(s.protos))].Cast(ent.frame)
+	}
 	if o.paused && len(o.egress) <= o.cfg.LowWatermark {
 		o.paused = false
 		s.obs.Record(obs.BackpressureOff(s.env.Now(), s.env.Self(), len(o.egress)))

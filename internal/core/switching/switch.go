@@ -228,8 +228,10 @@ type Switch struct {
 	// advances the same quarantine progress as malformedBy (allocated
 	// lazily; nil unless Defense.Auth is set and a failure occurred).
 	authFailedBy map[ids.ProcID]uint64
-	// epochKeys memoizes wire.DeriveEpochKey per epoch (auth mode).
-	epochKeys map[uint64][]byte
+	// epochSealers memoizes the per-epoch authenticated sealer — derived
+	// key plus cached keyed HMAC — so steady-state sealing and opening
+	// allocate nothing (auth mode).
+	epochSealers map[uint64]*wire.AuthSealer
 	// keyRolledAt is when sendEpoch last advanced — the start of the
 	// grace window during which the previous epoch's key is still
 	// accepted on ingress.
@@ -254,6 +256,11 @@ type Switch struct {
 	// ovl is the overload-protection state; nil unless Config.Overload
 	// is set, in which case the message path is unqueued and unpaced.
 	ovl *overload
+
+	// batch is the egress frame batcher; nil unless
+	// Config.Overload.BatchMax > 1, in which case every frame is its own
+	// wire write (the legacy format).
+	batch *batcher
 }
 
 type bufEntry struct {
@@ -294,6 +301,15 @@ func New(env proto.Env, app proto.Up, transport proto.Down, cfg Config) (*Switch
 		} else {
 			transport = sealedTransport{down: transport}
 		}
+	}
+	if cfg.Overload != nil && cfg.Overload.BatchMax > 1 {
+		// Batch between the multiplex and the envelope: one sealed wire
+		// write carries up to BatchMax mux frames per destination per
+		// event, and in auth mode the whole batch costs one MAC. Must be
+		// enabled uniformly across the group (like the session key) — an
+		// unbatched receiver sees batch frames as malformed.
+		s.batch = newBatcher(s, transport, cfg.Overload.BatchMax)
+		transport = s.batch
 	}
 	mux, err := NewMultiplex(transport)
 	if err != nil {
@@ -378,9 +394,24 @@ func (s *Switch) Recv(src ids.ProcID, pkt []byte) {
 			pkt = payload
 		}
 	}
-	// The overload layer consumes data frames (queueing or shedding
-	// them); token and heartbeat frames keep their direct path.
-	if s.ovl != nil && s.ovl.admitIngress(src, pkt) {
+	// A batch frame (one envelope, many mux frames) is unpacked here —
+	// inside the trust boundary, after the envelope verified — and each
+	// inner frame takes the same path an unbatched arrival would,
+	// including per-frame overload admission, so the conservation ledger
+	// counts every application frame individually.
+	if s.batch != nil && isBatchFrame(pkt) {
+		s.recvBatch(src, pkt)
+		return
+	}
+	s.recvFrame(src, pkt, false)
+}
+
+// recvFrame routes one verified, unbatched mux frame. The overload
+// layer consumes data frames (queueing or shedding them); token and
+// heartbeat frames keep their direct path. owned marks frames whose
+// bytes already survive this callback (see admitIngress).
+func (s *Switch) recvFrame(src ids.ProcID, pkt []byte, owned bool) {
+	if s.ovl != nil && s.ovl.admitIngress(src, pkt, owned) {
 		return
 	}
 	s.mux.Recv(src, pkt)
@@ -428,9 +459,9 @@ func (s *Switch) SubStack(i int) *proto.Stack {
 // send-count vector; inject only while no switch is closing that epoch,
 // or the receivers' completion accounting can run ahead of the vector.
 func (s *Switch) FrameForEpoch(epoch uint64, payload []byte) []byte {
-	e := wire.NewEncoder(10)
+	e := wire.NewEncoder(10 + len(payload))
 	e.Uvarint(epoch)
-	return e.Prepend(payload)
+	return e.Frame(payload)
 }
 
 // ActiveProtocol returns the index of the protocol new sends use.
@@ -477,10 +508,16 @@ func (s *Switch) Cast(payload []byte) error {
 		return s.ovl.admitCast(payload)
 	}
 	epoch := s.sendEpoch
-	e := wire.NewEncoder(10)
+	e := wire.GetEncoder()
 	e.Uvarint(epoch)
 	s.sent[epoch]++
-	return s.protos[epoch%uint64(len(s.protos))].Cast(e.Prepend(payload))
+	// The epoch frame rides a pooled encoder: every sub-protocol consumes
+	// its cast payload synchronously (copying anything it retains — the
+	// layer ownership contract), so the buffer is free again by the time
+	// Cast returns.
+	err := s.protos[epoch%uint64(len(s.protos))].Cast(e.Frame(payload))
+	wire.PutEncoder(e)
+	return err
 }
 
 // onData handles a delivery from any sub-protocol stack.
@@ -680,6 +717,12 @@ func (s *Switch) onToken(t Token) {
 // epoch-aware sub-layer is told the new epoch so per-epoch MAC keys and
 // replay windows roll with the switch round instead of resetting.
 func (s *Switch) setSendEpoch(epoch uint64) {
+	// Flush any pending batch first: frames accumulated under the old
+	// sealing epoch must go out under it, never coalesce with frames
+	// sealed after the roll (the epoch-flush rule, DESIGN §9).
+	if s.batch != nil {
+		s.batch.flush()
+	}
 	s.sendEpoch = epoch
 	for _, p := range s.protos {
 		p.SetEpoch(epoch)

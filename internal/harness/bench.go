@@ -258,11 +258,11 @@ type Result struct {
 func measuringApp(col *collector) func(sim *des.Sim) proto.Up {
 	return func(sim *des.Sim) proto.Up {
 		return proto.UpFunc(func(src ids.ProcID, payload []byte) {
-			am, err := proto.DecodeApp(payload)
+			id, err := proto.DecodeAppID(payload)
 			if err != nil {
 				return
 			}
-			col.onDeliver(sim.Now(), am.ID)
+			col.onDeliver(sim.Now(), id)
 		})
 	}
 }

@@ -1,0 +1,322 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core/switching"
+	"repro/internal/ids"
+	"repro/internal/proto"
+	"repro/internal/protocols/fifo"
+	"repro/internal/protocols/seqorder"
+	"repro/internal/protocols/tokenorder"
+	"repro/internal/simnet"
+)
+
+// This file is E18: the stack-throughput study behind the zero-alloc
+// hot path. Each grid point runs the full switching stack — protocol ×
+// envelope variant × batching on/off — under a bursty saturating
+// workload and reports two host-side numbers next to the deterministic
+// delivery count:
+//
+//   - msgs/sec: app-level deliveries over the run's wall-clock time
+//     (how fast the host chews through the same virtual workload), and
+//   - allocs/msg: runtime.MemStats Mallocs delta over deliveries (the
+//     hot path's allocation bill, the hard-gated CI number).
+//
+// The virtual workload is identical for every variant at a given seed,
+// so the host-side numbers compare the *implementation* cost of the
+// variants, not different traffic. The rows run strictly serially —
+// allocation accounting would otherwise attribute one run's garbage to
+// another.
+
+// perfSessionKey is the fixed group secret for the authed variants.
+var perfSessionKey = []byte("perf study group session key")
+
+// PerfPoint names one grid cell.
+type PerfPoint struct {
+	// Protocol is "sequencer", "token", or "hybrid" (one mid-run switch
+	// between the two).
+	Protocol string
+	// Variant is the envelope mode: "plain" (no Defense), "sealed"
+	// (integrity envelope), or "authed" (per-epoch MAC).
+	Variant string
+	// Batched enables the egress batcher (and the overload layer that
+	// hosts it) at generous caps; false runs the legacy
+	// one-frame-per-write path.
+	Batched bool
+}
+
+func (p PerfPoint) String() string {
+	b := "unbatched"
+	if p.Batched {
+		b = "batched"
+	}
+	return p.Protocol + "/" + p.Variant + "/" + b
+}
+
+// PerfConfig parameterizes the study.
+type PerfConfig struct {
+	Seed int64
+	// Run is the base workload; zero fields default to a small, fast
+	// grid: 6 members, 3 senders, 256-byte payloads on a fast NIC.
+	Run RunConfig
+	// Burst is how many casts each sender issues back-to-back per tick
+	// (the tick stretches by the same factor, preserving the average
+	// rate). Bursts are what give the batcher frames to coalesce — and
+	// they are how saturating senders behave. Default 8.
+	Burst int
+	// BatchMax is the batcher depth for the batched rows. Default 8.
+	BatchMax int
+	// Points is the grid; empty runs DefaultPerfGrid().
+	Points []PerfPoint
+}
+
+// DefaultPerfGrid is the full protocol × variant × batching cross.
+func DefaultPerfGrid() []PerfPoint {
+	var out []PerfPoint
+	for _, protocol := range []string{"sequencer", "token", "hybrid"} {
+		for _, variant := range []string{"plain", "sealed", "authed"} {
+			for _, batched := range []bool{false, true} {
+				out = append(out, PerfPoint{Protocol: protocol, Variant: variant, Batched: batched})
+			}
+		}
+	}
+	return out
+}
+
+func (c PerfConfig) withDefaults() PerfConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Burst <= 0 {
+		c.Burst = 8
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
+	if len(c.Points) == 0 {
+		c.Points = DefaultPerfGrid()
+	}
+	if c.Run.Group <= 0 {
+		c.Run.Group = 6
+	}
+	if c.Run.ActiveSenders <= 0 {
+		c.Run.ActiveSenders = 3
+	}
+	if c.Run.RatePerSender <= 0 {
+		c.Run.RatePerSender = 600
+	}
+	if c.Run.MsgBytes <= 0 {
+		c.Run.MsgBytes = 256
+	}
+	if c.Run.Warmup <= 0 {
+		c.Run.Warmup = 200 * time.Millisecond
+	}
+	if c.Run.Measure <= 0 {
+		c.Run.Measure = 2 * time.Second
+	}
+	if c.Run.Drain <= 0 {
+		c.Run.Drain = time.Second
+	}
+	// Like the flash-crowd study, the perf grid runs on a fast NIC: the
+	// question is how fast the host executes the stack, so the network
+	// model must not be the bottleneck.
+	if c.Run.Net == nil {
+		c.Run.Net = &simnet.Config{
+			PropDelay:     50 * time.Microsecond,
+			BitsPerSecond: 100e6,
+			FrameOverhead: 64,
+			RecvCPU:       20 * time.Microsecond,
+			SendCPU:       10 * time.Microsecond,
+		}
+	}
+	return c
+}
+
+// PerfRow is one grid cell's outcome.
+type PerfRow struct {
+	PerfPoint
+	// Delivered and Events are deterministic per seed; Sent counts casts
+	// in the measurement window.
+	Delivered uint64
+	Sent      int
+	Events    uint64
+	// Wall, MsgsPerSec, AllocsPerMsg are host-side (non-deterministic).
+	Wall         time.Duration
+	MsgsPerSec   float64
+	AllocsPerMsg float64
+}
+
+// perfFactories builds the switching protocol slots for one grid cell.
+// Non-hybrid cells pin both slots to the same protocol, so the epoch
+// never changes what is being measured; the hybrid cell gets the usual
+// [sequencer, token] pair and one mid-run switch. Batched token cells
+// also enable token-carried batching (tokenorder.Config.BatchFlush) —
+// the two batching layers compose.
+func perfFactories(protocol string, tokenHold time.Duration, batched bool) ([]switching.ProtocolFactory, error) {
+	seq := func(proto.Env) []proto.Layer {
+		return []proto.Layer{seqorder.New(0), fifo.New(fifo.Config{})}
+	}
+	tok := func(proto.Env) []proto.Layer {
+		return []proto.Layer{
+			tokenorder.New(tokenorder.Config{HoldDelay: tokenHold, BatchFlush: batched}),
+			fifo.New(fifo.Config{}),
+		}
+	}
+	switch protocol {
+	case "sequencer":
+		return []switching.ProtocolFactory{seq, seq}, nil
+	case "token":
+		return []switching.ProtocolFactory{tok, tok}, nil
+	case "hybrid":
+		return []switching.ProtocolFactory{seq, tok}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown perf protocol %q", protocol)
+	}
+}
+
+// perfOverload is the batched rows' overload configuration: caps far
+// above the workload (this is a throughput study, not a shedding one)
+// with a service tick fast enough to never throttle. BatchMax is the
+// knob under test.
+func perfOverload(batchMax int) *switching.OverloadConfig {
+	return &switching.OverloadConfig{
+		IngressQueueCap: 4096,
+		EgressQueueCap:  4096,
+		LowWatermark:    64,
+		HighWatermark:   2048,
+		ServiceInterval: 100 * time.Microsecond,
+		RetryBackoff:    time.Millisecond,
+		MaxRetryShift:   2,
+		BatchMax:        batchMax,
+	}
+}
+
+// RunPerf measures every grid point, serially.
+func RunPerf(cfg PerfConfig) ([]PerfRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]PerfRow, 0, len(cfg.Points))
+	for _, pt := range cfg.Points {
+		row, err := runPerfPoint(cfg, pt)
+		if err != nil {
+			return nil, fmt.Errorf("harness: perf %s: %w", pt, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runPerfPoint executes one grid cell and measures its host-side cost.
+func runPerfPoint(cfg PerfConfig, pt PerfPoint) (PerfRow, error) {
+	rc := cfg.Run
+	rc.Seed = cfg.Seed
+	factories, err := perfFactories(pt.Protocol, rc.TokenHold, pt.Batched)
+	if err != nil {
+		return PerfRow{}, err
+	}
+	swCfg := switching.Config{Protocols: factories}
+	switch pt.Variant {
+	case "plain":
+	case "sealed":
+		swCfg.Defense = &switching.DefenseConfig{QuarantineThreshold: 1 << 20}
+	case "authed":
+		swCfg.Defense = &switching.DefenseConfig{
+			QuarantineThreshold: 1 << 20,
+			Auth:                &switching.AuthConfig{SessionKey: perfSessionKey},
+		}
+	default:
+		return PerfRow{}, fmt.Errorf("unknown variant %q", pt.Variant)
+	}
+	if pt.Batched {
+		swCfg.Overload = perfOverload(cfg.BatchMax)
+	}
+	run, err := NewSwitchedRun(rc, swCfg)
+	if err != nil {
+		return PerfRow{}, err
+	}
+	rc = run.rc
+	if pt.Protocol == "hybrid" {
+		run.Cluster.Sim.At(rc.Warmup+rc.Measure/2, func() {
+			run.Cluster.Members[0].Switch.RequestSwitch()
+		})
+	}
+	// Bursty senders: Burst casts back-to-back per tick, tick stretched
+	// to keep the average rate — the saturating-producer shape that
+	// gives the egress queue (and so the batcher) runs of frames.
+	sim := run.Cluster.Sim
+	interval := time.Duration(float64(cfg.Burst) * float64(time.Second) / rc.RatePerSender)
+	stopAt := rc.Warmup + rc.Measure
+	for s := 0; s < rc.ActiveSenders; s++ {
+		p := ids.ProcID(s)
+		phase := time.Duration(s) * interval / time.Duration(rc.ActiveSenders)
+		var tick func()
+		tick = func() {
+			if sim.Now() >= stopAt {
+				return
+			}
+			for b := 0; b < cfg.Burst; b++ {
+				run.Cast(p)
+			}
+			jitter := time.Duration(sim.Rand().Int63n(int64(interval / 5)))
+			sim.After(interval-interval/10+jitter, tick)
+		}
+		sim.After(phase, tick)
+	}
+
+	// Settle the heap so the delta measures this run, not the builder's
+	// garbage, then clock the whole execution.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res := run.Finish()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	row := PerfRow{
+		PerfPoint: pt,
+		Delivered: res.Delivered,
+		Sent:      res.Sent,
+		Events:    res.Events,
+		Wall:      wall,
+	}
+	if res.Delivered > 0 {
+		if wall > 0 {
+			row.MsgsPerSec = float64(res.Delivered) / wall.Seconds()
+		}
+		row.AllocsPerMsg = float64(after.Mallocs-before.Mallocs) / float64(res.Delivered)
+	}
+	return row, nil
+}
+
+// RenderPerf prints the E18 table, pairing each unbatched row with its
+// batched sibling to show the speedup.
+func RenderPerf(rows []PerfRow) string {
+	var b strings.Builder
+	b.WriteString("Stack throughput (E18): protocol × envelope × batching\n\n")
+	b.WriteString("protocol    variant   batched   delivered     msgs/sec   allocs/msg   speedup\n")
+	base := map[string]float64{}
+	for _, r := range rows {
+		if !r.Batched {
+			base[r.Protocol+"/"+r.Variant] = r.MsgsPerSec
+		}
+	}
+	for _, r := range rows {
+		speedup := "      -"
+		if r.Batched {
+			if b0 := base[r.Protocol+"/"+r.Variant]; b0 > 0 {
+				speedup = fmt.Sprintf("%6.2fx", r.MsgsPerSec/b0)
+			}
+		}
+		fmt.Fprintf(&b, "%-9s   %-7s   %-7v   %9d   %10.0f   %10.2f   %s\n",
+			r.Protocol, r.Variant, r.Batched, r.Delivered, r.MsgsPerSec, r.AllocsPerMsg, speedup)
+	}
+	b.WriteString("\nmsgs/sec and allocs/msg are host-side (wall clock and Mallocs delta\n")
+	b.WriteString("over app deliveries); delivered and the virtual workload are\n")
+	b.WriteString("deterministic per seed, so the rows compare implementation cost on\n")
+	b.WriteString("identical traffic.\n")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Zero-alloc regression tests for the observability fast paths. The
+// instrumented hot paths (one Record per message event) must not
+// allocate — neither with the Nop recorder (Config.Recorder nil) nor
+// with the metrics registry counting events. Events are value structs
+// and Recorder.Record takes the concrete type, so there is no interface
+// boxing; these tests pin that property.
+
+func TestRecordAllocsNop(t *testing.T) {
+	r := OrNop(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record(TokenPass(time.Millisecond, 1, 2, 1, 3, 0))
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop Record allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestRecordAllocsMetricsCounter(t *testing.T) {
+	m := NewMetrics()
+	r := m.Recorder()
+	// Warm the member entry: the first Record allocates the per-member
+	// registry slot, steady state must not.
+	r.Record(TokenPass(time.Millisecond, 1, 2, 1, 3, 0))
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record(TokenPass(time.Millisecond, 1, 2, 1, 3, 0))
+	})
+	if allocs != 0 {
+		t.Fatalf("metrics counter Record allocated %.1f times per op, want 0", allocs)
+	}
+	if got := m.Counter(1, CounterKey(EvTokenPass)); got != 101*100+1 {
+		// AllocsPerRun runs the body runs+1 times (one warm-up round
+		// included in its own accounting); just sanity-check it counted.
+		if got == 0 {
+			t.Fatal("metrics recorder did not count events")
+		}
+	}
+}
+
+var benchEventSink Event
+
+func BenchmarkRecordNop(b *testing.B) {
+	r := OrNop(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(Shed(time.Millisecond, 1, 2, ShedIngress, 7))
+	}
+}
+
+func BenchmarkRecordMetricsCounter(b *testing.B) {
+	m := NewMetrics()
+	r := m.Recorder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(Shed(time.Millisecond, 1, 2, ShedIngress, 7))
+	}
+}
+
+func BenchmarkEventConstruct(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchEventSink = TokenPass(time.Duration(i), ids.ProcID(1), ids.ProcID(2), 1, uint64(i), 0)
+	}
+}

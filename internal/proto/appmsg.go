@@ -43,6 +43,19 @@ func DecodeApp(b []byte) (AppMsg, error) {
 	return m, nil
 }
 
+// DecodeAppID unmarshals just the message id — the first encoded field
+// — without copying the body. Per-delivery consumers that only need
+// the identity (the throughput collector) use this to stay off the
+// allocator; DecodeApp would copy the body per message just to drop it.
+func DecodeAppID(b []byte) (ids.MsgID, error) {
+	d := wire.NewDecoder(b)
+	id := d.Msg()
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("proto: decode app message id: %w", err)
+	}
+	return id, nil
+}
+
 // TraceMessage converts the app message to the trace model's Message.
 func (m AppMsg) TraceMessage() trace.Message {
 	out := trace.Message{

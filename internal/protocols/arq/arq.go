@@ -50,6 +50,9 @@ type outState struct {
 // inState tracks one source's incoming stream.
 type inState struct {
 	next uint64 // next expected seq
+	// ackArmed is set while a delayed cumulative ack is scheduled for
+	// this stream (see DelayAcks).
+	ackArmed bool
 }
 
 // common implements the machinery shared by both ARQ flavours; the
@@ -58,6 +61,9 @@ type common struct {
 	name    string
 	window  int
 	timeout time.Duration
+	// ackDelay > 0 defers cumulative acks (see DelayAcks): a burst of
+	// data frames is answered by one coalesced ack instead of one each.
+	ackDelay time.Duration
 	env     proto.Env
 	down    proto.Down
 	up      proto.Up
@@ -104,6 +110,15 @@ func (c *common) Stop() {
 
 // Stats returns a copy of the counters.
 func (c *common) Stats() Stats { return c.stats }
+
+// DelayAcks enables coalesced cumulative acknowledgements: instead of
+// acking every data frame immediately (the legacy behaviour, kept when
+// d <= 0), the receiver schedules one ack per stream per delay window,
+// so a pipelined burst is answered by a single cumulative ack. The
+// delay must stay well below the sender's retransmission timeout or
+// every burst is needlessly retransmitted; a quarter of the timeout is
+// a safe ceiling. Call before traffic starts.
+func (c *common) DelayAcks(d time.Duration) { c.ackDelay = d }
 
 // InFlight returns how many frames are unacknowledged toward dst.
 func (c *common) InFlight(dst ids.ProcID) int {
@@ -169,9 +184,12 @@ func (c *common) pump(dst ids.ProcID, o *outState) {
 }
 
 func (c *common) transmit(dst ids.ProcID, seq uint64, payload []byte) {
-	e := wire.NewEncoder(12)
+	e := wire.GetEncoder()
 	e.U8(kindData).Uvarint(seq)
-	_ = c.down.Send(dst, e.Prepend(payload))
+	// The layer below consumes or copies the frame synchronously, so it
+	// can ride a pooled encoder.
+	_ = c.down.Send(dst, e.Frame(payload))
+	wire.PutEncoder(e)
 }
 
 // armTimer (re)starts the retransmission timer while data is in flight.
@@ -204,6 +222,15 @@ func (c *common) retransmit(dst ids.ProcID, o *outState) {
 	c.armTimer(dst, o)
 }
 
+// sendAck sends one cumulative ack for a stream's current horizon.
+func (c *common) sendAck(dst ids.ProcID, in *inState) {
+	e := wire.GetEncoder()
+	e.U8(kindAck).Uvarint(in.next)
+	c.stats.AcksSent++
+	_ = c.down.Send(dst, e.Bytes())
+	wire.PutEncoder(e)
+}
+
 // Recv implements proto.Layer.
 func (c *common) Recv(src ids.ProcID, pkt []byte) {
 	d := wire.NewDecoder(pkt)
@@ -226,11 +253,20 @@ func (c *common) Recv(src ids.ProcID, pkt []byte) {
 			c.stats.DupsDropped++
 		}
 		// Cumulative ack either way (a duplicate means our ack was
-		// lost or the sender timed out early).
-		e := wire.NewEncoder(12)
-		e.U8(kindAck).Uvarint(in.next)
-		c.stats.AcksSent++
-		_ = c.down.Send(src, e.Bytes())
+		// lost or the sender timed out early) — immediately, or once
+		// per delay window when acks are coalesced.
+		if c.ackDelay <= 0 {
+			c.sendAck(src, in)
+		} else if !in.ackArmed {
+			in.ackArmed = true
+			c.env.After(c.ackDelay, func() {
+				in.ackArmed = false
+				if c.stopped {
+					return
+				}
+				c.sendAck(src, in)
+			})
+		}
 	case kindAck:
 		next := d.Uvarint()
 		if d.Err() != nil {

@@ -11,6 +11,7 @@
 package fifo
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -87,6 +88,9 @@ type Layer struct {
 	env  proto.Env
 	down proto.Down
 	up   proto.Up
+	// members caches the ring order at Init (Env.Members copies on
+	// every call — too hot for the periodic ticks).
+	members []ids.ProcID
 
 	// Outgoing multicast stream.
 	castSeq uint64            // next seq to assign
@@ -170,29 +174,31 @@ func (l *Layer) Init(env proto.Env, down proto.Down, up proto.Up) error {
 		return fmt.Errorf("fifo: nil wiring")
 	}
 	l.env, l.down, l.up = env, down, up
+	l.members = env.Members()
 	l.scheduleTick(l.cfg.ResendInterval, l.resendTick)
 	l.scheduleTick(l.cfg.AckInterval, l.ackTick)
 	l.scheduleTick(l.cfg.HeartbeatInterval, l.heartbeatTick)
 	return nil
 }
 
-// scheduleTick arms a self-rearming timer.
+// scheduleTick arms a self-rearming timer. The callback is built once
+// and the timer keeps one fixed slot in l.timers, so steady-state
+// re-arming allocates neither a closure nor a slice slot per tick.
 func (l *Layer) scheduleTick(d time.Duration, fn func()) {
-	var arm func()
-	arm = func() {
+	idx := len(l.timers)
+	l.timers = append(l.timers, nil)
+	var cb func()
+	cb = func() {
 		if l.stopped {
 			return
 		}
-		t := l.env.After(d, func() {
-			if l.stopped {
-				return
-			}
-			fn()
-			arm()
-		})
-		l.timers = append(l.timers, t)
+		fn()
+		if l.stopped {
+			return
+		}
+		l.timers[idx] = l.env.After(d, cb)
 	}
-	arm()
+	l.timers[idx] = l.env.After(d, cb)
 }
 
 // Stop implements proto.Layer.
@@ -259,10 +265,14 @@ func (l *Layer) Send(dst ids.ProcID, payload []byte) error {
 	return l.down.Send(dst, pkt)
 }
 
+// encodeData builds an independently owned data frame (it is retained
+// in the retransmission buffers): one right-sized allocation, appended
+// directly — an encoder would cost a second.
 func encodeData(kind uint8, seq uint64, payload []byte) []byte {
-	e := wire.NewEncoder(12 + len(payload))
-	e.U8(kind).Uvarint(seq)
-	return e.Prepend(payload)
+	out := make([]byte, 0, 12+len(payload))
+	out = append(out, kind)
+	out = binary.AppendUvarint(out, seq)
+	return append(out, payload...)
 }
 
 // Recv implements proto.Layer.
@@ -367,11 +377,12 @@ func (l *Layer) requestRepairs(src ids.ProcID, r *reorderBuf) {
 		stream = kindSend
 	}
 	for _, seq := range r.gaps() {
-		e := wire.NewEncoder(12)
+		e := wire.GetEncoder()
 		e.U8(kindNack).U8(stream).Uvarint(seq)
 		l.stats.NacksSent++
 		// Best effort: the resend tick retries if this NACK is lost.
 		_ = l.down.Send(src, e.Bytes())
+		wire.PutEncoder(e)
 	}
 }
 
@@ -407,7 +418,7 @@ func (l *Layer) onAck(src ids.ProcID, castNext, sendNext uint64) {
 	} else if min > 0 {
 		min = 0
 	}
-	for _, m := range l.env.Members() {
+	for _, m := range l.members {
 		if m == l.env.Self() {
 			continue
 		}
@@ -460,7 +471,7 @@ func (l *Layer) onHeartbeat(src ids.ProcID, stream uint8, next uint64) {
 // Peers are visited in ring order: map iteration order would vary run to
 // run, desynchronizing the network's seeded fault stream.
 func (l *Layer) resendTick() {
-	for _, src := range l.env.Members() {
+	for _, src := range l.members {
 		if r := l.castIn[src]; r != nil && len(r.gaps()) > 0 {
 			l.requestRepairs(src, r)
 		}
@@ -473,7 +484,7 @@ func (l *Layer) resendTick() {
 // ackTick sends cumulative acks to every peer we have streams from, in
 // ring order (determinism, as in resendTick).
 func (l *Layer) ackTick() {
-	for _, p := range l.env.Members() {
+	for _, p := range l.members {
 		if p == l.env.Self() {
 			continue
 		}
@@ -487,9 +498,10 @@ func (l *Layer) ackTick() {
 		if r := l.sendIn[p]; r != nil {
 			sendNext = r.next
 		}
-		e := wire.NewEncoder(16)
+		e := wire.GetEncoder()
 		e.U8(kindAck).Uvarint(castNext).Uvarint(sendNext)
 		_ = l.down.Send(p, e.Bytes())
+		wire.PutEncoder(e)
 	}
 }
 
@@ -497,16 +509,18 @@ func (l *Layer) ackTick() {
 // receivers can detect tail loss on both multicast and unicast streams.
 func (l *Layer) heartbeatTick() {
 	if len(l.castOut) > 0 {
-		e := wire.NewEncoder(12)
+		e := wire.GetEncoder()
 		e.U8(kindHeartbeat).U8(kindCast).Uvarint(l.castSeq)
 		_ = l.down.Cast(e.Bytes())
+		wire.PutEncoder(e)
 	}
-	for _, dst := range l.env.Members() {
+	for _, dst := range l.members {
 		if len(l.sendOut[dst]) == 0 {
 			continue
 		}
-		e := wire.NewEncoder(12)
+		e := wire.GetEncoder()
 		e.U8(kindHeartbeat).U8(kindSend).Uvarint(l.sendSeq[dst])
 		_ = l.down.Send(dst, e.Bytes())
+		wire.PutEncoder(e)
 	}
 }

@@ -91,9 +91,13 @@ func (l *Layer) Cast(payload []byte) error {
 		// The sequencer orders its own messages directly.
 		return l.order(l.env.Self(), payload)
 	}
-	e := wire.NewEncoder(4)
+	e := wire.GetEncoder()
 	e.U8(kindSubmit)
-	return l.down.Send(l.sequencer, e.Prepend(payload))
+	// The fifo layer below copies anything it retains, so the frame can
+	// ride a pooled encoder.
+	err := l.down.Send(l.sequencer, e.Frame(payload))
+	wire.PutEncoder(e)
+	return err
 }
 
 // Send implements proto.Layer. Point-to-point traffic has no total-order
@@ -105,9 +109,11 @@ func (l *Layer) Send(ids.ProcID, []byte) error { return proto.ErrUnsupported }
 func (l *Layer) order(origin ids.ProcID, payload []byte) error {
 	seq := l.nextSeq
 	l.nextSeq++
-	e := wire.NewEncoder(16)
+	e := wire.GetEncoder()
 	e.U8(kindOrder).Uvarint(seq).Proc(origin)
-	return l.down.Cast(e.Prepend(payload))
+	err := l.down.Cast(e.Frame(payload))
+	wire.PutEncoder(e)
+	return err
 }
 
 // Recv implements proto.Layer.

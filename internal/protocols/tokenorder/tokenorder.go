@@ -26,6 +26,11 @@ const (
 	kindToken uint8 = iota + 1
 	// kindData carries a sequenced multicast: {seq, payload}.
 	kindData
+	// kindBatch carries one token visit's worth of sequenced multicasts
+	// in a single frame: {firstSeq, count, count × len-prefixed
+	// payloads}, sequence numbers consecutive from firstSeq. Only sent
+	// with Config.BatchFlush.
+	kindBatch
 )
 
 // maxSeqAhead bounds how far beyond the delivery horizon an arriving
@@ -45,6 +50,14 @@ type Config struct {
 	// MaxPerToken bounds how many pending messages one token visit may
 	// flush (fairness). Zero means unlimited.
 	MaxPerToken int
+	// BatchFlush, when set, coalesces all messages flushed in one token
+	// visit into a single multi-message frame (token-carried batching):
+	// one frame — and one envelope, one MAC — per visit instead of one
+	// per message. Each inner payload still carries its own epoch header
+	// from the layer above, so switch-round accounting is unchanged.
+	// Off preserves the legacy one-frame-per-message bytes exactly.
+	// Must be enabled uniformly across the group.
+	BatchFlush bool
 }
 
 // Layer is one process's instance of the protocol.
@@ -155,18 +168,38 @@ func (l *Layer) acquireToken(seq uint64) {
 	release()
 }
 
-// flush multicasts queued messages while the token is held.
+// flush multicasts queued messages while the token is held: one frame
+// per message, or — with BatchFlush and more than one queued — a single
+// multi-message frame for the whole visit.
 func (l *Layer) flush() {
 	n := len(l.queue)
 	if l.cfg.MaxPerToken > 0 && n > l.cfg.MaxPerToken {
 		n = l.cfg.MaxPerToken
 	}
+	if n == 0 {
+		return
+	}
+	if l.cfg.BatchFlush && n > 1 {
+		e := wire.GetEncoder()
+		e.U8(kindBatch).Uvarint(l.tokenSeq).Uvarint(uint64(n))
+		for i := 0; i < n; i++ {
+			e.BytesField(l.queue[i])
+		}
+		l.tokenSeq += uint64(n)
+		_ = l.down.Cast(e.Bytes())
+		wire.PutEncoder(e)
+		l.queue = l.queue[n:]
+		return
+	}
 	for i := 0; i < n; i++ {
 		payload := l.queue[i]
-		e := wire.NewEncoder(12)
+		e := wire.GetEncoder()
 		e.U8(kindData).Uvarint(l.tokenSeq)
 		l.tokenSeq++
-		_ = l.down.Cast(e.Prepend(payload))
+		// The fifo layer below copies anything it retains, so the frame
+		// can ride a pooled encoder.
+		_ = l.down.Cast(e.Frame(payload))
+		wire.PutEncoder(e)
 	}
 	l.queue = l.queue[n:]
 }
@@ -178,8 +211,6 @@ func (l *Layer) passToken() {
 	if err != nil {
 		return
 	}
-	e := wire.NewEncoder(12)
-	e.U8(kindToken).Uvarint(l.tokenSeq)
 	if succ == l.env.Self() {
 		// Singleton group: retain the token, re-arming via the timer to
 		// avoid unbounded recursion.
@@ -191,7 +222,10 @@ func (l *Layer) passToken() {
 		})
 		return
 	}
+	e := wire.GetEncoder()
+	e.U8(kindToken).Uvarint(l.tokenSeq)
 	_ = l.down.Send(succ, e.Bytes())
+	wire.PutEncoder(e)
 }
 
 // Recv implements proto.Layer.
@@ -211,24 +245,51 @@ func (l *Layer) Recv(src ids.ProcID, pkt []byte) {
 			l.malformed++
 			return
 		}
-		if seq < l.nextDeliver {
-			return // duplicate
-		}
-		if _, dup := l.pending[seq]; dup {
+		l.onData(src, seq, d.Remaining())
+	case kindBatch:
+		first := d.Uvarint()
+		count := d.Uvarint()
+		// Each entry costs at least one length byte, so count can never
+		// exceed the remaining bytes in a well-formed batch; the horizon
+		// guard bounds the whole range, not just the first seq.
+		if d.Err() != nil || count == 0 || count > uint64(len(d.Remaining()))+1 ||
+			first+count > l.nextDeliver+maxSeqAhead {
+			l.malformed++
 			return
 		}
-		l.pending[seq] = dataMsg{origin: src, payload: d.Remaining()}
-		for {
-			m, ok := l.pending[l.nextDeliver]
-			if !ok {
-				break
+		for i := uint64(0); i < count; i++ {
+			payload := d.BytesField()
+			if d.Err() != nil {
+				l.malformed++
+				return
 			}
-			delete(l.pending, l.nextDeliver)
-			l.nextDeliver++
-			l.up.Deliver(m.origin, m.payload)
+			l.onData(src, first+i, payload)
+		}
+		if len(d.Remaining()) != 0 {
+			l.malformed++ // trailing garbage after the declared entries
 		}
 	default:
 		l.malformed++
+	}
+}
+
+// onData buffers one sequenced arrival and delivers any in-order run.
+func (l *Layer) onData(src ids.ProcID, seq uint64, payload []byte) {
+	if seq < l.nextDeliver {
+		return // duplicate
+	}
+	if _, dup := l.pending[seq]; dup {
+		return
+	}
+	l.pending[seq] = dataMsg{origin: src, payload: payload}
+	for {
+		m, ok := l.pending[l.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(l.pending, l.nextDeliver)
+		l.nextDeliver++
+		l.up.Deliver(m.origin, m.payload)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"hash"
 )
 
 // This file is the authenticated envelope: the keyed sibling of the CRC
@@ -77,12 +78,93 @@ func authMAC(key, epochHeader, payload []byte) [authMACSize]byte {
 // SealAuth wraps payload in the authenticated envelope under the given
 // per-epoch key (see DeriveEpochKey), returning a fresh slice.
 func SealAuth(key []byte, epoch uint64, payload []byte) []byte {
-	out := make([]byte, 1, MaxAuthOverhead+len(payload))
-	out[0] = authMagic
-	out = binary.AppendUvarint(out, epoch)
-	mac := authMAC(key, out[1:], payload)
-	out = append(out, mac[:]...)
-	return append(out, payload...)
+	return SealAuthTo(make([]byte, 0, MaxAuthOverhead+len(payload)), key, epoch, payload)
+}
+
+// SealAuthTo appends the authenticated envelope and payload to dst and
+// returns the extended slice — the append-style variant of SealAuth for
+// callers that reuse a scratch buffer. It still constructs an HMAC
+// instance per call; the steady-state path should hold an AuthSealer,
+// which caches the keyed HMAC for its epoch.
+func SealAuthTo(dst []byte, key []byte, epoch uint64, payload []byte) []byte {
+	base := len(dst)
+	dst = append(dst, authMagic)
+	dst = binary.AppendUvarint(dst, epoch)
+	mac := authMAC(key, dst[base+1:], payload)
+	dst = append(dst, mac[:]...)
+	return append(dst, payload...)
+}
+
+// AuthSealer seals and opens authenticated envelopes for one (key,
+// epoch) pair with a cached HMAC instance, precomputed header bytes,
+// and an internal digest scratch — the zero-allocation sibling of
+// SealAuth/OpenAuth. The switching layer keeps one per live epoch in
+// its key schedule, rolled with the epoch keys themselves, so sealing a
+// frame in steady state costs two SHA-256 compressions and no heap.
+//
+// An AuthSealer is not safe for concurrent use; each member's event
+// loop owns its own (the same discipline as every protocol layer).
+type AuthSealer struct {
+	epoch  uint64
+	mac    hash.Hash
+	hdr    [1 + binary.MaxVarintLen64]byte
+	hdrLen int
+	sum    [sha256.Size]byte
+}
+
+// NewAuthSealer returns a sealer for the given per-epoch key (see
+// DeriveEpochKey) and epoch.
+func NewAuthSealer(key []byte, epoch uint64) *AuthSealer {
+	a := &AuthSealer{epoch: epoch, mac: hmac.New(sha256.New, key)}
+	a.hdr[0] = authMagic
+	a.hdrLen = 1 + binary.PutUvarint(a.hdr[1:], epoch)
+	return a
+}
+
+// Epoch returns the epoch this sealer's key was derived for.
+func (a *AuthSealer) Epoch() uint64 { return a.epoch }
+
+// computeMAC runs the cached HMAC over epochHeader || payload. The
+// returned slice aliases the sealer's scratch and is valid until the
+// next computeMAC.
+func (a *AuthSealer) computeMAC(epochHeader, payload []byte) []byte {
+	a.mac.Reset()
+	a.mac.Write(epochHeader)
+	a.mac.Write(payload)
+	return a.mac.Sum(a.sum[:0])
+}
+
+// SealTo appends the authenticated envelope and payload to dst and
+// returns the extended slice. Equivalent bytes to SealAuth under the
+// same key and epoch.
+func (a *AuthSealer) SealTo(dst, payload []byte) []byte {
+	sum := a.computeMAC(a.hdr[1:a.hdrLen], payload)
+	dst = append(dst, a.hdr[:a.hdrLen]...)
+	dst = append(dst, sum[:authMACSize]...)
+	return append(dst, payload...)
+}
+
+// Open verifies and strips an envelope sealed under this sealer's epoch
+// and key. A well-formed envelope carrying a different epoch fails with
+// ErrAuth (its MAC cannot verify under this key); pick the sealer with
+// AuthEpoch first. The returned payload aliases pkt.
+func (a *AuthSealer) Open(pkt []byte) ([]byte, error) {
+	if len(pkt) < 1 || pkt[0] != authMagic {
+		return nil, ErrAuthFrame
+	}
+	epoch, n := binary.Uvarint(pkt[1:])
+	if n <= 0 || len(pkt) < 1+n+authMACSize {
+		return nil, ErrAuthFrame
+	}
+	if epoch != a.epoch {
+		return nil, ErrAuth
+	}
+	payload := pkt[1+n+authMACSize:]
+	want := a.computeMAC(pkt[1:1+n], payload)
+	if !hmac.Equal(want[:authMACSize], pkt[1+n:1+n+authMACSize]) {
+		return nil, ErrAuth
+	}
+	return payload, nil
 }
 
 // AuthEpoch peeks the epoch counter from an authenticated envelope

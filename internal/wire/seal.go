@@ -37,10 +37,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // Seal wraps payload in the integrity envelope, returning a fresh
 // slice.
 func Seal(payload []byte) []byte {
-	out := make([]byte, SealOverhead, SealOverhead+len(payload))
-	out[0] = sealMagic
-	binary.LittleEndian.PutUint32(out[1:], crc32.Checksum(payload, castagnoli))
-	return append(out, payload...)
+	return SealTo(make([]byte, 0, SealOverhead+len(payload)), payload)
+}
+
+// SealTo appends the integrity envelope and payload to dst and returns
+// the extended slice — the allocation-free variant of Seal for callers
+// that reuse a scratch buffer (see GetBuf). dst is typically an empty
+// pooled slice; sealing into the tail of a partially built frame also
+// works.
+func SealTo(dst, payload []byte) []byte {
+	var hdr [SealOverhead]byte
+	hdr[0] = sealMagic
+	binary.LittleEndian.PutUint32(hdr[1:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // Open verifies and strips the integrity envelope. The returned payload

@@ -63,6 +63,45 @@ func BenchmarkEnvelopeOpenAuth(b *testing.B) {
 	}
 }
 
+func BenchmarkEnvelopeSealTo(b *testing.B) {
+	dst := make([]byte, 0, SealOverhead+len(benchPayload))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = SealTo(dst, benchPayload)
+	}
+}
+
+// BenchmarkEnvelopeSealAuthCached is the steady-state authed seal: the
+// cached-HMAC AuthSealer the switching key schedule holds per epoch.
+// It must report 0 allocs/op (asserted in TestAuthSealerAllocs).
+func BenchmarkEnvelopeSealAuthCached(b *testing.B) {
+	sealer := NewAuthSealer(DeriveEpochKey([]byte("bench session"), 1), 1)
+	dst := make([]byte, 0, MaxAuthOverhead+len(benchPayload))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = sealer.SealTo(dst, benchPayload)
+	}
+}
+
+func BenchmarkEnvelopeOpenAuthCached(b *testing.B) {
+	sealer := NewAuthSealer(DeriveEpochKey([]byte("bench session"), 1), 1)
+	pkt := sealer.SealTo(nil, benchPayload)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := sealer.Open(pkt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = p
+	}
+}
+
 func BenchmarkDeriveEpochKey(b *testing.B) {
 	session := []byte("bench session")
 	b.ReportAllocs()

@@ -115,12 +115,34 @@ func (e *Encoder) Counts(cs []uint64) *Encoder {
 }
 
 // Prepend returns header ++ payload as a fresh slice: the canonical
-// "push my header" operation on the way down a stack.
+// "push my header" operation on the way down a stack. The result is
+// independently owned, so it is safe to retain (retransmission
+// buffers); hot paths that hand the frame straight to a transport
+// should use Frame instead, which skips the extra copy.
 func (e *Encoder) Prepend(payload []byte) []byte {
 	out := make([]byte, 0, len(e.buf)+len(payload))
 	out = append(out, e.buf...)
 	out = append(out, payload...)
 	return out
+}
+
+// Frame appends payload after the encoded header in the encoder's own
+// buffer and returns the combined frame — the zero-copy sibling of
+// Prepend. The result aliases the encoder's buffer: it is valid until
+// the encoder's next write, Reset, or release back to the pool, so use
+// it when the frame is consumed synchronously (every transport in this
+// repository copies on send) and Prepend when the frame is retained.
+// With a NewEncoder sized for header+payload this costs one allocation;
+// with a pooled encoder (GetEncoder) it costs none in steady state.
+func (e *Encoder) Frame(payload []byte) []byte {
+	e.buf = append(e.buf, payload...)
+	return e.buf
+}
+
+// Reset truncates the encoder for reuse, keeping its buffer capacity.
+func (e *Encoder) Reset() *Encoder {
+	e.buf = e.buf[:0]
+	return e
 }
 
 // Decoder consumes an encoded header with a sticky error.
