@@ -12,14 +12,18 @@
 //   - "passed" or "delivered" counts that fell (coverage or throughput
 //     lost),
 //   - "shed" counts that rose (the overload layer turned away more of
-//     the same workload), or
+//     the same workload),
 //   - "allocs_per_msg" that rose beyond the noise band (new*1.1+1 —
-//     the hot path started allocating; the E18 perf gate).
+//     the hot path started allocating; the E18 perf gate), or
+//   - telemetry coverage that fell: "windows", "rounds", or
+//     "rounds_complete" in BENCH_telemetry.json (the sweep sampled or
+//     audited less of the same seeded workload — all deterministic
+//     fields, so any drop is a real behavior change).
 //
-// "msgs_per_sec" drops beyond 20% are marked with "~" as warnings —
-// wall-clock throughput is too host-dependent to hard-fail CI on, but
-// the drop should be visible in the log (the soft half of the perf
-// gate).
+// "msgs_per_sec" drops beyond 20% are marked with "~" as warnings,
+// printing baseline vs. current and the percent delta — wall-clock
+// throughput is too host-dependent to hard-fail CI on, but the drop
+// should be visible in the log (the soft half of the perf gate).
 //
 // Everything else — latency drift, event-count changes, new fields from
 // a schema bump — is printed for the record but does not gate, so the
@@ -28,31 +32,53 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/benchkit"
 )
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> <new.json>")
-		os.Exit(2)
-	}
-	oldDoc, err := load(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
-	newDoc, err := load(os.Args[2])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
 
-	oldFlat := flatten("", oldDoc)
-	newFlat := flatten("", newDoc)
+func run(args []string, w io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> <new.json>")
+		return 2
+	}
+	oldDoc, err := benchkit.Load(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	newDoc, err := benchkit.Load(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	changed, regressions, warnings := diff(oldDoc, newDoc, w)
+	if changed == 0 {
+		fmt.Fprintln(w, "artifacts identical (timing ignored)")
+	}
+	if warnings > 0 {
+		fmt.Fprintf(w, "\n%d throughput warning(s) (non-gating)\n", warnings)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d regression(s)\n", regressions)
+		return 1
+	}
+	return 0
+}
+
+// diff prints every changed leaf and returns the change/regression/
+// warning counts.
+func diff(oldDoc, newDoc any, w io.Writer) (changed, regressions, warnings int) {
+	oldFlat := benchkit.Flatten("", oldDoc, true)
+	newFlat := benchkit.Flatten("", newDoc, true)
 
 	keys := map[string]bool{}
 	for k := range oldFlat {
@@ -67,104 +93,57 @@ func main() {
 	}
 	sort.Strings(sorted)
 
-	changed, regressions, warnings := 0, 0, 0
 	for _, k := range sorted {
 		ov, inOld := oldFlat[k]
 		nv, inNew := newFlat[k]
 		switch {
 		case !inOld:
-			fmt.Printf("+ %s = %v\n", k, nv)
+			fmt.Fprintf(w, "+ %s = %v\n", k, nv)
 			changed++
 		case !inNew:
-			fmt.Printf("- %s (was %v)\n", k, ov)
+			fmt.Fprintf(w, "- %s (was %v)\n", k, ov)
 			changed++
 		case ov != nv:
-			mark := "  "
 			switch {
 			case regressed(k, ov, nv):
-				mark = "! "
 				regressions++
+				fmt.Fprintf(w, "! %s: %v -> %v\n", k, ov, nv)
 			case slowed(k, ov, nv):
-				mark = "~ "
 				warnings++
+				of, nf := ov.(float64), nv.(float64)
+				fmt.Fprintf(w, "~ %s: baseline %.1f -> current %.1f (%+.1f%%)\n",
+					k, of, nf, (nf-of)/of*100)
+			default:
+				fmt.Fprintf(w, "  %s: %v -> %v\n", k, ov, nv)
 			}
-			fmt.Printf("%s%s: %v -> %v\n", mark, k, ov, nv)
 			changed++
 		}
 	}
-	if changed == 0 {
-		fmt.Println("artifacts identical (timing ignored)")
-	}
-	if warnings > 0 {
-		fmt.Printf("\n%d throughput warning(s) (non-gating)\n", warnings)
-	}
-	if regressions > 0 {
-		fmt.Printf("\n%d regression(s)\n", regressions)
-		os.Exit(1)
-	}
-}
-
-func load(path string) (any, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var doc any
-	if err := json.Unmarshal(b, &doc); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return doc, nil
-}
-
-// flatten turns nested JSON into "a.b[2].c" -> scalar, dropping every
-// "timing" object (wall clock, worker count, events/sec).
-func flatten(prefix string, v any) map[string]any {
-	out := map[string]any{}
-	switch t := v.(type) {
-	case map[string]any:
-		for k, child := range t {
-			if k == "timing" {
-				continue
-			}
-			p := k
-			if prefix != "" {
-				p = prefix + "." + k
-			}
-			for fk, fv := range flatten(p, child) {
-				out[fk] = fv
-			}
-		}
-	case []any:
-		for i, child := range t {
-			for fk, fv := range flatten(fmt.Sprintf("%s[%d]", prefix, i), child) {
-				out[fk] = fv
-			}
-		}
-	default:
-		out[prefix] = v
-	}
-	return out
+	return changed, regressions, warnings
 }
 
 // regressed reports whether the (old, new) delta at this key is one of
-// the gating directions. JSON numbers decode as float64.
+// the gating directions. JSON numbers decode as float64. Every gated
+// field except allocs_per_msg is deterministic per seed, so the
+// comparisons are exact.
 func regressed(key string, ov, nv any) bool {
 	of, ok1 := ov.(float64)
 	nf, ok2 := nv.(float64)
 	if !ok1 || !ok2 {
 		return false
 	}
-	leaf := key
-	if i := strings.LastIndexAny(key, "."); i >= 0 {
-		leaf = key[i+1:]
-	}
-	switch {
-	case leaf == "failed" || strings.HasSuffix(leaf, "_failed"):
+	switch leaf := benchkit.Leaf(key); {
+	case leaf == "failed" || strings.HasSuffix(leaf,"_failed"):
 		return nf > of
 	case leaf == "passed" || leaf == "delivered":
 		return nf < of
-	case leaf == "shed" || strings.HasSuffix(leaf, "_shed"):
+	case leaf == "shed" || strings.HasSuffix(leaf,"_shed"):
 		return nf > of
+	case leaf == "windows" || leaf == "rounds" || leaf == "rounds_complete":
+		// Telemetry coverage (BENCH_telemetry.json summary): the sweep
+		// must not sample fewer windows or audit fewer (completed)
+		// switch rounds for the same seed.
+		return nf < of
 	case leaf == "allocs_per_msg":
 		// Hard perf gate with a noise band: 10% plus one absolute
 		// allocation per message. Allocation counts are near-deterministic,
@@ -183,9 +162,5 @@ func slowed(key string, ov, nv any) bool {
 	if !ok1 || !ok2 {
 		return false
 	}
-	leaf := key
-	if i := strings.LastIndexAny(key, "."); i >= 0 {
-		leaf = key[i+1:]
-	}
-	return leaf == "msgs_per_sec" && nf < of*0.8
+	return benchkit.Leaf(key) == "msgs_per_sec" && nf < of*0.8
 }

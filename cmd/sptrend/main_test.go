@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, s string) any {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestRenderGroupsBySchemaAndSummarizes(t *testing.T) {
+	docs := []any{
+		parse(t, `{"schema":"switchbench/perf","timing":{"wall_ms":100.0},"rows":[{"msgs_per_sec":1000.0}],"delivered":50}`),
+		parse(t, `{"schema":"switchbench/perf","timing":{"wall_ms":120.0},"rows":[{"msgs_per_sec":1200.0}],"delivered":50}`),
+		parse(t, `{"schema":"switchbench/telemetry","windows":189.0,"rounds":16.0}`),
+	}
+	out := Render(docs, "", false)
+	if !strings.Contains(out, "== switchbench/perf (2 runs) ==") ||
+		!strings.Contains(out, "== switchbench/telemetry (1 runs) ==") {
+		t.Fatalf("group headers missing:\n%s", out)
+	}
+	// Varying keys summarized with mean/std over both runs.
+	if !strings.Contains(out, "rows[0].msgs_per_sec") ||
+		!strings.Contains(out, "mean=1100.0000") || !strings.Contains(out, "std=100.0000") {
+		t.Errorf("msgs_per_sec trend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "timing.wall_ms") {
+		t.Errorf("timing leaves must be kept for trends:\n%s", out)
+	}
+	// Constant keys are suppressed by default...
+	if strings.Contains(out, "delivered") {
+		t.Errorf("constant key printed without -all:\n%s", out)
+	}
+	// ...and shown with all=true.
+	if all := Render(docs, "", true); !strings.Contains(all, "delivered") {
+		t.Errorf("-all did not print constant keys:\n%s", all)
+	}
+	// match filters keys.
+	if m := Render(docs, "msgs_per_sec", true); strings.Contains(m, "wall_ms") {
+		t.Errorf("-match leaked other keys:\n%s", m)
+	}
+}
+
+func TestRunLoadsFilesAndRejectsUsage(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	os.WriteFile(a, []byte(`{"schema":"switchbench/x","v":1}`), 0o644)
+	os.WriteFile(b, []byte(`{"schema":"switchbench/x","v":3}`), 0o644)
+	var out strings.Builder
+	if code := run([]string{a, b}, &out); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "mean=2.0000") {
+		t.Errorf("trend output wrong:\n%s", out.String())
+	}
+	if code := run(nil, &out); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if code := run([]string{bad}, &out); code != 2 {
+		t.Errorf("bad-json exit = %d, want 2", code)
+	}
+}

@@ -54,6 +54,33 @@ func TestCheckRejectsBadTrace(t *testing.T) {
 	}
 }
 
+func TestCheckPromValidatesExpositions(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "telemetry.prom")
+	if err := os.WriteFile(good, []byte(
+		"# TYPE sp_events_total counter\nsp_events_total{member=\"0\",key=\"switching/token_passes\"} 42\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-checkprom", good}, nil, &out); err != nil {
+		t.Fatalf("checkprom failed on a valid exposition: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 samples ok") {
+		t.Errorf("checkprom output = %q", out.String())
+	}
+
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("sp_untyped{a=b} pancake\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-checkprom", bad}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("checkprom accepted a malformed exposition")
+	}
+	if err := run([]string{"-checkprom"}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("checkprom accepted an empty file list")
+	}
+}
+
 func TestConvertFileAndStdout(t *testing.T) {
 	path := writeSample(t)
 	var out bytes.Buffer

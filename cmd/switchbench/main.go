@@ -27,9 +27,19 @@
 // structured event stream (see internal/obs). Convert a trace for
 // Perfetto/chrome://tracing with cmd/spviz, or validate it with
 // spviz -check.
+//
+// With -telemetry <dir>, the chaos sweep additionally runs the live
+// telemetry layer (internal/obs/telemetry) and writes two outputs
+// there: BENCH_telemetry.json — the windowed time-series and the
+// switch-decision audit trail (schema "switchbench/telemetry") — and
+// telemetry.prom, the Prometheus text exposition of the sweep's merged
+// counters and histograms (validate with spviz -checkprom). Both are
+// deterministic per seed; compare artifacts across runs with
+// cmd/sptrend.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +50,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/harness/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 func main() {
@@ -68,6 +79,7 @@ func run(args []string) error {
 		parallel     = fs.Int("parallel", 0, "worker count for sweep runs (<= 0: GOMAXPROCS); results are identical for any value")
 		jsonDir      = fs.String("json", "", "directory to write BENCH_<experiment>.json artifacts (empty: no artifacts)")
 		traceDir     = fs.String("trace", "", "directory to write TRACE_<experiment>.jsonl event streams (empty: no traces)")
+		telemetryDir = fs.String("telemetry", "", "directory to write the chaos sweep's telemetry (BENCH_telemetry.json + telemetry.prom; empty: telemetry off)")
 		quiet        = fs.Bool("quiet", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +87,7 @@ func run(args []string) error {
 	}
 	// Validate output directories before running anything: experiments
 	// take minutes, and a typo'd path should fail in milliseconds.
-	for _, d := range []struct{ flag, dir string }{{"-json", *jsonDir}, {"-trace", *traceDir}} {
+	for _, d := range []struct{ flag, dir string }{{"-json", *jsonDir}, {"-trace", *traceDir}, {"-telemetry", *telemetryDir}} {
 		if err := ensureWritableDir(d.flag, d.dir); err != nil {
 			return err
 		}
@@ -229,6 +241,9 @@ func run(args []string) error {
 		cfg.Parallel = workers
 		cfg.Trace = tracing
 		cfg.Progress = progress
+		if *telemetryDir != "" {
+			cfg.Telemetry = &telemetry.Config{}
+		}
 		start := time.Now()
 		res, err := harness.RunChaosSweep(cfg)
 		if err != nil {
@@ -242,6 +257,28 @@ func run(args []string) error {
 		art.SetTiming(time.Since(start), workers)
 		if err := writeBench("chaos", art); err != nil {
 			return err
+		}
+		if *telemetryDir != "" {
+			tart := harness.NewBenchTelemetry(*seed, telemetry.DefaultInterval, res)
+			tart.SetTiming(time.Since(start), workers)
+			b, err := harness.EncodeBench(tart)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*telemetryDir, "BENCH_telemetry.json")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				return err
+			}
+			progress("wrote " + path)
+			var prom bytes.Buffer
+			if err := telemetry.WriteMetricsProm(&prom, res.Metrics); err != nil {
+				return err
+			}
+			path = filepath.Join(*telemetryDir, "telemetry.prom")
+			if err := os.WriteFile(path, prom.Bytes(), 0o644); err != nil {
+				return err
+			}
+			progress("wrote " + path)
 		}
 		// The artifact records failures; the exit code still flags them.
 		if len(res.Failures) > 0 {

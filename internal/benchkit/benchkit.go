@@ -1,0 +1,107 @@
+// Package benchkit is the shared toolbox of the BENCH_*.json consumers
+// (cmd/benchdiff, cmd/sptrend): loading artifacts, flattening nested
+// JSON into dotted leaf keys, and the small numeric helpers the tools
+// agree on. Keeping the flattening in one place guarantees the two
+// tools see the same key space — a gate configured in benchdiff names
+// the same leaves a trend table prints.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Load reads and decodes one artifact.
+func Load(path string) (any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// Flatten turns nested JSON into "a.b[2].c" -> scalar. With dropTiming,
+// every "timing" object — the only non-deterministic section of an
+// artifact — is skipped, which is what artifact comparison wants; trend
+// analysis keeps it, since wall-clock drift across runs is a trend too.
+func Flatten(prefix string, v any, dropTiming bool) map[string]any {
+	out := map[string]any{}
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			if dropTiming && k == "timing" {
+				continue
+			}
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			for fk, fv := range Flatten(p, child, dropTiming) {
+				out[fk] = fv
+			}
+		}
+	case []any:
+		for i, child := range t {
+			for fk, fv := range Flatten(fmt.Sprintf("%s[%d]", prefix, i), child, dropTiming) {
+				out[fk] = fv
+			}
+		}
+	default:
+		out[prefix] = v
+	}
+	return out
+}
+
+// Leaf returns the last dotted component of a flattened key (with any
+// "[i]" index suffix intact): the name gates and filters match on.
+func Leaf(key string) string {
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// Stats is the per-key summary of one value series across runs.
+type Stats struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes mean/std/min/max of a series (population standard
+// deviation — the runs are the whole population being described, not a
+// sample from a larger one).
+func Summarize(vals []float64) Stats {
+	s := Stats{N: len(vals)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = vals[0], vals[0]
+	var sum float64
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var sq float64
+	for _, v := range vals {
+		d := v - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(s.N))
+	return s
+}

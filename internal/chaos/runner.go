@@ -8,6 +8,7 @@ import (
 	"repro/internal/core/switching/swtest"
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/proto"
 	"repro/internal/protocols/fd"
 	"repro/internal/protocols/fifo"
@@ -40,6 +41,12 @@ type RunConfig struct {
 	// obs.DefaultFlightSize events). The tail is dumped into the result
 	// when an invariant fails.
 	FlightSize int
+	// Telemetry, when set, additionally runs the windowed sampler and
+	// switch-decision audit trail over the run's event stream and
+	// attaches the series to the result. Nil keeps the exact recorder
+	// fan-out of telemetry-free runs (and the obs.Nop fast path when
+	// nothing else records).
+	Telemetry *telemetry.Config
 }
 
 func (c *RunConfig) defaults() {
@@ -89,6 +96,15 @@ type Result struct {
 	// how many earlier events the bounded ring discarded.
 	FlightRecord  []obs.Event
 	FlightDropped uint64
+	// Windows and Rounds are the telemetry series of the run — the
+	// sampler's closed windows and the audit trail's per-epoch switch
+	// records — when RunConfig.Telemetry was set; nil otherwise.
+	Windows []telemetry.Window
+	Rounds  []telemetry.Round
+	// TelemetryTail is the last few windows before the failure (a
+	// quick-look snapshot next to the flight-recorder trace); nil on
+	// clean or telemetry-free runs.
+	TelemetryTail []telemetry.Window
 }
 
 // Failed reports whether any invariant was violated.
@@ -129,7 +145,19 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 	cfg.defaults()
 	metrics := obs.NewMetrics()
 	flight := obs.NewFlightRecorder(cfg.FlightSize)
-	rec := obs.Multi(metrics.Recorder(), flight, cfg.Recorder)
+	recs := []obs.Recorder{metrics.Recorder(), flight, cfg.Recorder}
+	var tel *telemetry.Telemetry
+	if cfg.Telemetry != nil {
+		tc := *cfg.Telemetry
+		if tc.Protocols == 0 {
+			tc.Protocols = len(pair())
+		}
+		tel = telemetry.New(tc)
+		// Appended conditionally: a typed-nil *Telemetry inside the
+		// interface would defeat Multi's nil filter.
+		recs = append(recs, tel)
+	}
+	rec := obs.Multi(recs...)
 	ti := cfg.TokenInterval
 	swCfg := switching.Config{
 		Protocols:     pair(),
@@ -317,7 +345,8 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 	// included — may panic on adversarial input. A panic anywhere in the
 	// run is converted into an invariant violation with the flight
 	// recorder's tail attached, instead of crashing the sweep.
-	if msg := capturePanic(func() { c.Run(probeAt + cfg.Drain) }); msg != "" {
+	horizon := probeAt + cfg.Drain
+	if msg := capturePanic(func() { c.Run(horizon) }); msg != "" {
 		_ = capturePanic(c.Stop)
 		res.Events = c.Sim.Executed()
 		ns := c.Net.Stats()
@@ -325,6 +354,7 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		res.Violations = append(res.Violations, msg)
 		res.FlightRecord = flight.Snapshot()
 		res.FlightDropped = flight.Dropped()
+		res.attachTelemetry(tel, horizon)
 		return res, c, nil
 	}
 	c.Stop()
@@ -361,7 +391,32 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 		res.FlightRecord = flight.Snapshot()
 		res.FlightDropped = flight.Dropped()
 	}
+	res.attachTelemetry(tel, horizon)
 	return res, c, nil
+}
+
+// telemetryTailWindows is how many of the run's last windows a failing
+// result carries as its quick-look snapshot.
+const telemetryTailWindows = 5
+
+// attachTelemetry finalizes the run's telemetry at the run horizon and
+// moves the series into the result; failing runs also keep the last few
+// windows as a tail next to the flight-recorder trace. No-op when
+// telemetry was off.
+func (r *Result) attachTelemetry(tel *telemetry.Telemetry, end time.Duration) {
+	if tel == nil {
+		return
+	}
+	tel.Finish(end)
+	r.Windows = tel.Sampler.Windows()
+	r.Rounds = tel.Audit.Finalize()
+	if r.Failed() && len(r.Windows) > 0 {
+		tail := r.Windows
+		if len(tail) > telemetryTailWindows {
+			tail = tail[len(tail)-telemetryTailWindows:]
+		}
+		r.TelemetryTail = tail
+	}
 }
 
 // statsFromMetrics rebuilds the aggregate switching.Stats of the live

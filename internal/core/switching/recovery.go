@@ -175,7 +175,7 @@ func (r *recovery) admit(t Token) bool {
 		if s.initiating && t.Initiator != s.env.Self() {
 			s.initiating = false
 			s.stats.SwitchesAborted++
-			s.obs.Record(obs.SwitchAbort(s.env.Now(), s.env.Self(), s.deliverEpoch))
+			s.obs.Record(obs.SwitchAbort(s.env.Now(), s.env.Self(), s.deliverEpoch, r.gen))
 		}
 	}
 	if t.Epoch > r.maxEpoch {
@@ -293,7 +293,7 @@ func (r *recovery) regenerate() {
 	if s.Switching() {
 		if s.initiating {
 			s.stats.SwitchesAborted++
-			s.obs.Record(obs.SwitchAbort(s.env.Now(), s.env.Self(), s.deliverEpoch))
+			s.obs.Record(obs.SwitchAbort(s.env.Now(), s.env.Self(), s.deliverEpoch, r.gen))
 		}
 		r.retryRound(r.gen, s.env.Self())
 		r.arm()
@@ -319,8 +319,13 @@ func (r *recovery) regenerate() {
 func (r *recovery) retryRound(gen uint64, origin ids.ProcID) {
 	s := r.s
 	if !s.initiating {
+		// A takeover: this member was an ordinary participant and is now
+		// the round's initiator. Record the start like the normal path in
+		// onToken does, so the audit trail sees every initiator of a
+		// round, not just the first.
 		s.initiating = true
 		s.started = s.env.Now()
+		s.obs.Record(obs.SwitchStart(s.started, s.env.Self(), s.deliverEpoch, gen))
 	}
 	s.expected = nil
 	prep := Token{

@@ -601,7 +601,7 @@ func (s *Switch) onToken(t Token) {
 				// switch round is still half-applied (the original
 				// round's token died): re-run the round from PREPARE.
 				s.stats.SwitchesAborted++
-				s.obs.Record(obs.SwitchAbort(s.env.Now(), self, s.deliverEpoch))
+				s.obs.Record(obs.SwitchAbort(s.env.Now(), self, s.deliverEpoch, t.Gen))
 				s.rec.retryRound(t.Gen, t.Origin)
 				return
 			}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core/switching"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // This file defines the machine-readable BENCH_*.json artifacts that
@@ -54,7 +55,14 @@ import (
 // watches: msgs_per_sec (warn-only) and allocs_per_msg (hard-gated).
 // Unlike wall_ms these live at row level, outside the scrubbed
 // "timing" section, because the gate must see them.
-const BenchSchemaVersion = 6
+//
+// Version 7: the telemetry artifact (E19) — the windowed time-series
+// and switch-decision audit trail of a chaos sweep, emitted as
+// BENCH_telemetry.json when the sweep ran with telemetry on. The chaos
+// artifact's failure entries gain an optional telemetry_tail (the last
+// windows before the violation); telemetry-free sweeps keep their v6
+// shape.
+const BenchSchemaVersion = 7
 
 // BenchTiming is the non-deterministic wall-clock section of an
 // artifact.
@@ -373,6 +381,9 @@ type BenchChaosFailure struct {
 	// TraceDropped counts earlier events the bounded ring discarded.
 	Trace        []obs.EventJSON `json:"trace,omitempty"`
 	TraceDropped uint64          `json:"trace_dropped,omitempty"`
+	// TelemetryTail is the failing run's last sampling windows, present
+	// only when the sweep ran with telemetry on.
+	TelemetryTail []telemetry.Window `json:"telemetry_tail,omitempty"`
 }
 
 // NewBenchChaos converts a chaos sweep into its artifact.
@@ -402,10 +413,11 @@ func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
 	}
 	for _, f := range res.Failures {
 		bf := BenchChaosFailure{
-			Seed:         f.Seed,
-			Violations:   f.Violations,
-			Trace:        obs.EventsToJSON(f.FlightRecord),
-			TraceDropped: f.FlightDropped,
+			Seed:          f.Seed,
+			Violations:    f.Violations,
+			Trace:         obs.EventsToJSON(f.FlightRecord),
+			TraceDropped:  f.FlightDropped,
+			TelemetryTail: f.TelemetryTail,
 		}
 		for _, k := range f.Kinds {
 			bf.Kinds = append(bf.Kinds, k.String())
@@ -500,6 +512,48 @@ type BenchPerfRow struct {
 	WallMS       float64 `json:"wall_ms"`
 	MsgsPerSec   float64 `json:"msgs_per_sec"`
 	AllocsPerMsg float64 `json:"allocs_per_msg"`
+}
+
+// BenchTelemetry is the E19 artifact: the chaos sweep's windowed
+// time-series and switch-decision audit trail. The summary counters at
+// the top are what cmd/benchdiff gates (windows and audited rounds must
+// not fall, aborted rounds must not rise — all deterministic per seed);
+// the series and audit sections are the full data cmd/sptrend and
+// humans read.
+type BenchTelemetry struct {
+	BenchMeta
+	IntervalMS float64 `json:"interval_ms"`
+	// Windows/Rounds summarize the series; RoundsComplete/RoundsAborted
+	// split the audited rounds by terminal outcome (every round has
+	// exactly one).
+	Windows        int `json:"windows"`
+	Rounds         int `json:"rounds"`
+	RoundsComplete int `json:"rounds_complete"`
+	RoundsAborted  int `json:"rounds_aborted"`
+
+	Series []telemetry.Window `json:"series"`
+	Audit  []telemetry.Round  `json:"audit"`
+}
+
+// NewBenchTelemetry converts a telemetry-enabled chaos sweep into its
+// artifact. interval is the sampler's window width.
+func NewBenchTelemetry(seed int64, interval time.Duration, res *ChaosSweepResult) *BenchTelemetry {
+	out := &BenchTelemetry{
+		IntervalMS: Millis(interval),
+		Windows:    len(res.Windows),
+		Rounds:     len(res.Rounds),
+		Series:     res.Windows,
+		Audit:      res.Rounds,
+	}
+	for _, r := range res.Rounds {
+		if r.Outcome == telemetry.OutcomeComplete {
+			out.RoundsComplete++
+		} else {
+			out.RoundsAborted++
+		}
+	}
+	out.BenchMeta = benchMeta("telemetry", seed, res.Events)
+	return out
 }
 
 // NewBenchPerf converts the E18 grid into its artifact.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core/switching"
 	"repro/internal/harness/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // ChaosSweepConfig parameterizes E13: a sweep of seeded fault schedules
@@ -39,6 +40,11 @@ type ChaosSweepConfig struct {
 	// Trace collects the full event stream of every schedule run,
 	// tagged by run index, into Result.Trace.
 	Trace bool
+	// Telemetry, when set, runs the windowed sampler and switch-decision
+	// audit trail on every schedule run; the per-run series merge into
+	// Result.Windows/Rounds (tagged by run index) and the cumulative
+	// telemetry registries into Result.Telemetry.
+	Telemetry *telemetry.Config
 	// Progress receives per-phase status lines (optional). It may be
 	// called concurrently from worker goroutines.
 	Progress func(string)
@@ -77,6 +83,12 @@ type ChaosSweepResult struct {
 	// Trace is the merged event stream (runs in index order) when
 	// ChaosSweepConfig.Trace was set.
 	Trace []obs.Event
+	// Windows and Rounds merge the per-run telemetry series in run-index
+	// order when ChaosSweepConfig.Telemetry was set. The Prometheus
+	// exposition reads Metrics above — the sampler's cumulative registry
+	// is the same event-derived data.
+	Windows []telemetry.Window
+	Rounds  []telemetry.Round
 	// FlashCrowd holds the E17 rows when ChaosSweepConfig.FlashCrowd was
 	// set.
 	FlashCrowd []FlashCrowdRow
@@ -126,6 +138,9 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 				return chaosRun{}, err
 			}
 			rc := cfg.Run
+			if cfg.Telemetry != nil {
+				rc.Telemetry = cfg.Telemetry
+			}
 			var col *obs.Collector
 			if cfg.Trace {
 				col = obs.NewCollector()
@@ -148,6 +163,8 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		return nil, err
 	}
 	var traces [][]obs.Event
+	var windows [][]telemetry.Window
+	var rounds [][]telemetry.Round
 	for _, run := range runs {
 		r := run.res
 		for _, k := range r.Kinds {
@@ -163,9 +180,15 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		res.Stats.Add(r.Stats)
 		res.Metrics.Merge(r.Metrics)
 		traces = append(traces, run.trace)
+		windows = append(windows, r.Windows)
+		rounds = append(rounds, r.Rounds)
 	}
 	if cfg.Trace {
 		res.Trace = obs.MergeRuns(traces)
+	}
+	if cfg.Telemetry != nil {
+		res.Windows = telemetry.MergeWindows(windows)
+		res.Rounds = telemetry.MergeRounds(rounds)
 	}
 
 	recov, err := engine.Map(pool, cfg.RecoverySeeds, cfg.Seed,

@@ -26,7 +26,9 @@ func TestSummarize(t *testing.T) {
 	if one.Count != 1 || one.Mean != 5*time.Millisecond || one.P99 != 5*time.Millisecond {
 		t.Errorf("singleton Summarize = %+v", one)
 	}
-	samples := []time.Duration{4, 1, 3, 2, 5} // ms-scale irrelevant
+	// Sub-µs samples share histogram bucket 0, so the bucket-quantile
+	// estimator returns the mean for every percentile.
+	samples := []time.Duration{4, 1, 3, 2, 5}
 	s := Summarize(samples)
 	if s.Count != 5 || s.Mean != 3 || s.P50 != 3 || s.Max != 5 {
 		t.Errorf("Summarize = %+v", s)
@@ -34,6 +36,21 @@ func TestSummarize(t *testing.T) {
 	// Input must not be mutated (sorted copy).
 	if samples[0] != 4 {
 		t.Error("Summarize mutated its input")
+	}
+	// Multi-bucket samples: quantiles are obs.Histogram.Quantile
+	// bucket-edge interpolations, clamped to the observed range.
+	ms := Summarize([]time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond,
+		4 * time.Millisecond, 8 * time.Millisecond,
+	})
+	if ms.P50 != 2048*time.Microsecond {
+		t.Errorf("P50 = %v, want 2048µs (bucket edge)", ms.P50)
+	}
+	if ms.P99 != 8*time.Millisecond {
+		t.Errorf("P99 = %v, want clamp to max 8ms", ms.P99)
+	}
+	if ms.P50 > ms.P95 || ms.P95 > ms.P99 {
+		t.Errorf("quantiles not monotone: %v %v %v", ms.P50, ms.P95, ms.P99)
 	}
 }
 

@@ -43,19 +43,6 @@ func Summarize(samples []time.Duration) LatencyStats {
 	for _, s := range sorted {
 		sum += float64(s)
 	}
-	pct := func(p float64) time.Duration {
-		if len(sorted) == 1 {
-			return sorted[0]
-		}
-		idx := p / 100 * float64(len(sorted)-1)
-		lo := int(math.Floor(idx))
-		hi := int(math.Ceil(idx))
-		if lo == hi {
-			return sorted[lo]
-		}
-		frac := idx - float64(lo)
-		return time.Duration(float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac)
-	}
 	mean := sum / float64(len(sorted))
 	var sq float64
 	var hist obs.Histogram
@@ -64,14 +51,28 @@ func Summarize(samples []time.Duration) LatencyStats {
 		sq += d * d
 		hist.Observe(s)
 	}
+	// Quantiles come from the bucketed histogram — the same estimator
+	// the telemetry windows use, so offline tables and live exposition
+	// agree — clamped to the observed range (interpolation inside the
+	// outermost buckets can otherwise step outside the sample).
+	pct := func(q float64) time.Duration {
+		v := hist.Quantile(q)
+		if v < sorted[0] {
+			v = sorted[0]
+		}
+		if v > sorted[len(sorted)-1] {
+			v = sorted[len(sorted)-1]
+		}
+		return v
+	}
 	return LatencyStats{
 		Count:  len(sorted),
 		Mean:   time.Duration(mean),
 		StdDev: time.Duration(math.Sqrt(sq / float64(len(sorted)))),
 		Min:    sorted[0],
-		P50:    pct(50),
-		P95:    pct(95),
-		P99:    pct(99),
+		P50:    pct(0.50),
+		P95:    pct(0.95),
+		P99:    pct(0.99),
 		Max:    sorted[len(sorted)-1],
 		Hist:   hist,
 	}

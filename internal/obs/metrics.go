@@ -161,6 +161,71 @@ func BucketLow(i int) time.Duration {
 	return time.Duration(1<<uint(i-1)) * time.Microsecond
 }
 
+// BucketHigh returns the exclusive upper bound of bucket i. Bucket 0
+// tops out at 1µs; the final bucket is open-ended, so its "bound" is
+// one doubling above its lower edge — the same width rule as every
+// other bucket.
+func BucketHigh(i int) time.Duration {
+	if i <= 0 {
+		return time.Microsecond
+	}
+	if i >= HistogramBuckets-1 {
+		return 2 * BucketLow(HistogramBuckets-1)
+	}
+	return BucketLow(i + 1)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]; out-of-range values
+// clamp) from the bucketed distribution by linear interpolation inside
+// the bucket holding the target rank. Resolution is therefore the
+// bucket width — a factor of two — not the exact sample. Two edge
+// cases are pinned down by tests: an empty histogram returns 0, and a
+// histogram whose mass sits in a single bucket returns the mean
+// (Sum/Count), which is exact for a single observation and the best
+// available estimate otherwise.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	occupied := 0
+	for _, c := range h.counts {
+		if c != 0 {
+			occupied++
+		}
+	}
+	if occupied == 1 {
+		return h.sum / time.Duration(h.n)
+	}
+	target := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := BucketLow(i), BucketHigh(i)
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	// Unreachable: cum reaches h.n >= target on the last occupied bucket.
+	return BucketHigh(HistogramBuckets - 1)
+}
+
 // Metrics is the per-member, per-layer registry: counters and latency
 // histograms keyed by "<layer>/<name>". It is a plain accumulator —
 // callers feed it either directly or through the event adapter

@@ -58,6 +58,63 @@ func TestHistogramMergeAndTrim(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// Single observation: every quantile is that observation exactly
+	// (single-bucket mass returns the mean).
+	var one Histogram
+	one.Observe(5 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 5*time.Millisecond {
+			t.Errorf("singleton Quantile(%v) = %v, want 5ms", q, got)
+		}
+	}
+	// Several observations in one bucket: still the mean.
+	var same Histogram
+	same.Observe(600 * time.Microsecond)
+	same.Observe(1000 * time.Microsecond) // both in bucket 10: [512µs,1024µs)
+	if got := same.Quantile(0.5); got != 800*time.Microsecond {
+		t.Errorf("single-bucket Quantile(0.5) = %v, want 800µs", got)
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	// 10 observations in bucket 10 ([512µs,1024µs)) and 10 in bucket 11
+	// ([1024µs,2048µs)): the median falls exactly on the bucket edge and
+	// the extremes on the outer bucket bounds.
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(600 * time.Microsecond)
+		h.Observe(1500 * time.Microsecond)
+	}
+	if got := h.Quantile(0.5); got != 1024*time.Microsecond {
+		t.Errorf("Quantile(0.5) = %v, want 1024µs", got)
+	}
+	if got := h.Quantile(0); got != 512*time.Microsecond {
+		t.Errorf("Quantile(0) = %v, want 512µs", got)
+	}
+	if got := h.Quantile(1); got != 2048*time.Microsecond {
+		t.Errorf("Quantile(1) = %v, want 2048µs", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := h.Quantile(-3); got != 512*time.Microsecond {
+		t.Errorf("Quantile(-3) = %v, want 512µs", got)
+	}
+	if got := h.Quantile(7); got != 2048*time.Microsecond {
+		t.Errorf("Quantile(7) = %v, want 2048µs", got)
+	}
+	// Quartile inside a bucket: rank 5 of 10 in [512µs,1024µs).
+	if got := h.Quantile(0.25); got != 768*time.Microsecond {
+		t.Errorf("Quantile(0.25) = %v, want 768µs", got)
+	}
+	if lo, hi := BucketHigh(0), BucketHigh(HistogramBuckets-1); lo != time.Microsecond || hi != 2*BucketLow(HistogramBuckets-1) {
+		t.Errorf("BucketHigh bounds wrong: %v %v", lo, hi)
+	}
+}
+
 func TestMetricsRecorderMapsEvents(t *testing.T) {
 	m := NewMetrics()
 	r := m.Recorder()

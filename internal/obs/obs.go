@@ -283,9 +283,10 @@ func SwitchComplete(at time.Duration, proc ids.ProcID, epoch, gen uint64, took t
 		Args: [3]int64{int64(took)}}
 }
 
-// SwitchAbort records proc abandoning or re-running a switch round.
-func SwitchAbort(at time.Duration, proc ids.ProcID, epoch uint64) Event {
-	return Event{At: at, Type: EvSwitchAbort, Proc: proc, Peer: NoPeer, Epoch: epoch}
+// SwitchAbort records proc abandoning or re-running a switch round;
+// gen is the token lineage that supersedes the aborted round.
+func SwitchAbort(at time.Duration, proc ids.ProcID, epoch, gen uint64) Event {
+	return Event{At: at, Type: EvSwitchAbort, Proc: proc, Peer: NoPeer, Epoch: epoch, Gen: gen}
 }
 
 // EpochAdvance records proc completing a switch into delivery epoch.

@@ -1,0 +1,389 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Prometheus text-format exposition (version 0.0.4). Three metric
+// families cover the registry:
+//
+//	sp_events_total{member,key}            counter
+//	sp_durations_seconds{member,key}       histogram (log buckets)
+//	sp_queue_depth{member}                 gauge
+//	sp_suspected_peers{member}             gauge
+//
+// Counter and histogram names keep the registry's "<layer>/<name>" key
+// as a label value rather than mangling it into the metric name: the
+// key set is open-ended, label values are not restricted, and one
+// family per kind keeps the exposition stable as layers are added.
+
+// WriteMetricsProm writes the cumulative registry in exposition
+// format. Output order is canonical — members ascending, keys sorted —
+// so two identical registries produce identical bytes.
+func WriteMetricsProm(w io.Writer, m *obs.Metrics) error {
+	bw := bufio.NewWriter(w)
+	snap := m.Snapshot()
+	anyCounter := false
+	for _, mm := range snap {
+		if len(mm.Counters) > 0 {
+			anyCounter = true
+			break
+		}
+	}
+	if anyCounter {
+		fmt.Fprintln(bw, "# HELP sp_events_total Cumulative event-derived counters by member and registry key.")
+		fmt.Fprintln(bw, "# TYPE sp_events_total counter")
+		for _, mm := range snap {
+			for _, key := range sortedKeys(mm.Counters) {
+				fmt.Fprintf(bw, "sp_events_total{member=%q,key=%q} %d\n", strconv.Itoa(mm.Proc), key, mm.Counters[key])
+			}
+		}
+	}
+	anyHist := false
+	for _, mm := range snap {
+		if len(mm.Histograms) > 0 {
+			anyHist = true
+			break
+		}
+	}
+	if anyHist {
+		fmt.Fprintln(bw, "# HELP sp_durations_seconds Log-bucketed duration histograms by member and registry key.")
+		fmt.Fprintln(bw, "# TYPE sp_durations_seconds histogram")
+		for _, mm := range snap {
+			keys := make([]string, 0, len(mm.Histograms))
+			for k := range mm.Histograms {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				writeHist(bw, strconv.Itoa(mm.Proc), key, mm.Histograms[key])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeHist(w io.Writer, member, key string, h obs.HistogramJSON) {
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		le := strconv.FormatFloat(obs.BucketHigh(i).Seconds(), 'g', -1, 64)
+		fmt.Fprintf(w, "sp_durations_seconds_bucket{member=%q,key=%q,le=%q} %d\n", member, key, le, cum)
+	}
+	fmt.Fprintf(w, "sp_durations_seconds_bucket{member=%q,key=%q,le=\"+Inf\"} %d\n", member, key, h.Count)
+	sum := strconv.FormatFloat(float64(h.SumUS)/1e6, 'g', -1, 64)
+	fmt.Fprintf(w, "sp_durations_seconds_sum{member=%q,key=%q} %s\n", member, key, sum)
+	fmt.Fprintf(w, "sp_durations_seconds_count{member=%q,key=%q} %d\n", member, key, h.Count)
+}
+
+// WriteProm writes the sampler's full exposition: the cumulative
+// counter and histogram families plus the live queue-depth and
+// suspected-peer gauges.
+func (s *Sampler) WriteProm(w io.Writer) error {
+	if err := WriteMetricsProm(w, s.total); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	procs := s.gaugeProcs()
+	anyDepth, anySuspect := false, false
+	for _, p := range procs {
+		if _, ok := s.depth[p]; ok {
+			anyDepth = true
+		}
+		if len(s.suspects[p]) > 0 {
+			anySuspect = true
+		}
+	}
+	if anyDepth {
+		fmt.Fprintln(bw, "# HELP sp_queue_depth Last sampled egress queue depth by member.")
+		fmt.Fprintln(bw, "# TYPE sp_queue_depth gauge")
+		for _, p := range procs {
+			if d, ok := s.depth[p]; ok {
+				fmt.Fprintf(bw, "sp_queue_depth{member=%q} %d\n", strconv.Itoa(int(p)), d)
+			}
+		}
+	}
+	if anySuspect {
+		fmt.Fprintln(bw, "# HELP sp_suspected_peers Current count of distinct suspected peers by member.")
+		fmt.Fprintln(bw, "# TYPE sp_suspected_peers gauge")
+		for _, p := range procs {
+			if n := len(s.suspects[p]); n > 0 {
+				fmt.Fprintf(bw, "sp_suspected_peers{member=%q} %d\n", strconv.Itoa(int(p)), n)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateProm parses an exposition-format stream and checks its
+// structural invariants: every sample's family is TYPE-declared before
+// use, label syntax is well formed, values parse as floats, and every
+// histogram series has nondecreasing buckets ending in +Inf with a
+// matching _count. It returns the number of samples read.
+func ValidateProm(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string)
+	type histSeries struct {
+		lastLE   float64
+		lastCum  float64
+		infCount float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+	}
+	hists := make(map[string]*histSeries)
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("line %d: malformed TYPE", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family := name
+		if suffix := histSuffix(name, types); suffix != "" {
+			family = strings.TrimSuffix(name, suffix)
+		}
+		if _, ok := types[family]; !ok {
+			return samples, fmt.Errorf("line %d: sample %q before its TYPE declaration", lineNo, name)
+		}
+		samples++
+		if types[family] != "histogram" {
+			continue
+		}
+		key := family + "|" + labelKey(labels, "le")
+		hs := hists[key]
+		if hs == nil {
+			hs = &histSeries{lastLE: math.Inf(-1)}
+			hists[key] = hs
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			leStr, ok := labels["le"]
+			if !ok {
+				return samples, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return samples, fmt.Errorf("line %d: bad le %q", lineNo, leStr)
+				}
+			}
+			if le <= hs.lastLE {
+				return samples, fmt.Errorf("line %d: le %q not increasing", lineNo, leStr)
+			}
+			if value < hs.lastCum {
+				return samples, fmt.Errorf("line %d: bucket counts decreasing", lineNo)
+			}
+			hs.lastLE, hs.lastCum = le, value
+			if math.IsInf(le, 1) {
+				hs.infCount, hs.hasInf = value, true
+			}
+		case strings.HasSuffix(name, "_count"):
+			hs.count, hs.hasCount = value, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	for key, hs := range hists {
+		if !hs.hasInf {
+			return samples, fmt.Errorf("histogram series %q has no +Inf bucket", key)
+		}
+		if hs.hasCount && hs.count != hs.infCount {
+			return samples, fmt.Errorf("histogram series %q: _count %v != +Inf bucket %v", key, hs.count, hs.infCount)
+		}
+	}
+	return samples, nil
+}
+
+// histSuffix reports the histogram sample suffix of name, when
+// stripping it yields a TYPE-declared histogram family.
+func histSuffix(name string, types map[string]string) string {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) && types[strings.TrimSuffix(name, s)] == "histogram" {
+			return s
+		}
+	}
+	return ""
+}
+
+// labelKey canonicalizes a label set (minus the named label) for use
+// as a series key.
+func labelKey(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == drop {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseSample parses `name{label="v",...} value` (the timestamp-less
+// form this package emits; a trailing timestamp is tolerated).
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name = rest[:i]
+		if !validMetricName(name) {
+			return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+		}
+		if rest[i] == '{' {
+			rest = rest[i+1:]
+			for {
+				rest = strings.TrimLeft(rest, " ,")
+				if strings.HasPrefix(rest, "}") {
+					rest = rest[1:]
+					break
+				}
+				eq := strings.Index(rest, "=")
+				if eq < 0 {
+					return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+				}
+				lname := rest[:eq]
+				if !validLabelName(lname) {
+					return "", nil, 0, fmt.Errorf("bad label name %q", lname)
+				}
+				rest = rest[eq+1:]
+				if !strings.HasPrefix(rest, `"`) {
+					return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+				}
+				val, n, verr := unquoteLabel(rest)
+				if verr != nil {
+					return "", nil, 0, verr
+				}
+				labels[lname] = val
+				rest = rest[n:]
+			}
+		} else {
+			rest = rest[i:]
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// unquoteLabel consumes a quoted label value with \" \\ \n escapes,
+// returning the value and the bytes consumed.
+func unquoteLabel(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c in label value", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestWritePromRoundTripsThroughValidator(t *testing.T) {
+	s := NewSampler(Config{Interval: 100 * time.Millisecond})
+	s.Record(obs.TokenPass(ms(1), 0, 1, 1, 0, 0))
+	s.Record(obs.TokenPass(ms(2), 1, 0, 1, 0, 0))
+	s.Record(obs.SwitchComplete(ms(3), 0, 0, 0, 31*time.Millisecond))
+	s.Record(obs.SwitchComplete(ms(4), 0, 1, 0, 2*time.Millisecond))
+	s.Record(obs.QueueDepth(ms(5), 1, 9))
+	s.Record(obs.Suspect(ms(6), 0, 1))
+	s.Finish(ms(100))
+
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`sp_events_total{member="0",key="switching/token_passes"} 1`,
+		`sp_durations_seconds_count{member="0",key="switching/switch_duration"} 2`,
+		`sp_durations_seconds_bucket{member="0",key="switching/switch_duration",le="+Inf"} 2`,
+		`sp_queue_depth{member="1"} 9`,
+		`sp_suspected_peers{member="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	n, err := ValidateProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("self-emitted exposition rejected: %v\n%s", err, out)
+	}
+	if n == 0 {
+		t.Fatal("validator saw no samples")
+	}
+
+	// Determinism: a second write produces identical bytes.
+	var buf2 bytes.Buffer
+	if err := s.WriteProm(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("exposition not byte-stable across writes")
+	}
+}
+
+func TestValidatePromRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"sample before TYPE", `sp_x{a="b"} 1`},
+		{"bad type", "# TYPE sp_x flavor\nsp_x 1"},
+		{"bad value", "# TYPE sp_x counter\nsp_x{a=\"b\"} pancake"},
+		{"unquoted label", "# TYPE sp_x counter\nsp_x{a=b} 1"},
+		{"unterminated label", "# TYPE sp_x counter\nsp_x{a=\"b} 1"},
+		{"bad metric name", "# TYPE sp_x counter\n9sp{a=\"b\"} 1"},
+		{"le decreasing", "# TYPE sp_h histogram\n" +
+			`sp_h_bucket{le="0.2"} 1` + "\n" + `sp_h_bucket{le="0.1"} 2` + "\n" +
+			`sp_h_bucket{le="+Inf"} 2`},
+		{"bucket counts decreasing", "# TYPE sp_h histogram\n" +
+			`sp_h_bucket{le="0.1"} 3` + "\n" + `sp_h_bucket{le="0.2"} 1` + "\n" +
+			`sp_h_bucket{le="+Inf"} 3`},
+		{"missing +Inf", "# TYPE sp_h histogram\n" + `sp_h_bucket{le="0.1"} 1`},
+		{"count mismatch", "# TYPE sp_h histogram\n" +
+			`sp_h_bucket{le="+Inf"} 3` + "\n" + `sp_h_count 2`},
+	}
+	for _, c := range cases {
+		if _, err := ValidateProm(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", c.name, c.in)
+		}
+	}
+	// A well-formed stream with a timestamp and untyped metric passes.
+	ok := "# HELP sp_y help text\n# TYPE sp_y gauge\nsp_y 4.5 1700000000\n"
+	if n, err := ValidateProm(strings.NewReader(ok)); err != nil || n != 1 {
+		t.Errorf("valid stream rejected: n=%d err=%v", n, err)
+	}
+}
