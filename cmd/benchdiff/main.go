@@ -13,6 +13,9 @@
 //     lost),
 //   - "shed" counts that rose (the overload layer turned away more of
 //     the same workload),
+//   - "switch_aborts", "token_regens", or "violations" that rose (the
+//     E20 gray-stability rows: recovery churn under flapping grew, or a
+//     cell started breaching an always-on invariant),
 //   - "allocs_per_msg" that rose beyond the noise band (new*1.1+1 —
 //     the hot path started allocating; the E18 perf gate), or
 //   - telemetry coverage that fell: "windows", "rounds", or
@@ -138,6 +141,13 @@ func regressed(key string, ov, nv any) bool {
 	case leaf == "passed" || leaf == "delivered":
 		return nf < of
 	case leaf == "shed" || strings.HasSuffix(leaf,"_shed"):
+		return nf > of
+	case leaf == "switch_aborts" || leaf == "token_regens" || leaf == "violations":
+		// Gray-failure stability (the E20 rows in BENCH_chaos.json):
+		// recovery churn — aborted switch rounds and token
+		// regenerations — at a given flap cadence and detector arm must
+		// not rise against the committed baseline, and no cell may start
+		// violating an always-on invariant. Deterministic per seed.
 		return nf > of
 	case leaf == "windows" || leaf == "rounds" || leaf == "rounds_complete":
 		// Telemetry coverage (BENCH_telemetry.json summary): the sweep

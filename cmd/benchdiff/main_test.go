@@ -61,6 +61,31 @@ func TestDiffWarnsThroughputWithPercentDelta(t *testing.T) {
 	}
 }
 
+func TestDiffGatesGrayStability(t *testing.T) {
+	oldDoc := parse(t, `{"gray":[{"period_ms":30,"detector":"adaptive","switch_aborts":7,"token_regens":55,"victim_regens":61,"violations":0,"delivered":831}]}`)
+
+	// More churn or a new violation: three regressions (delivered held).
+	newDoc := parse(t, `{"gray":[{"period_ms":30,"detector":"adaptive","switch_aborts":9,"token_regens":80,"victim_regens":61,"violations":1,"delivered":831}]}`)
+	var out bytes.Buffer
+	_, regressions, _ := diff(oldDoc, newDoc, &out)
+	if regressions != 3 {
+		t.Errorf("regressions = %d, want 3:\n%s", regressions, out.String())
+	}
+	for _, want := range []string{"! gray[0].switch_aborts:", "! gray[0].token_regens:", "! gray[0].violations:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing gated line %q:\n%s", want, out.String())
+		}
+	}
+
+	// Less churn does not gate; victim_regens never gates (the excluded
+	// member's own backoff-bounded regenerations are not group churn).
+	better := parse(t, `{"gray":[{"period_ms":30,"detector":"adaptive","switch_aborts":5,"token_regens":40,"victim_regens":90,"violations":0,"delivered":831}]}`)
+	out.Reset()
+	if _, regressions, _ := diff(oldDoc, better, &out); regressions != 0 {
+		t.Errorf("improvement gated: %d regressions\n%s", regressions, out.String())
+	}
+}
+
 func TestDiffClassicGatesStillFire(t *testing.T) {
 	oldDoc := parse(t, `{"failed":0,"passed":20,"delivered":474,"switching":{"shed":5},"rows":[{"allocs_per_msg":1.0}]}`)
 	newDoc := parse(t, `{"failed":1,"passed":19,"delivered":400,"switching":{"shed":9},"rows":[{"allocs_per_msg":3.0}]}`)

@@ -71,6 +71,7 @@ func run(args []string) error {
 		chaosCorrupt = fs.Bool("chaos-corruption", false, "chaos: add corruption/truncation/garbage faults (E15) and enable the defensive ingress")
 		chaosForgery = fs.Bool("chaos-forgery", false, "chaos: add forged-frame/wire-replay faults (E16) and enable the authenticated ingress")
 		chaosCrowd   = fs.Bool("chaos-flashcrowd", false, "chaos: add flash-crowd faults and the overload layer, plus the E17 latency/shed study")
+		chaosGray    = fs.Bool("chaos-gray", false, "chaos: add gray-failure faults (slow nodes, asymmetric links, flapping) and the adaptive detector, plus the E20 stability study")
 		senders      = fs.Int("senders", 10, "maximum active senders for figure2")
 		measure      = fs.Duration("measure", 10*time.Second, "virtual measurement window per point")
 		warmup       = fs.Duration("warmup", 2*time.Second, "virtual warmup discarded from statistics")
@@ -238,6 +239,7 @@ func run(args []string) error {
 		cfg.Gen.Corruption = *chaosCorrupt
 		cfg.Gen.Forgery = *chaosForgery
 		cfg.FlashCrowd = *chaosCrowd
+		cfg.GrayFailure = *chaosGray
 		cfg.Parallel = workers
 		cfg.Trace = tracing
 		cfg.Progress = progress

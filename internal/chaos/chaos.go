@@ -62,6 +62,18 @@ const (
 	// from At until Until — the ROADMAP's "sender count spikes 10x
 	// mid-run" scenario, exercised against the overload layer.
 	KindFlashCrowd
+	// KindSlowNode stretches the target member's per-packet CPU charges
+	// by Size× from At until Until — a gray failure: the member stays
+	// up and correct but lags.
+	KindSlowNode
+	// KindLinkFault overlays drop/duplicate probabilities and a fixed
+	// extra delay on the single directed link From→Target from At until
+	// Until — an asymmetric gray link: traffic the other way is clean.
+	KindLinkFault
+	// KindFlap partitions the directed link From→Target every Period
+	// (blocked for one period, open for the next) from At until Until —
+	// the membership flapping that exercises suspicion damping.
+	KindFlap
 )
 
 // String renders the kind.
@@ -85,6 +97,12 @@ func (k Kind) String() string {
 		return "replay"
 	case KindFlashCrowd:
 		return "flashcrowd"
+	case KindSlowNode:
+		return "slownode"
+	case KindLinkFault:
+		return "linkfault"
+	case KindFlap:
+		return "flap"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -116,6 +134,9 @@ type Event struct {
 	// Index selects a captured frame for a replay, taken modulo the
 	// number of frames captured by injection time (skipped when none).
 	Index int
+	// Period is a flap's half-cycle: the From→Target link is blocked
+	// for one Period, open for the next, until the window closes.
+	Period time.Duration
 }
 
 // SwitchReq schedules a protocol-switch request.
@@ -178,6 +199,22 @@ func (s Schedule) HasForgery() bool {
 func (s Schedule) HasFlashCrowd() bool {
 	for _, e := range s.Events {
 		if e.Kind == KindFlashCrowd {
+			return true
+		}
+	}
+	return false
+}
+
+// HasGrayFailure reports whether the schedule contains any gray fault
+// (slow node, asymmetric link, or flapping link). The runner enables
+// the switching layer's adaptive suspicion and flap damping — and gives
+// the simulated network nonzero per-packet CPU costs so slow nodes
+// actually lag — exactly when this is true, so every other schedule
+// keeps the legacy fixed detector and free-CPU timing byte for byte.
+func (s Schedule) HasGrayFailure() bool {
+	for _, e := range s.Events {
+		switch e.Kind {
+		case KindSlowNode, KindLinkFault, KindFlap:
 			return true
 		}
 	}
@@ -248,6 +285,18 @@ type GenConfig struct {
 	// appearing in a schedule. It defaults to zero unless FlashCrowd is
 	// set.
 	FlashCrowdProb float64
+	// GrayFailure enables the gray fault classes with default
+	// probabilities (SlowNodeProb 0.5, LinkFaultProb 0.5, FlapProb
+	// 0.6). Their draws come after every legacy, corruption, forgery
+	// and flash-crowd draw, so enabling gray failures only appends to
+	// the schedules the other configs would generate.
+	GrayFailure bool
+	// SlowNodeProb / LinkFaultProb / FlapProb are the independent
+	// probabilities of each gray fault class appearing in a schedule.
+	// They default to zero unless GrayFailure is set.
+	SlowNodeProb  float64
+	LinkFaultProb float64
+	FlapProb      float64
 }
 
 func (c *GenConfig) defaults() {
@@ -291,6 +340,17 @@ func (c *GenConfig) defaults() {
 	if c.FlashCrowd {
 		if c.FlashCrowdProb == 0 {
 			c.FlashCrowdProb = 0.6
+		}
+	}
+	if c.GrayFailure {
+		if c.SlowNodeProb == 0 {
+			c.SlowNodeProb = 0.5
+		}
+		if c.LinkFaultProb == 0 {
+			c.LinkFaultProb = 0.5
+		}
+		if c.FlapProb == 0 {
+			c.FlapProb = 0.6
 		}
 	}
 }
@@ -485,6 +545,65 @@ func Generate(seed int64, cfg GenConfig) (Schedule, error) {
 			// Size is the sender multiplier: 4x up to the ROADMAP's 10x.
 			Size: 4 + rng.Intn(7),
 		})
+		sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	}
+
+	// Gray faults. Their draws come after every legacy, corruption,
+	// forgery and flash-crowd draw (and are skipped entirely at
+	// probability zero), so all earlier tiers consume exactly their own
+	// random streams and expand to byte-identical schedules. Every gray
+	// window ends by 0.85×horizon: the faulted member must resume clean
+	// heartbeats — and its flap-damping penalty must decay past reuse —
+	// well before the post-heal probes, or the eventual-re-inclusion
+	// invariant would be testing the schedule instead of the detector.
+	var gray []Event
+	if cfg.SlowNodeProb > 0 && rng.Float64() < cfg.SlowNodeProb {
+		at, until := window(0.1, 0.6)
+		gray = append(gray, Event{
+			At: at, Kind: KindSlowNode, Target: victim(), Until: until,
+			// Size is the CPU stretch factor: modest, so the member lags
+			// without its queue diverging (a diverged queue is a crash in
+			// slow motion, not a gray failure).
+			Size: 2 + rng.Intn(5),
+		})
+	}
+	if cfg.LinkFaultProb > 0 && rng.Float64() < cfg.LinkFaultProb {
+		at, until := window(0.1, 0.6)
+		from := victim()
+		gray = append(gray, Event{
+			At: at, Kind: KindLinkFault, Until: until,
+			// The lossy direction is always out of a non-sequencer, so
+			// the member that ends up suspected (and possibly damped) is
+			// never a sub-protocol coordinator.
+			From:   from,
+			Target: ids.ProcID((int(from) + 1 + rng.Intn(cfg.N-1)) % cfg.N),
+			Drop:   0.1 + 0.4*rng.Float64(),
+			Dup:    0.2 * rng.Float64(),
+			Jitter: time.Duration(rng.Intn(3000)) * time.Microsecond,
+		})
+	}
+	if cfg.FlapProb > 0 && rng.Float64() < cfg.FlapProb {
+		// Flap windows are drawn longer than the generic window helper
+		// gives: a flap only produces suspect→restore cycles when each
+		// blocked half-cycle outlasts the failure-detector timeout, and
+		// damping needs several such cycles to charge up.
+		at := time.Duration((0.05 + 0.2*rng.Float64()) * float64(h))
+		until := at + time.Duration((0.3+0.3*rng.Float64())*float64(h))
+		if max := time.Duration(0.85 * float64(h)); until > max {
+			until = max
+		}
+		from := victim()
+		gray = append(gray, Event{
+			At: at, Kind: KindFlap, Until: until,
+			From:   from,
+			Target: ids.ProcID((int(from) + 1 + rng.Intn(cfg.N-1)) % cfg.N),
+			// Half-cycle comfortably past the detector timeout (5× the
+			// 5ms heartbeat interval the runner configures).
+			Period: time.Duration(30+rng.Intn(31)) * time.Millisecond,
+		})
+	}
+	if len(gray) > 0 {
+		s.Events = append(s.Events, gray...)
 		sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
 	}
 	return s, nil

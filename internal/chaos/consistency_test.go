@@ -211,3 +211,81 @@ func TestOverloadTraceConsistency(t *testing.T) {
 			sawShed, sawPause, sawRetry)
 	}
 }
+
+// TestGrayTraceConsistency extends the obs-consistency invariant to the
+// adaptive-detector counters: across seeded gray schedules, each live
+// member's EvSuspicionRaise / EvSuspicionClear / EvFlapPenalty /
+// EvDegradedSkip / EvReinclude trace events must equal that member's
+// own Stats() gray counters, the metrics-derived Result.Stats must
+// equal the manual sum, and two causal prefix invariants must hold at
+// every point of a member's stream: a graded suspicion never clears
+// without a preceding raise, and a peer is never re-included without a
+// preceding flap penalty. The sweep must be non-vacuous on raises,
+// penalties and skips.
+func TestGrayTraceConsistency(t *testing.T) {
+	var sawRaise, sawPenalty, sawSkip bool
+	for seed := int64(1); seed <= 40; seed++ {
+		sched, err := Generate(seed, GenConfig{GrayFailure: true})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		col := obs.NewCollector()
+		res, c, err := run(sched, RunConfig{Recorder: col})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: invariants violated: %v", seed, res.Violations)
+		}
+
+		raises := map[ids.ProcID]uint64{}
+		clears := map[ids.ProcID]uint64{}
+		penalties := map[ids.ProcID]uint64{}
+		skips := map[ids.ProcID]uint64{}
+		reincludes := map[ids.ProcID]uint64{}
+		for _, e := range col.Events() {
+			switch e.Type {
+			case obs.EvSuspicionRaise:
+				raises[e.Proc]++
+			case obs.EvSuspicionClear:
+				clears[e.Proc]++
+				if clears[e.Proc] > raises[e.Proc] {
+					t.Errorf("seed %d: member %v cleared a graded suspicion at t=%v with no preceding raise",
+						seed, e.Proc, e.At)
+				}
+			case obs.EvFlapPenalty:
+				penalties[e.Proc]++
+			case obs.EvDegradedSkip:
+				skips[e.Proc]++
+			case obs.EvReinclude:
+				reincludes[e.Proc]++
+				if reincludes[e.Proc] > penalties[e.Proc] {
+					t.Errorf("seed %d: member %v re-included a peer at t=%v with no preceding flap penalty",
+						seed, e.Proc, e.At)
+				}
+			}
+		}
+		var manual switching.Stats
+		for _, p := range res.Live {
+			st := c.Members[p].Switch.Stats()
+			manual.Add(st)
+			if raises[p] != st.SuspicionsRaised || clears[p] != st.SuspicionsCleared ||
+				penalties[p] != st.FlapPenalties || skips[p] != st.DegradedSkips ||
+				reincludes[p] != st.Reincludes {
+				t.Errorf("seed %d: member %v: trace shows raise=%d clear=%d penalty=%d skip=%d reinclude=%d, Switch.Stats() %+v",
+					seed, p, raises[p], clears[p], penalties[p], skips[p], reincludes[p], st)
+			}
+			sawRaise = sawRaise || st.SuspicionsRaised > 0
+			sawPenalty = sawPenalty || st.FlapPenalties > 0
+			sawSkip = sawSkip || st.DegradedSkips > 0
+		}
+		if res.Stats != manual {
+			t.Errorf("seed %d: Result.Stats %+v != summed member stats %+v",
+				seed, res.Stats, manual)
+		}
+	}
+	if !sawRaise || !sawPenalty || !sawSkip {
+		t.Errorf("sweep never exercised the adaptive path (raise=%v penalty=%v skip=%v) — widen the seed range",
+			sawRaise, sawPenalty, sawSkip)
+	}
+}

@@ -2,12 +2,14 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core/switching"
 	"repro/internal/core/switching/swtest"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/protocols/fd"
 	"repro/internal/simnet"
 )
@@ -206,6 +208,56 @@ func checkNoDoubleDelivery(bodies map[ids.ProcID][]string) []string {
 	return v
 }
 
+// checkBoundedDisruption asserts the damping layer's first always-on
+// guarantee: the recovery actions a run takes — token regenerations
+// plus switch-round aborts, all members together — never exceed the
+// budget within any single disruptionWindow of virtual time. A healthy
+// run churns briefly around each fault and settles; a detector driven
+// into continuous thrash by a flapping link fails here even if the run
+// eventually converges. Vacuously true on quiet runs.
+func checkBoundedDisruption(d *disruptionTracker, budget int) []string {
+	var v []string
+	idxs := make([]int64, 0, len(d.counts))
+	for i := range d.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	for _, i := range idxs {
+		if n := d.counts[i]; n > budget {
+			at := time.Duration(i) * disruptionWindow
+			v = append(v, fmt.Sprintf("bounded disruption: %d recovery actions (regens+aborts) in window [%v,%v), budget %d",
+				n, at, at+disruptionWindow, budget))
+		}
+	}
+	return v
+}
+
+// checkEventualReinclusion asserts the damping layer's second always-on
+// guarantee: once every fault heals and the run settles, no live member
+// still routes around another live member — neither a residual
+// failure-detector suspicion nor a residual flap-damping suppression.
+// The damping half is vacuously true on fixed-detector runs (nothing is
+// ever damped); the suspicion half bites on every recovery-enabled run.
+func checkEventualReinclusion(c *swtest.SwitchedCluster, live []ids.ProcID) []string {
+	var v []string
+	for _, m := range live {
+		sw := c.Members[m].Switch
+		det := sw.Detector()
+		for _, p := range live {
+			if p == m {
+				continue
+			}
+			if det != nil && det.Suspected(p) {
+				v = append(v, fmt.Sprintf("re-inclusion: member %v still suspects live member %v at end of run", m, p))
+			}
+			if sw.Damped(p) {
+				v = append(v, fmt.Sprintf("re-inclusion: member %v still damps live member %v at end of run", m, p))
+			}
+		}
+	}
+	return v
+}
+
 // MeasureRecovery runs the bounded-recovery experiment: a clean network
 // (no drops), a switch round started at a random time, and a crash of a
 // non-initiator member at a random point while the round is in flight.
@@ -298,4 +350,44 @@ func MeasureRecovery(seed int64, n int, ti time.Duration) (time.Duration, error)
 		return 0, nil // round finished before the crash landed — nothing to recover
 	}
 	return recoveredAt - crashedAt, nil
+}
+
+// MeasureDetection runs the crash-detection-latency experiment behind
+// the E20 stability study's equal-latency claim: a clean network, a
+// long warmup of steady heartbeats (so the adaptive detector's
+// inter-arrival window is full), then a crash-stop of a non-sequencer
+// member at a seeded random time. It returns the virtual time from the
+// crash to the first suspicion of the victim at any live member —
+// under the legacy fixed-timeout detector when fixed is true, or the
+// same adaptive layering the chaos runner enables on gray schedules
+// (adaptiveConfig) when false. Both arms emit EvSuspect at the moment
+// the victim is suspected (the graded path funnels through
+// ForceSuspect), so one scan measures both.
+func MeasureDetection(seed int64, n int, ti time.Duration, fixed bool) (time.Duration, error) {
+	col := obs.NewCollector()
+	rc := &switching.RecoveryConfig{Detector: fd.Config{Interval: ti}}
+	if !fixed {
+		rc.Adaptive = adaptiveConfig(ti)
+	}
+	swCfg := switching.Config{
+		Protocols:     pair(),
+		TokenInterval: ti,
+		Recovery:      rc,
+		Recorder:      col,
+	}
+	c, err := swtest.NewSwitched(seed, simnet.Config{Nodes: n, PropDelay: 200 * time.Microsecond}, n, swCfg)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: build cluster: %w", err)
+	}
+	victim := ids.ProcID(n - 1)
+	crashAt := 30*ti + time.Duration(c.Sim.Rand().Int63n(int64(4*ti)))
+	c.Sim.At(crashAt, func() { c.Net.Crash(victim) })
+	c.Run(crashAt + 40*ti)
+	c.Stop()
+	for _, e := range col.Events() {
+		if e.Type == obs.EvSuspect && e.Peer == victim && e.At >= crashAt {
+			return e.At - crashAt, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: seed %d: crashed member never suspected", seed)
 }

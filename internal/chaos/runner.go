@@ -47,6 +47,16 @@ type RunConfig struct {
 	// fan-out of telemetry-free runs (and the obs.Nop fast path when
 	// nothing else records).
 	Telemetry *telemetry.Config
+	// FixedDetector keeps the legacy fixed-timeout failure detector
+	// even on gray-failure schedules (which otherwise enable adaptive
+	// suspicion and flap damping) — the baseline arm of the E20
+	// stability study.
+	FixedDetector bool
+	// DisruptionBudget caps the recovery actions (token regenerations
+	// plus switch-round aborts, summed over members) the
+	// bounded-disruption invariant tolerates per disruptionWindow of
+	// virtual time (default 40).
+	DisruptionBudget int
 }
 
 func (c *RunConfig) defaults() {
@@ -61,6 +71,58 @@ func (c *RunConfig) defaults() {
 	}
 	if c.Drain == 0 {
 		c.Drain = time.Second
+	}
+	if c.DisruptionBudget == 0 {
+		c.DisruptionBudget = 40
+	}
+}
+
+// disruptionWindow is the virtual-time bucket width of the
+// bounded-disruption invariant: recovery actions are counted per
+// window, so a run that churns briefly and recovers passes while a run
+// that thrashes continuously fails — regardless of total run length.
+const disruptionWindow = 100 * time.Millisecond
+
+// disruptionTracker counts the recovery actions (token regenerations
+// and switch-round aborts, all members together) falling in each
+// disruptionWindow, for the bounded-disruption invariant. It is a
+// plain recorder: it draws no RNG and never perturbs the run.
+type disruptionTracker struct {
+	counts map[int64]int
+}
+
+func newDisruptionTracker() *disruptionTracker {
+	return &disruptionTracker{counts: make(map[int64]int)}
+}
+
+// Enabled reports true (Recorder contract).
+func (d *disruptionTracker) Enabled() bool { return true }
+
+// Record tallies recovery actions into their window.
+func (d *disruptionTracker) Record(e obs.Event) {
+	switch e.Type {
+	case obs.EvTokenRegen, obs.EvSwitchAbort:
+		d.counts[int64(e.At/disruptionWindow)]++
+	}
+}
+
+// adaptiveConfig is the gray-failure detector tuning used by the
+// runner (and by MeasureDetection, so the E20 latency comparison
+// measures exactly the detector the sweep runs). The half-life is
+// stretched to 20 heartbeat intervals so the 30–60ms flap cadence the
+// generator draws actually accumulates penalty (at the default 10× the
+// charge would decay between flaps and damping would never engage),
+// while still decaying past reuse well inside the post-heal settle.
+// The raise level sits just under the fixed detector's 5×Interval so
+// that, against a steady heartbeat stream, the graded path is the one
+// that detects true crashes (at effectively the same latency) — while
+// a peer whose observed cadence has stretched gets a proportionally
+// longer leash instead of a false suspicion. Gray-free schedules leave
+// Adaptive nil so their runs stay byte-identical.
+func adaptiveConfig(ti time.Duration) *switching.AdaptiveConfig {
+	return &switching.AdaptiveConfig{
+		RaiseLevel: 4 * obs.SuspicionScale,
+		HalfLife:   20 * ti,
 	}
 }
 
@@ -145,7 +207,8 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 	cfg.defaults()
 	metrics := obs.NewMetrics()
 	flight := obs.NewFlightRecorder(cfg.FlightSize)
-	recs := []obs.Recorder{metrics.Recorder(), flight, cfg.Recorder}
+	disrupt := newDisruptionTracker()
+	recs := []obs.Recorder{metrics.Recorder(), flight, disrupt, cfg.Recorder}
 	var tel *telemetry.Telemetry
 	if cfg.Telemetry != nil {
 		tc := *cfg.Telemetry
@@ -166,6 +229,9 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 			Detector: fd.Config{Interval: ti},
 		},
 		Recorder: rec,
+	}
+	if sched.HasGrayFailure() && !cfg.FixedDetector {
+		swCfg.Recovery.Adaptive = adaptiveConfig(ti)
 	}
 	if sched.HasForgery() {
 		// An active adversary on the wire: upgrade the defensive ingress
@@ -206,7 +272,17 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 			BatchMax:        2,
 		}
 	}
-	c, err := swtest.NewSwitched(sched.Seed, simnet.Config{Nodes: sched.N, PropDelay: cfg.PropDelay}, sched.N, swCfg)
+	netCfg := simnet.Config{Nodes: sched.N, PropDelay: cfg.PropDelay}
+	if sched.HasGrayFailure() {
+		// Gray schedules charge per-packet CPU so KindSlowNode has a
+		// resource to stretch; the costs are small against the 5ms
+		// heartbeat cadence so an unstretched member is unaffected.
+		// Gray-free schedules keep the legacy free-CPU timing byte for
+		// byte.
+		netCfg.RecvCPU = 50 * time.Microsecond
+		netCfg.SendCPU = 30 * time.Microsecond
+	}
+	c, err := swtest.NewSwitched(sched.Seed, netCfg, sched.N, swCfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("chaos: build cluster: %w", err)
 	}
@@ -283,6 +359,16 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 				}
 				_ = c.Net.InjectReplay(ev.Index % n)
 			})
+		case KindSlowNode:
+			c.Sim.At(ev.At, func() { _ = c.Net.SetSlowNode(ev.Target, ev.Size) })
+			c.Sim.At(ev.Until, func() { _ = c.Net.SetSlowNode(ev.Target, 1) })
+		case KindLinkFault:
+			c.Sim.At(ev.At, func() { _ = c.Net.SetLinkFaults(ev.From, ev.Target, ev.Drop, ev.Dup, ev.Jitter) })
+			c.Sim.At(ev.Until, func() { _ = c.Net.SetLinkFaults(ev.From, ev.Target, 0, 0, 0) })
+		case KindFlap:
+			// SetFlapping self-heals: the link's final toggle at Until
+			// leaves it open.
+			c.Sim.At(ev.At, func() { _ = c.Net.SetFlapping(ev.From, ev.Target, ev.Period, ev.Until) })
 		case KindFlashCrowd:
 			c.Sim.At(ev.At, func() { _ = c.Net.SetSenderSpike(ev.Size) })
 			c.Sim.At(ev.Until, func() { _ = c.Net.SetSenderSpike(1) })
@@ -387,6 +473,8 @@ func run(sched Schedule, cfg RunConfig) (*Result, *swtest.SwitchedCluster, error
 	res.Violations = append(res.Violations, checkNoDoubleDelivery(bodies)...)
 	res.Violations = append(res.Violations, checkBoundedMemory(c, res.Live)...)
 	res.Violations = append(res.Violations, checkNoSilentLoss(c, res.Live)...)
+	res.Violations = append(res.Violations, checkBoundedDisruption(disrupt, cfg.DisruptionBudget)...)
+	res.Violations = append(res.Violations, checkEventualReinclusion(c, res.Live)...)
 	if res.Failed() {
 		res.FlightRecord = flight.Snapshot()
 		res.FlightDropped = flight.Dropped()
@@ -440,6 +528,11 @@ func statsFromMetrics(m *obs.Metrics, live []ids.ProcID) switching.Stats {
 		s.Shed += m.Counter(p, obs.KeyShed)
 		s.Backpressured += m.Counter(p, obs.KeyBackpressured)
 		s.RetriedSends += m.Counter(p, obs.KeyRetriedSends)
+		s.SuspicionsRaised += m.Counter(p, obs.KeySuspicionsRaised)
+		s.SuspicionsCleared += m.Counter(p, obs.KeySuspicionsCleared)
+		s.FlapPenalties += m.Counter(p, obs.KeyFlapPenalties)
+		s.DegradedSkips += m.Counter(p, obs.KeyDegradedSkips)
+		s.Reincludes += m.Counter(p, obs.KeyReincludes)
 	}
 	return s
 }

@@ -51,8 +51,16 @@ type RecoveryConfig struct {
 	SwitchTimeout time.Duration
 	// MaxBackoffShift caps the exponential backoff applied to the
 	// timeouts after consecutive regenerations that produced no token
-	// sighting (timeout << shift). Defaults to 6 (64x).
+	// sighting (timeout << shift). Defaults to 6 (64x). Regardless of
+	// the shift, the backed-off timeout saturates at maxRecoveryBackoff
+	// rather than overflowing time.Duration.
 	MaxBackoffShift int
+	// Adaptive enables the gray-failure detector extensions: graded
+	// phi-accrual-style suspicion over per-peer heartbeat inter-arrival
+	// statistics, and BGP-style flap damping that routes repeatedly
+	// flapping peers around in degraded mode. Nil keeps the fixed
+	// detector byte-for-byte.
+	Adaptive *AdaptiveConfig
 }
 
 // Validate checks the recovery configuration.
@@ -63,7 +71,30 @@ func (c RecoveryConfig) Validate() error {
 	if c.MaxBackoffShift < 0 {
 		return fmt.Errorf("switching: negative recovery backoff shift")
 	}
+	if c.Adaptive != nil {
+		if err := c.Adaptive.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// maxRecoveryBackoff is the ceiling of the exponential wedge backoff:
+// however large the strike shift or the configured base timeout, the
+// backed-off wait never exceeds this (and in particular never
+// overflows time.Duration into a negative — that is, instantly firing
+// — timer).
+const maxRecoveryBackoff = time.Minute
+
+// backoffTimeout returns base << shift saturated at maxRecoveryBackoff.
+func backoffTimeout(base time.Duration, shift int) time.Duration {
+	if base >= maxRecoveryBackoff {
+		return maxRecoveryBackoff
+	}
+	if shift >= 63 || base > maxRecoveryBackoff>>uint(shift) {
+		return maxRecoveryBackoff
+	}
+	return base << uint(shift)
 }
 
 // recovery is one member's wedge detector and ring-repair state.
@@ -71,6 +102,9 @@ type recovery struct {
 	s   *Switch
 	cfg RecoveryConfig
 	det *fd.Detector
+	// ad is the optional gray-failure layer (nil with the fixed
+	// detector).
+	ad *adaptive
 
 	// gen/origin are the watermark of the newest token lineage seen.
 	// Tokens ordered before the watermark are stale duplicates and are
@@ -114,6 +148,28 @@ func newRecovery(s *Switch, cfg RecoveryConfig) (*recovery, error) {
 			userSuspect(p)
 		}
 	}
+	userRestore := dcfg.OnRestore
+	dcfg.OnRestore = func(p ids.ProcID) {
+		// The falling edge paired with EvSuspect, so suspect gauges can
+		// drop when a peer recovers.
+		s.obs.Record(obs.SuspectCleared(s.env.Now(), s.env.Self(), p))
+		if r.ad != nil {
+			r.ad.onRestore(p)
+		}
+		if userRestore != nil {
+			userRestore(p)
+		}
+	}
+	if cfg.Adaptive != nil {
+		r.ad = newAdaptive(r, *cfg.Adaptive, dcfg)
+		userBeat := dcfg.OnHeartbeat
+		dcfg.OnHeartbeat = func(p ids.ProcID) {
+			r.ad.onHeartbeat(p)
+			if userBeat != nil {
+				userBeat(p)
+			}
+		}
+	}
 	det := fd.New(dcfg)
 	if err := det.Init(s.env, s.mux.Port(detectorChannel)); err != nil {
 		return nil, fmt.Errorf("switching: recovery detector: %w", err)
@@ -140,6 +196,13 @@ func (s *Switch) Detector() *fd.Detector {
 	return s.rec.det
 }
 
+// Damped reports whether p is in flap-damping degraded mode at this
+// member — skipped in ring rotation, its suspicion transitions ignored.
+// Always false without Recovery.Adaptive.
+func (s *Switch) Damped(p ids.ProcID) bool {
+	return s.rec != nil && s.rec.ad != nil && s.rec.ad.isDamped(p)
+}
+
 // supersedes reports whether token t is ordered at or after the
 // watermark: a newer generation always wins; within a generation the
 // smaller origin wins, so concurrent regenerations converge to exactly
@@ -155,6 +218,15 @@ func (r *recovery) supersedes(t Token) bool {
 // false for a stale token (drop it); otherwise it advances the
 // watermark, discards state belonging to superseded rounds, notes the
 // sighting, and re-arms the wedge timer.
+//
+// A damped peer's tokens are deliberately NOT refused here. A flapping
+// member that has been routed around keeps wedge-timing-out and
+// regenerating (its backoff doubles, so the stream is bounded), and an
+// early design refused those lineages at ingress — but damping state
+// is per-observer and converges gradually, so a lineage admitted by a
+// not-yet-damped member died at the next damped hop, losing the token
+// inside the healthy group. Accepting the lineage costs one watermark
+// bump; refusing it cost a group-wide wedge.
 func (r *recovery) admit(t Token) bool {
 	if !r.supersedes(t) {
 		return false
@@ -195,8 +267,20 @@ func (r *recovery) noteEpoch(e uint64) {
 	}
 }
 
-// successor returns the next unsuspected member after self on the ring,
-// or self when every other member is suspected (singleton behaviour).
+// skipped reports whether p is routed around in ring arithmetic:
+// suspected by the failure detector, or damped by the flap-damping
+// layer (degraded mode).
+func (r *recovery) skipped(p ids.ProcID) bool {
+	if r.det.Suspected(p) {
+		return true
+	}
+	return r.ad != nil && r.ad.isDamped(p)
+}
+
+// successor returns the next unskipped member after self on the ring,
+// or self when every other member is skipped (singleton behaviour).
+// Damped members are skipped without a token regeneration — the
+// degraded-mode ring repair — and each such bypass is evented.
 func (r *recovery) successor(self ids.ProcID) ids.ProcID {
 	ring := r.s.env.Ring()
 	next := self
@@ -205,15 +289,21 @@ func (r *recovery) successor(self ids.ProcID) ids.ProcID {
 		if err != nil {
 			return self
 		}
-		if succ == self || !r.det.Suspected(succ) {
+		if succ == self {
 			return succ
+		}
+		if !r.det.Suspected(succ) {
+			if r.ad == nil || !r.ad.isDamped(succ) {
+				return succ
+			}
+			r.ad.noteSkip(succ)
 		}
 		next = succ
 	}
 	return self
 }
 
-// livePosition returns this member's rank among unsuspected members in
+// livePosition returns this member's rank among unskipped members in
 // ring order — the stagger that makes concurrent regenerations unlikely.
 func (r *recovery) livePosition() int {
 	pos := 0
@@ -221,7 +311,7 @@ func (r *recovery) livePosition() int {
 		if p == r.s.env.Self() {
 			return pos
 		}
-		if !r.det.Suspected(p) {
+		if !r.skipped(p) {
 			pos++
 		}
 	}
@@ -229,7 +319,8 @@ func (r *recovery) livePosition() int {
 }
 
 // timeout returns the current wedge timeout: the mode-dependent base,
-// doubled per strike, plus the live-position stagger.
+// doubled per strike (saturating at maxRecoveryBackoff), plus the
+// live-position stagger.
 func (r *recovery) timeout() time.Duration {
 	base := r.cfg.WedgeTimeout
 	if r.lastMode != ModeNormal || r.s.Switching() {
@@ -239,7 +330,7 @@ func (r *recovery) timeout() time.Duration {
 	if shift > r.cfg.MaxBackoffShift {
 		shift = r.cfg.MaxBackoffShift
 	}
-	return base<<shift + time.Duration(r.livePosition())*r.s.cfg.TokenInterval
+	return backoffTimeout(base, shift) + time.Duration(r.livePosition())*r.s.cfg.TokenInterval
 }
 
 // arm (re)starts the wedge timer.
@@ -252,10 +343,18 @@ func (r *recovery) arm() {
 
 // onSuspect aborts and retries an in-flight switch round when the member
 // set changes mid-round. Only the lowest-ranked live member reacts — the
-// others' generation filters absorb the superseded round's tokens.
-func (r *recovery) onSuspect(ids.ProcID) {
+// others' generation filters absorb the superseded round's tokens. A
+// damped peer is already routed around, so its suspicion transitions
+// (the flapping the damping exists to absorb) must not abort rounds.
+func (r *recovery) onSuspect(p ids.ProcID) {
 	s := r.s
-	if s.stopped || !s.Switching() || r.livePosition() != 0 {
+	if s.stopped {
+		return
+	}
+	if r.ad != nil && r.ad.isDamped(p) {
+		return
+	}
+	if !s.Switching() || r.livePosition() != 0 {
 		return
 	}
 	r.regenerate()

@@ -1,0 +1,40 @@
+package switching
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffTimeoutClamp pins the wedge-timeout escalation clamp: the
+// doubling backoff saturates at maxRecoveryBackoff instead of
+// overflowing time.Duration at large strike counts. (The regression:
+// a member wedged behind an unreachable ring doubles its timeout on
+// every strike; base<<shift wraps negative past shift ~33 at
+// millisecond bases, and a negative timeout re-arms the wedge timer in
+// the past — a hot loop of regenerations.)
+func TestBackoffTimeoutClamp(t *testing.T) {
+	cases := []struct {
+		base  time.Duration
+		shift int
+		want  time.Duration
+	}{
+		{15 * time.Millisecond, 0, 15 * time.Millisecond},
+		{15 * time.Millisecond, 2, 60 * time.Millisecond},
+		{15 * time.Millisecond, 11, 30720 * time.Millisecond},
+		{15 * time.Millisecond, 12, maxRecoveryBackoff},
+		{15 * time.Millisecond, 40, maxRecoveryBackoff},
+		{15 * time.Millisecond, 63, maxRecoveryBackoff},
+		{15 * time.Millisecond, 1 << 20, maxRecoveryBackoff},
+		{time.Minute, 1, maxRecoveryBackoff},
+		{2 * time.Minute, 0, maxRecoveryBackoff},
+	}
+	for _, c := range cases {
+		got := backoffTimeout(c.base, c.shift)
+		if got != c.want {
+			t.Errorf("backoffTimeout(%v, %d) = %v, want %v", c.base, c.shift, got, c.want)
+		}
+		if got <= 0 {
+			t.Errorf("backoffTimeout(%v, %d) = %v — overflowed", c.base, c.shift, got)
+		}
+	}
+}

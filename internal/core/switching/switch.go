@@ -126,6 +126,24 @@ type Stats struct {
 	// after missing the switch round itself (rejoin fast-forward).
 	ForcedAdvances uint64
 
+	// Gray-failure counters; all zero unless Recovery.Adaptive is set.
+
+	// SuspicionsRaised counts graded suspicions the adaptive detector
+	// raised (heartbeat silence beyond the phi-style threshold).
+	SuspicionsRaised uint64
+	// SuspicionsCleared counts graded suspicions that cleared when the
+	// peer's heartbeats resumed.
+	SuspicionsCleared uint64
+	// FlapPenalties counts flap-damping penalty charges (one per
+	// completed suspect→restore cycle of a peer).
+	FlapPenalties uint64
+	// DegradedSkips counts ring rotations that bypassed a damped peer
+	// without a token regeneration (degraded-mode repair).
+	DegradedSkips uint64
+	// Reincludes counts damped peers re-included after their penalty
+	// decayed.
+	Reincludes uint64
+
 	// Defensive-ingress counters; see Config.Defense. MalformedDropped
 	// also counts token/header decode failures when Defense is nil.
 
@@ -168,6 +186,11 @@ func (s *Stats) Add(o Stats) {
 	s.TokensRegenerated += o.TokensRegenerated
 	s.SwitchesAborted += o.SwitchesAborted
 	s.ForcedAdvances += o.ForcedAdvances
+	s.SuspicionsRaised += o.SuspicionsRaised
+	s.SuspicionsCleared += o.SuspicionsCleared
+	s.FlapPenalties += o.FlapPenalties
+	s.DegradedSkips += o.DegradedSkips
+	s.Reincludes += o.Reincludes
 	s.MalformedDropped += o.MalformedDropped
 	s.Quarantines += o.Quarantines
 	s.AuthFailed += o.AuthFailed

@@ -62,7 +62,15 @@ import (
 // artifact's failure entries gain an optional telemetry_tail (the last
 // windows before the violation); telemetry-free sweeps keep their v6
 // shape.
-const BenchSchemaVersion = 7
+//
+// Version 8: the gray-failure counters (E20) — schedules with
+// slow-node/asymmetric-link/flapping faults, the adaptive-detector
+// totals (graded suspicions, flap penalties, degraded-mode skips,
+// re-inclusions) in the switching section, and the E20 stability rows
+// (switch_aborts/token_regens per flap cadence and detector arm — the
+// leaves cmd/benchdiff gates). All omitted when zero or absent, so
+// gray-free artifacts keep their v7 shape.
+const BenchSchemaVersion = 8
 
 // BenchTiming is the non-deterministic wall-clock section of an
 // artifact.
@@ -292,6 +300,10 @@ type BenchChaos struct {
 	WithReplay  int `json:"with_replay,omitempty"`
 	// Overload fault class (E17); zero on crowd-free sweeps.
 	WithFlashCrowd int `json:"with_flash_crowd,omitempty"`
+	// Gray-failure fault classes (E20); zero on gray-free sweeps.
+	WithSlowNodes  int `json:"with_slow_nodes,omitempty"`
+	WithLinkFaults int `json:"with_link_faults,omitempty"`
+	WithFlaps      int `json:"with_flaps,omitempty"`
 
 	Delivered int `json:"delivered"`
 	// Forged/Replayed total the adversary's wire-level injections.
@@ -312,6 +324,30 @@ type BenchChaos struct {
 	// FlashCrowd holds the E17 latency/shed-rate rows when the sweep ran
 	// the flash-crowd study.
 	FlashCrowd []BenchFlashCrowdRow `json:"flash_crowd,omitempty"`
+
+	// Gray holds the E20 stability rows when the sweep ran the
+	// gray-failure study.
+	Gray []BenchGrayRow `json:"gray,omitempty"`
+}
+
+// BenchGrayRow is one E20 (flap period, detector arm) cell. The
+// switch_aborts and token_regens leaves are gated by cmd/benchdiff:
+// recovery churn at a given cadence and arm must not rise against the
+// committed baseline.
+type BenchGrayRow struct {
+	PeriodMS      int64   `json:"period_ms"`
+	Detector      string  `json:"detector"`
+	Schedules     int     `json:"schedules"`
+	SwitchAborts  uint64  `json:"switch_aborts"`
+	TokenRegens   uint64  `json:"token_regens"`
+	VictimRegens  uint64  `json:"victim_regens,omitempty"`
+	FlapPenalties uint64  `json:"flap_penalties,omitempty"`
+	DegradedSkips uint64  `json:"degraded_skips,omitempty"`
+	Reincludes    uint64  `json:"reincludes,omitempty"`
+	Delivered     int     `json:"delivered"`
+	Violations    int     `json:"violations"`
+	DetectP50MS   float64 `json:"detect_p50_ms"`
+	Events        uint64  `json:"events"`
 }
 
 // BenchFlashCrowdRow is one E17 spike multiplier.
@@ -349,6 +385,11 @@ type BenchSwitchStats struct {
 	Shed              uint64 `json:"shed,omitempty"`
 	Backpressured     uint64 `json:"backpressured,omitempty"`
 	RetriedSends      uint64 `json:"retried_sends,omitempty"`
+	SuspicionsRaised  uint64 `json:"suspicions_raised,omitempty"`
+	SuspicionsCleared uint64 `json:"suspicions_cleared,omitempty"`
+	FlapPenalties     uint64 `json:"flap_penalties,omitempty"`
+	DegradedSkips     uint64 `json:"degraded_skips,omitempty"`
+	Reincludes        uint64 `json:"reincludes,omitempty"`
 }
 
 func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
@@ -367,6 +408,11 @@ func toBenchSwitchStats(s switching.Stats) BenchSwitchStats {
 		Shed:              s.Shed,
 		Backpressured:     s.Backpressured,
 		RetriedSends:      s.RetriedSends,
+		SuspicionsRaised:  s.SuspicionsRaised,
+		SuspicionsCleared: s.SuspicionsCleared,
+		FlapPenalties:     s.FlapPenalties,
+		DegradedSkips:     s.DegradedSkips,
+		Reincludes:        s.Reincludes,
 	}
 }
 
@@ -401,6 +447,9 @@ func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
 		WithForgery:     res.KindCounts[chaos.KindForge],
 		WithReplay:      res.KindCounts[chaos.KindReplay],
 		WithFlashCrowd:  res.KindCounts[chaos.KindFlashCrowd],
+		WithSlowNodes:   res.KindCounts[chaos.KindSlowNode],
+		WithLinkFaults:  res.KindCounts[chaos.KindLinkFault],
+		WithFlaps:       res.KindCounts[chaos.KindFlap],
 		Delivered:       res.Delivered,
 		ForgedFrames:    res.Forged,
 		ReplayedFrames:  res.Replayed,
@@ -441,6 +490,23 @@ func NewBenchChaos(seed int64, res *ChaosSweepResult) *BenchChaos {
 			EgressCap:       r.EgressCap,
 			Delivered:       r.Delivered,
 			Events:          r.Events,
+		})
+	}
+	for _, r := range res.Gray {
+		out.Gray = append(out.Gray, BenchGrayRow{
+			PeriodMS:      r.Period.Milliseconds(),
+			Detector:      detectorName(r.Fixed),
+			Schedules:     r.Schedules,
+			SwitchAborts:  r.SwitchAborts,
+			TokenRegens:   r.TokenRegens,
+			VictimRegens:  r.VictimRegens,
+			FlapPenalties: r.FlapPenalties,
+			DegradedSkips: r.DegradedSkips,
+			Reincludes:    r.Reincludes,
+			Delivered:     r.Delivered,
+			Violations:    r.Violations,
+			DetectP50MS:   Millis(r.DetectLatency),
+			Events:        r.Events,
 		})
 	}
 	out.BenchMeta = benchMeta("chaos", seed, res.Events)

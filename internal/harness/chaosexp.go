@@ -28,6 +28,11 @@ type ChaosSweepConfig struct {
 	// shed-rate study (RunFlashCrowd with its defaults, seeded from
 	// Seed) to the result.
 	FlashCrowd bool
+	// GrayFailure adds the gray tier: the generator draws slow-node,
+	// asymmetric-link and flapping windows (Gen.GrayFailure), and the
+	// sweep appends the E20 stability study (RunGrayStudy with its
+	// defaults, seeded from Seed) to the result.
+	GrayFailure bool
 	// Run tunes the schedule runner.
 	Run chaos.RunConfig
 	// RecoverySeeds is how many crash-during-round runs to measure for
@@ -92,6 +97,8 @@ type ChaosSweepResult struct {
 	// FlashCrowd holds the E17 rows when ChaosSweepConfig.FlashCrowd was
 	// set.
 	FlashCrowd []FlashCrowdRow
+	// Gray holds the E20 rows when ChaosSweepConfig.GrayFailure was set.
+	Gray []GrayStudyRow
 }
 
 // RunChaosSweep runs the sweep and the recovery-bound family.
@@ -112,6 +119,9 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 	}
 	if cfg.FlashCrowd {
 		cfg.Gen.FlashCrowd = true
+	}
+	if cfg.GrayFailure {
+		cfg.Gen.GrayFailure = true
 	}
 
 	res := &ChaosSweepResult{
@@ -217,6 +227,15 @@ func RunChaosSweep(cfg ChaosSweepConfig) (*ChaosSweepResult, error) {
 		res.FlashCrowd = rows
 		progress("flash-crowd study done")
 	}
+
+	if cfg.GrayFailure {
+		rows, err := RunGrayStudy(GrayStudyConfig{Seed: cfg.Seed, Parallel: cfg.Parallel})
+		if err != nil {
+			return nil, err
+		}
+		res.Gray = rows
+		progress("gray stability study done")
+	}
 	return res, nil
 }
 
@@ -240,6 +259,11 @@ func (r *ChaosSweepResult) Render() string {
 	if n := r.KindCounts[chaos.KindFlashCrowd]; n > 0 {
 		fmt.Fprintf(&b, "  with flash crowds      %10d\n", n)
 	}
+	if n := r.KindCounts[chaos.KindSlowNode] + r.KindCounts[chaos.KindLinkFault] + r.KindCounts[chaos.KindFlap]; n > 0 {
+		fmt.Fprintf(&b, "  with slow nodes        %10d\n", r.KindCounts[chaos.KindSlowNode])
+		fmt.Fprintf(&b, "  with asymmetric links  %10d\n", r.KindCounts[chaos.KindLinkFault])
+		fmt.Fprintf(&b, "  with flapping links    %10d\n", r.KindCounts[chaos.KindFlap])
+	}
 	fmt.Fprintf(&b, "invariant violations     %10d\n", len(r.Failures))
 	fmt.Fprintf(&b, "app deliveries           %10d\n", r.Delivered)
 	fmt.Fprintf(&b, "switches completed       %10d\n", r.Stats.SwitchesCompleted)
@@ -261,6 +285,13 @@ func (r *ChaosSweepResult) Render() string {
 		fmt.Fprintf(&b, "backpressure pauses      %10d\n", r.Stats.Backpressured)
 		fmt.Fprintf(&b, "sends retried            %10d\n", r.Stats.RetriedSends)
 	}
+	if r.Stats.SuspicionsRaised > 0 || r.Stats.FlapPenalties > 0 || r.Stats.DegradedSkips > 0 {
+		fmt.Fprintf(&b, "graded suspicions        %10d\n", r.Stats.SuspicionsRaised)
+		fmt.Fprintf(&b, "graded clears            %10d\n", r.Stats.SuspicionsCleared)
+		fmt.Fprintf(&b, "flap penalties           %10d\n", r.Stats.FlapPenalties)
+		fmt.Fprintf(&b, "degraded-mode skips      %10d\n", r.Stats.DegradedSkips)
+		fmt.Fprintf(&b, "peers re-included        %10d\n", r.Stats.Reincludes)
+	}
 	fmt.Fprintf(&b, "worst in-round recovery  %10s (bound %s)\n",
 		FormatMillis(r.WorstRecovery), FormatMillis(r.Bound))
 	for _, f := range r.Failures {
@@ -272,6 +303,10 @@ func (r *ChaosSweepResult) Render() string {
 	if len(r.FlashCrowd) > 0 {
 		b.WriteString("\n")
 		b.WriteString(RenderFlashCrowd(r.FlashCrowd))
+	}
+	if len(r.Gray) > 0 {
+		b.WriteString("\n")
+		b.WriteString(RenderGrayStudy(r.Gray))
 	}
 	return b.String()
 }

@@ -231,6 +231,108 @@ func TestChaosFlashCrowdSweepByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestChaosGraySweepByteIdenticalAcrossWorkers is E20's determinism
+// gate: a gray-failure-enabled sweep — slow nodes, asymmetric link
+// faults, flapping links, the adaptive detector and the E20 stability
+// study all active — must render the same table and encode a
+// byte-identical artifact (timing scrubbed) for 1 and 4 workers, and
+// must actually exercise the gray counters so the comparison is not
+// vacuous.
+func TestChaosGraySweepByteIdenticalAcrossWorkers(t *testing.T) {
+	sweep := func(parallel int) (*ChaosSweepResult, []byte) {
+		cfg := DefaultChaosSweepConfig()
+		cfg.Schedules = 20
+		cfg.RecoverySeeds = 3
+		cfg.GrayFailure = true
+		cfg.Parallel = parallel
+		res, err := RunChaosSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := NewBenchChaos(cfg.Seed, res)
+		art.SetTiming(time.Duration(parallel)*time.Millisecond, parallel) // differs per run on purpose
+		art.ScrubTiming()
+		b, err := EncodeBench(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, b
+	}
+	seq, seqJSON := sweep(1)
+	par, parJSON := sweep(4)
+	if len(seq.Failures) != 0 {
+		for _, f := range seq.Failures {
+			t.Errorf("seed %d (%v): %v", f.Seed, f.Kinds, f.Violations)
+		}
+	}
+	if seq.Render() != par.Render() {
+		t.Errorf("gray sweep table diverged across worker counts:\n%s\nvs\n%s", seq.Render(), par.Render())
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Errorf("gray sweep JSON differs across worker counts:\n%s\nvs\n%s", seqJSON, parJSON)
+	}
+	if n := seq.KindCounts[chaos.KindSlowNode] + seq.KindCounts[chaos.KindLinkFault] + seq.KindCounts[chaos.KindFlap]; n == 0 {
+		t.Error("gray sweep generated no gray-failure faults")
+	}
+	if seq.Stats.SuspicionsRaised == 0 {
+		t.Error("gray sweep raised no graded suspicions — the adaptive detector was not exercised")
+	}
+	if len(seq.Gray) == 0 {
+		t.Error("gray sweep produced no E20 rows")
+	}
+}
+
+// TestGrayStudyDampingReducesChurn pins E20's headline result: under
+// fast flapping, the adaptive arm (graded suspicion + flap damping)
+// must suffer strictly less healthy-member recovery churn than the
+// fixed detector, the damping machinery must actually engage
+// (penalties, degraded-mode skips, and re-inclusions all non-zero),
+// and the adaptive arm's crash-detection latency must not be worse
+// than the fixed arm's by more than one heartbeat — the stability is
+// not bought with slower detection of genuine crashes.
+func TestGrayStudyDampingReducesChurn(t *testing.T) {
+	rows, err := RunGrayStudy(GrayStudyConfig{Seed: 1, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byArm := map[bool]GrayStudyRow{}
+	fastest := rows[0].Period
+	for _, r := range rows {
+		if r.Violations != 0 {
+			t.Errorf("%v/%s: %d invariant violations", r.Period, detectorName(r.Fixed), r.Violations)
+		}
+		if r.Period < fastest {
+			fastest = r.Period
+		}
+	}
+	for _, r := range rows {
+		if r.Period == fastest {
+			byArm[r.Fixed] = r
+		}
+	}
+	fixed, adaptive := byArm[true], byArm[false]
+	if adaptive.TokenRegens*2 >= fixed.TokenRegens {
+		t.Errorf("adaptive arm regenerated %d tokens vs fixed %d at %v flapping — damping bought < 2x",
+			adaptive.TokenRegens, fixed.TokenRegens, fastest)
+	}
+	if adaptive.SwitchAborts > fixed.SwitchAborts {
+		t.Errorf("adaptive arm aborted %d switches vs fixed %d at %v flapping",
+			adaptive.SwitchAborts, fixed.SwitchAborts, fastest)
+	}
+	if adaptive.FlapPenalties == 0 || adaptive.DegradedSkips == 0 || adaptive.Reincludes == 0 {
+		t.Errorf("damping never engaged: penalties=%d skips=%d reincludes=%d",
+			adaptive.FlapPenalties, adaptive.DegradedSkips, adaptive.Reincludes)
+	}
+	if fixed.FlapPenalties != 0 || fixed.DegradedSkips != 0 {
+		t.Errorf("fixed arm ran damping machinery: penalties=%d skips=%d",
+			fixed.FlapPenalties, fixed.DegradedSkips)
+	}
+	if adaptive.DetectLatency > fixed.DetectLatency+5*time.Millisecond {
+		t.Errorf("adaptive crash detection p50 %v vs fixed %v — stability bought with slow detection",
+			adaptive.DetectLatency, fixed.DetectLatency)
+	}
+}
+
 // TestOverheadAndP2PSweepsParallelDeterminism covers the remaining
 // drivers: rows are identical for 1 and 4 workers.
 func TestOverheadAndP2PSweepsParallelDeterminism(t *testing.T) {

@@ -23,6 +23,12 @@ const (
 	KeySwitchesStarted   = "switching/switches_started"
 	KeySwitchRounds      = "switching/switch_rounds"
 	KeySuspects          = "switching/suspects"
+	KeySuspectsCleared   = "switching/suspects_cleared"
+	KeySuspicionsRaised  = "switching/suspicions_raised"
+	KeySuspicionsCleared = "switching/suspicions_cleared"
+	KeyFlapPenalties     = "switching/flap_penalties"
+	KeyDegradedSkips     = "switching/degraded_skips"
+	KeyReincludes        = "switching/reincludes"
 	KeyMalformedDropped  = "switching/malformed_dropped"
 	KeyQuarantines       = "switching/quarantines"
 	KeyAuthFailed        = "switching/auth_failed"
@@ -43,6 +49,9 @@ const (
 	KeyNetForged      = "net/forged"
 	KeyNetReplayed    = "net/replayed"
 	KeyNetSpikes      = "net/sender_spikes"
+	KeyNetLinkFaults  = "net/link_fault_sets"
+	KeyNetSlowNodes   = "net/slow_node_sets"
+	KeyNetFlapSets    = "net/flap_sets"
 
 	// KeySwitchDuration is the per-member histogram of initiated switch
 	// round durations (EvSwitchComplete).
@@ -82,6 +91,15 @@ var counterKey = [eventTypeCount]string{
 	EvBackpressureOn: KeyBackpressured,
 	EvRetrySend:      KeyRetriedSends,
 	EvSenderSpike:    KeyNetSpikes,
+	EvSuspectCleared: KeySuspectsCleared,
+	EvSuspicionRaise: KeySuspicionsRaised,
+	EvSuspicionClear: KeySuspicionsCleared,
+	EvFlapPenalty:    KeyFlapPenalties,
+	EvDegradedSkip:   KeyDegradedSkips,
+	EvReinclude:      KeyReincludes,
+	EvLinkFaultSet:   KeyNetLinkFaults,
+	EvSlowNodeSet:    KeyNetSlowNodes,
+	EvFlapSet:        KeyNetFlapSets,
 }
 
 // CounterKey returns the counter an event type increments ("" for

@@ -138,6 +138,41 @@ const (
 	// EvSenderSpike: the network's flash-crowd knob changed to an
 	// Args[0]× sender multiplier (Proc == NoProc).
 	EvSenderSpike
+	// EvSuspectCleared: Proc's failure detector cleared its suspicion
+	// of Peer (a heartbeat arrived from a suspected member) — the
+	// falling edge paired with EvSuspect, so suspect gauges can drop.
+	EvSuspectCleared
+	// EvSuspicionRaise: Proc's adaptive detector crossed its graded
+	// suspicion threshold for Peer; Args[0] is the integer-scaled
+	// suspicion level (elapsed/mean × SuspicionScale).
+	EvSuspicionRaise
+	// EvSuspicionClear: Proc's adaptive detector cleared its graded
+	// suspicion of Peer (traffic resumed before the peer was written
+	// off).
+	EvSuspicionClear
+	// EvFlapPenalty: Proc charged Peer a flap-damping penalty for a
+	// suspicion that cleared and re-fired; Args[0] is the accumulated
+	// penalty after the charge, Args[1] the flap count.
+	EvFlapPenalty
+	// EvDegradedSkip: Proc routed the token around Peer because Peer is
+	// damped (degraded mode) — skipped in ring rotation without a
+	// token regeneration.
+	EvDegradedSkip
+	// EvReinclude: Proc's flap-damping penalty for Peer decayed below
+	// the reuse threshold and Peer rejoined Proc's ring rotation;
+	// Args[0] is the decayed penalty at re-inclusion.
+	EvReinclude
+	// EvLinkFaultSet: the per-directed-link fault overrides changed for
+	// the link Peer→Proc; Args are [drop per-mille, dup per-mille,
+	// extra delay ns] (all zero clears the override).
+	EvLinkFaultSet
+	// EvSlowNodeSet: the network stretched Proc's send/processing CPU
+	// charges by an Args[0]× factor (1 restores full speed).
+	EvSlowNodeSet
+	// EvFlapSet: the network started (or, with Args[0] == 0, stopped)
+	// flapping the link Peer→Proc: the link partitions and heals every
+	// Args[0] ns until virtual time Args[1].
+	EvFlapSet
 
 	eventTypeCount
 )
@@ -178,6 +213,15 @@ var eventNames = [eventTypeCount]string{
 	EvRetrySend:       "retry_send",
 	EvQueueDepth:      "queue_depth",
 	EvSenderSpike:     "sender_spike",
+	EvSuspectCleared:  "suspect_cleared",
+	EvSuspicionRaise:  "suspicion_raise",
+	EvSuspicionClear:  "suspicion_clear",
+	EvFlapPenalty:     "flap_penalty",
+	EvDegradedSkip:    "degraded_skip",
+	EvReinclude:       "reinclude",
+	EvLinkFaultSet:    "link_fault_set",
+	EvSlowNodeSet:     "slow_node_set",
+	EvFlapSet:         "flap_set",
 }
 
 // String renders the type's stable wire name.
@@ -497,6 +541,68 @@ func QueueDepth(at time.Duration, proc ids.ProcID, depth int) Event {
 func SenderSpike(at time.Duration, multiplier int) Event {
 	return Event{At: at, Type: EvSenderSpike, Proc: NoProc, Peer: NoPeer,
 		Args: [3]int64{int64(multiplier)}}
+}
+
+// SuspectCleared records proc's failure detector clearing its
+// suspicion of peer.
+func SuspectCleared(at time.Duration, proc, peer ids.ProcID) Event {
+	return Event{At: at, Type: EvSuspectCleared, Proc: proc, Peer: peer}
+}
+
+// SuspicionScale is the fixed-point scale of the adaptive detector's
+// graded suspicion level: level = elapsed × SuspicionScale / mean
+// inter-arrival, kept in integers so sweeps stay deterministic.
+const SuspicionScale int64 = 1000
+
+// SuspicionRaise records proc's adaptive detector crossing its graded
+// suspicion threshold for peer at the given integer-scaled level.
+func SuspicionRaise(at time.Duration, proc, peer ids.ProcID, level int64) Event {
+	return Event{At: at, Type: EvSuspicionRaise, Proc: proc, Peer: peer, Args: [3]int64{level}}
+}
+
+// SuspicionClear records proc's adaptive detector clearing its graded
+// suspicion of peer.
+func SuspicionClear(at time.Duration, proc, peer ids.ProcID) Event {
+	return Event{At: at, Type: EvSuspicionClear, Proc: proc, Peer: peer}
+}
+
+// FlapPenalty records proc charging peer a flap-damping penalty,
+// leaving the accumulated penalty and flap count.
+func FlapPenalty(at time.Duration, proc, peer ids.ProcID, penalty int64, flaps int) Event {
+	return Event{At: at, Type: EvFlapPenalty, Proc: proc, Peer: peer,
+		Args: [3]int64{penalty, int64(flaps)}}
+}
+
+// DegradedSkip records proc routing the token around the damped peer.
+func DegradedSkip(at time.Duration, proc, peer ids.ProcID) Event {
+	return Event{At: at, Type: EvDegradedSkip, Proc: proc, Peer: peer}
+}
+
+// Reinclude records proc re-including peer in its ring rotation after
+// the flap penalty decayed to the given value.
+func Reinclude(at time.Duration, proc, peer ids.ProcID, penalty int64) Event {
+	return Event{At: at, Type: EvReinclude, Proc: proc, Peer: peer, Args: [3]int64{penalty}}
+}
+
+// LinkFaultSet records the per-directed-link fault overrides changing
+// for the link from→to (all-zero knobs clear the override).
+func LinkFaultSet(at time.Duration, from, to ids.ProcID, dropPermille, dupPermille int64, extra time.Duration) Event {
+	return Event{At: at, Type: EvLinkFaultSet, Proc: to, Peer: from,
+		Args: [3]int64{dropPermille, dupPermille, int64(extra)}}
+}
+
+// SlowNodeSet records the network stretching proc's CPU charges by the
+// given factor (1 restores full speed).
+func SlowNodeSet(at time.Duration, proc ids.ProcID, factor int) Event {
+	return Event{At: at, Type: EvSlowNodeSet, Proc: proc, Peer: NoPeer,
+		Args: [3]int64{int64(factor)}}
+}
+
+// FlapSet records the network starting (period > 0) or stopping
+// (period == 0) a partition flap on the link from→to.
+func FlapSet(at time.Duration, from, to ids.ProcID, period time.Duration, until time.Duration) Event {
+	return Event{At: at, Type: EvFlapSet, Proc: to, Peer: from,
+		Args: [3]int64{int64(period), int64(until)}}
 }
 
 // Recorder consumes events. Implementations must be deterministic

@@ -155,6 +155,12 @@ func (s *Sampler) Record(e obs.Event) {
 			s.suspects[e.Proc] = set
 		}
 		set[e.Peer] = struct{}{}
+	case obs.EvSuspectCleared:
+		delete(s.suspects[e.Proc], e.Peer)
+		// Snapshot unconditionally so the gauge can fall to zero within
+		// the window the last suspicion cleared in.
+		acc.suspects = len(s.suspects[e.Proc])
+		return
 	}
 	if set := s.suspects[e.Proc]; len(set) > 0 {
 		acc.suspects = len(set)

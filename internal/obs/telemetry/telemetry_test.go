@@ -95,6 +95,40 @@ func TestSamplerGauges(t *testing.T) {
 	}
 }
 
+// TestSamplerSuspectGaugeFalls pins the paired-event contract: an
+// EvSuspectCleared removes its peer from the suspect set and snapshots
+// the gauge in the window the clear landed in — including all the way
+// back to zero, which the EvSuspect-only path could never show.
+func TestSamplerSuspectGaugeFalls(t *testing.T) {
+	s := NewSampler(Config{Interval: 100 * time.Millisecond})
+	s.Record(obs.Suspect(ms(10), 2, 5))
+	s.Record(obs.Suspect(ms(20), 2, 6))
+	s.Record(obs.SuspectCleared(ms(110), 2, 5))
+	s.Record(obs.SuspectCleared(ms(210), 2, 6))
+	s.Finish(ms(300))
+	ws := s.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	want := []int{2, 1, 0}
+	for i, w := range ws {
+		if len(w.Members) != 1 || w.Members[0].Proc != 2 {
+			t.Fatalf("window %d members wrong: %+v", i, w.Members)
+		}
+		if got := w.Members[0].Suspects; got != want[i] {
+			t.Errorf("window %d suspect gauge = %d, want %d", i, got, want[i])
+		}
+	}
+	if s.SuspectCount(2) != 0 {
+		t.Errorf("live suspect gauge = %d, want 0", s.SuspectCount(2))
+	}
+	// The clear counter landed in the cumulative registry like any
+	// other mirrored counter.
+	if got := s.Metrics().Counter(2, obs.KeySuspectsCleared); got != 2 {
+		t.Errorf("suspects_cleared counter = %d, want 2", got)
+	}
+}
+
 func TestSamplerFinishIdempotentAndTickOnly(t *testing.T) {
 	s := NewSampler(Config{}) // default interval
 	if s.Interval() != DefaultInterval {

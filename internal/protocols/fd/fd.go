@@ -34,6 +34,11 @@ type Config struct {
 	OnSuspect func(p ids.ProcID)
 	// OnRestore fires when a suspected member is heard from again.
 	OnRestore func(p ids.ProcID)
+	// OnHeartbeat fires on every heartbeat received — the feed for
+	// adaptive inter-arrival detectors layered above this one. It runs
+	// after the suspicion bookkeeping (so OnRestore precedes it for a
+	// heartbeat that clears a suspicion).
+	OnHeartbeat func(p ids.ProcID)
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +129,9 @@ func (d *Detector) Recv(src ids.ProcID, _ []byte) {
 		if d.cfg.OnRestore != nil {
 			d.cfg.OnRestore(src)
 		}
+	}
+	if d.cfg.OnHeartbeat != nil {
+		d.cfg.OnHeartbeat(src)
 	}
 }
 

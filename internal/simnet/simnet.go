@@ -118,6 +118,21 @@ type Stats struct {
 	Forged          uint64
 	Replayed        uint64
 	SenderSpikes    uint64
+	LinkFaultSets   uint64
+	SlowNodeSets    uint64
+	FlapSets        uint64
+}
+
+// linkKey identifies a directed link for per-link fault overrides.
+type linkKey struct {
+	from, to ids.ProcID
+}
+
+// linkFault holds the per-directed-link fault overrides layered over
+// the global knobs (the gray-failure model's asymmetric links).
+type linkFault struct {
+	drop, dup float64
+	extra     time.Duration
 }
 
 // frame is one queued transmission.
@@ -163,6 +178,16 @@ type Network struct {
 	// spikeMult is the flash-crowd sender multiplier (1 = baseline);
 	// workload generators consult it via SpikeMultiplier.
 	spikeMult int
+	// linkFaults holds per-directed-link overrides layered over the
+	// global fault knobs (gray asymmetric links); absent links use the
+	// zero value and draw nothing.
+	linkFaults map[linkKey]linkFault
+	// slowFactor stretches a node's CPU charges (gray slow node);
+	// absent or 1 means full speed.
+	slowFactor map[ids.ProcID]int
+	// flapEpoch invalidates a link's scheduled flap toggles when a
+	// newer SetFlapping call supersedes them.
+	flapEpoch map[linkKey]int
 }
 
 // capturedFrame is one recorded wire delivery, replayable verbatim.
@@ -177,14 +202,17 @@ func New(sim *des.Sim, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	return &Network{
-		sim:      sim,
-		cfg:      cfg,
-		handlers: make([]Handler, cfg.Nodes),
-		egress:   make([][]frame, cfg.Nodes),
-		cpuFree:  make([]time.Duration, cfg.Nodes),
-		blocked:  make(map[ids.ProcID]map[ids.ProcID]bool),
-		crashed:  make(map[ids.ProcID]bool),
-		rec:      obs.Nop,
+		sim:        sim,
+		cfg:        cfg,
+		handlers:   make([]Handler, cfg.Nodes),
+		egress:     make([][]frame, cfg.Nodes),
+		cpuFree:    make([]time.Duration, cfg.Nodes),
+		blocked:    make(map[ids.ProcID]map[ids.ProcID]bool),
+		crashed:    make(map[ids.ProcID]bool),
+		rec:        obs.Nop,
+		linkFaults: make(map[linkKey]linkFault),
+		slowFactor: make(map[ids.ProcID]int),
+		flapEpoch:  make(map[linkKey]int),
 	}, nil
 }
 
@@ -297,6 +325,112 @@ func (n *Network) SetCorruption(corruptProb, truncateProb float64) error {
 	n.cfg = probe
 	n.rec.Record(obs.CorruptSet(n.sim.Now(),
 		int64(corruptProb*1000), int64(truncateProb*1000)))
+	return nil
+}
+
+// SetLinkFaults installs per-directed-link fault overrides for the
+// link from→to, layered over the global SetFaults knobs: an extra drop
+// probability, an extra duplication probability, and a fixed extra
+// delay — the gray-failure model's asymmetric link. Passing all-zero
+// knobs clears the override. Overridden links draw their extra
+// randomness after the global draws and only when their own
+// probability is non-zero, so schedules without link faults consume
+// exactly the legacy RNG stream. It returns an error (changing
+// nothing) for values the static Config would reject for the global
+// knobs.
+func (n *Network) SetLinkFaults(from, to ids.ProcID, drop, dup float64, extra time.Duration) error {
+	if !n.valid(from) || !n.valid(to) {
+		return fmt.Errorf("simnet: link fault %v -> %v out of range", from, to)
+	}
+	if drop < 0 || drop >= 1 {
+		return fmt.Errorf("simnet: link drop probability %v out of [0,1)", drop)
+	}
+	if dup < 0 || dup >= 1 {
+		return fmt.Errorf("simnet: link dup probability %v out of [0,1)", dup)
+	}
+	if extra < 0 {
+		return fmt.Errorf("simnet: negative link extra delay %v", extra)
+	}
+	key := linkKey{from, to}
+	if drop == 0 && dup == 0 && extra == 0 {
+		delete(n.linkFaults, key)
+	} else {
+		n.linkFaults[key] = linkFault{drop: drop, dup: dup, extra: extra}
+	}
+	n.stats.LinkFaultSets++
+	n.rec.Record(obs.LinkFaultSet(n.sim.Now(), from, to,
+		int64(drop*1000), int64(dup*1000), extra))
+	return nil
+}
+
+// SetSlowNode stretches node p's send and receive CPU charges by the
+// given factor — the gray-failure model's slow node: p still works,
+// just several times slower. A factor of 1 restores full speed. The
+// stretch consumes no randomness. It returns an error (changing
+// nothing) for a non-positive factor.
+func (n *Network) SetSlowNode(p ids.ProcID, factor int) error {
+	if !n.valid(p) {
+		return fmt.Errorf("simnet: slow node %v out of range", p)
+	}
+	if factor < 1 {
+		return fmt.Errorf("simnet: slow-node factor %d must be at least 1", factor)
+	}
+	if factor == 1 {
+		delete(n.slowFactor, p)
+	} else {
+		n.slowFactor[p] = factor
+	}
+	n.stats.SlowNodeSets++
+	n.rec.Record(obs.SlowNodeSet(n.sim.Now(), p, factor))
+	return nil
+}
+
+// SetFlapping starts partitioning and healing the directed link
+// from→to on a fixed period: the link blocks now, heals after period,
+// blocks again after another period, and so on until the given virtual
+// time, when it is left healed. The toggling is driven entirely by the
+// schedule's seeded parameters and consumes no randomness. A period of
+// zero cancels any active flap on the link (healing it); a newer call
+// supersedes an older one. It returns an error (changing nothing) for
+// a negative period or a horizon not in the future.
+func (n *Network) SetFlapping(from, to ids.ProcID, period, until time.Duration) error {
+	if !n.valid(from) || !n.valid(to) {
+		return fmt.Errorf("simnet: flapping %v -> %v out of range", from, to)
+	}
+	if period < 0 {
+		return fmt.Errorf("simnet: negative flap period %v", period)
+	}
+	if period > 0 && until <= n.sim.Now() {
+		return fmt.Errorf("simnet: flap horizon %v not in the future", until)
+	}
+	key := linkKey{from, to}
+	n.flapEpoch[key]++
+	epoch := n.flapEpoch[key]
+	n.stats.FlapSets++
+	n.rec.Record(obs.FlapSet(n.sim.Now(), from, to, period, until))
+	if period == 0 {
+		n.Unblock(from, to)
+		return nil
+	}
+	blocked := false
+	var toggle func()
+	toggle = func() {
+		if n.flapEpoch[key] != epoch {
+			return // superseded by a newer SetFlapping call
+		}
+		if n.sim.Now() >= until {
+			n.Unblock(from, to) // leave the link healed
+			return
+		}
+		if blocked {
+			n.Unblock(from, to)
+		} else {
+			n.Block(from, to)
+		}
+		blocked = !blocked
+		n.sim.After(period, toggle)
+	}
+	toggle()
 	return nil
 }
 
@@ -450,8 +584,12 @@ func (n *Network) txTime(size int) time.Duration {
 }
 
 // acquireCPU charges d of CPU time on node p starting no earlier than t,
-// returning the completion time.
+// returning the completion time. A slow node (SetSlowNode) pays a
+// stretched charge.
 func (n *Network) acquireCPU(p ids.ProcID, t time.Duration, d time.Duration) time.Duration {
+	if f := n.slowFactor[p]; f > 1 {
+		d *= time.Duration(f)
+	}
 	start := t
 	if n.cpuFree[p] > start {
 		start = n.cpuFree[p]
@@ -604,11 +742,30 @@ func (n *Network) scheduleDelivery(src, dst ids.ProcID, payload []byte, arrival 
 		}
 		return
 	}
+	// Per-link overrides (SetLinkFaults) layer over the global knobs.
+	// Their draws come after the global draws and each is guarded by the
+	// link's own probability, so schedules without link faults consume
+	// exactly the legacy RNG stream. An unset link reads the zero value.
+	lf := n.linkFaults[linkKey{from: src, to: dst}]
+	if lf.drop > 0 && rng.Float64() < lf.drop {
+		n.stats.Dropped++
+		if n.rec.Enabled() {
+			n.rec.Record(obs.Drop(n.sim.Now(), dst, src, obs.DropRandom))
+		}
+		return
+	}
 	copies := 1
 	if n.cfg.DupProb > 0 && rng.Float64() < n.cfg.DupProb {
 		copies = 2
 		n.stats.Duplicated++
 	}
+	if lf.dup > 0 && rng.Float64() < lf.dup && copies == 1 {
+		copies = 2
+		n.stats.Duplicated++
+	}
+	// A link's fixed extra delay shifts every copy deterministically
+	// (the asymmetric-latency half of the gray model — no draw).
+	arrival += lf.extra
 	for c := 0; c < copies; c++ {
 		at := arrival
 		if n.cfg.Jitter > 0 {

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -521,5 +522,50 @@ func TestSetFaults(t *testing.T) {
 	}
 	if err := net.SetFaults(0, 0, -time.Second); err == nil {
 		t.Error("SetFaults accepted negative jitter")
+	}
+}
+
+// TestPartitionBlockedSendsConsumeNoRNG pins scheduleDelivery's draw
+// ordering contract: the blocked/crashed check precedes every fault
+// draw, so traffic into a partition consumes no randomness — the fate
+// of every delivery on the healthy links is byte-identical whether or
+// not blocked traffic was interleaved with it. (If a blocked delivery
+// ever drew from the RNG, the two runs below would diverge.)
+func TestPartitionBlockedSendsConsumeNoRNG(t *testing.T) {
+	run := func(withBlocked bool) ([]rcvd, int64) {
+		cfg := Config{Nodes: 3, PropDelay: time.Millisecond}
+		sim, net := newNet(t, cfg)
+		log := collect(t, sim, net, 2)
+		_ = collect(t, sim, net, 1)
+		net.Partition([]ids.ProcID{1}, []ids.ProcID{0, 2})
+		if err := net.SetFaults(0.4, 0.2, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 80; i++ {
+			if withBlocked {
+				if err := net.Unicast(0, 1, []byte{0xbb, byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := net.Unicast(0, 2, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sim.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		// The next draw's value pins the RNG stream position exactly.
+		return *log, sim.Rand().Int63()
+	}
+	with, rngWith := run(true)
+	without, rngWithout := run(false)
+	if len(with) == 0 || len(with) == 80 {
+		t.Fatalf("fault draws ineffective: %d of 80 delivered", len(with))
+	}
+	if !reflect.DeepEqual(with, without) {
+		t.Errorf("blocked traffic perturbed the healthy link: %d vs %d deliveries", len(with), len(without))
+	}
+	if rngWith != rngWithout {
+		t.Errorf("blocked traffic consumed RNG: stream positions diverge (%d vs %d)", rngWith, rngWithout)
 	}
 }
